@@ -1,0 +1,47 @@
+//! Criterion companion to Table 1: end-to-end on-demand provisioning of
+//! each application through both channels (full §2.2 pipeline: discovery,
+//! deploy-file planning, transfer, build, registration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glare_core::grid::Grid;
+use glare_core::model::example_hierarchy;
+use glare_core::rdm::deploy_manager::{provision, ProvisionRequest};
+use glare_fabric::SimTime;
+use glare_services::{ChannelKind, Transport};
+
+fn provision_once(activity: &str, channel: ChannelKind) {
+    let mut grid = Grid::new(2, Transport::Http);
+    for ty in example_hierarchy(SimTime::ZERO) {
+        grid.register_type(0, ty, SimTime::ZERO).unwrap();
+    }
+    let out = provision(
+        &mut grid,
+        &ProvisionRequest {
+            activity: activity.into(),
+            client: "bench".into(),
+            channel,
+            from_site: 0,
+            preferred_site: Some(1),
+        },
+        SimTime::from_secs(1),
+    )
+    .unwrap();
+    std::hint::black_box(out.deployments.len());
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_deployment_overhead");
+    for channel in [ChannelKind::Expect, ChannelKind::JavaCog] {
+        for app in ["Wien2k", "Invmod", "Counter"] {
+            group.bench_with_input(
+                BenchmarkId::new(channel.label().replace(' ', ""), app),
+                &(app, channel),
+                |b, &(app, channel)| b.iter(|| provision_once(app, channel)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

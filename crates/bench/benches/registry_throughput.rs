@@ -1,0 +1,52 @@
+//! Criterion companion to Fig. 10: per-request latency of the ATR's
+//! hashtable lookup vs the WS-MDS XPath query, http and https.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glare_bench::fig10::{build_atr, build_mds};
+use glare_fabric::SimTime;
+use glare_services::Transport;
+
+const RESOURCES: usize = 60;
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_registry_throughput");
+    for transport in [Transport::Http, Transport::Https] {
+        let payload: Vec<u8> = (0..2048).map(|i| (i % 251) as u8).collect();
+        let mut atr = build_atr(RESOURCES, transport);
+        group.bench_with_input(
+            BenchmarkId::new("atr_lookup", transport.label()),
+            &transport,
+            |b, tr| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let name = format!("Type{}", i % RESOURCES);
+                    i += 1;
+                    let crypto = tr.process(&payload);
+                    let hit = atr.lookup(&name, SimTime::ZERO);
+                    std::hint::black_box((crypto, hit.is_some()))
+                });
+            },
+        );
+        let mut mds = build_mds(RESOURCES, transport);
+        group.bench_with_input(
+            BenchmarkId::new("mds_query", transport.label()),
+            &transport,
+            |b, tr| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let name = format!("Type{}", i % RESOURCES);
+                    i += 1;
+                    let crypto = tr.process(&payload);
+                    let resp = mds
+                        .query_by_name("ActivityTypeEntry", &name, SimTime::ZERO)
+                        .unwrap();
+                    std::hint::black_box((crypto, resp.matches.len()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookups);
+criterion_main!(benches);

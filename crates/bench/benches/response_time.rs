@@ -1,0 +1,35 @@
+//! Criterion companion to Fig. 12: wall-clock cost of simulating the
+//! multi-site response-time experiment, cache on vs off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glare_bench::fig12::{run_config, Fig12Params};
+use glare_fabric::SimDuration;
+
+fn quick_params() -> Fig12Params {
+    Fig12Params {
+        clients: 12,
+        queries_per_client: 10,
+        think: SimDuration::from_millis(100),
+        types: 12,
+        seed: 7,
+    }
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_response_time");
+    group.sample_size(10);
+    for (sites, cache) in [(1usize, true), (1, false), (3, false), (7, false)] {
+        let label = format!("{}site_cache{}", sites, cache);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&label),
+            &(sites, cache),
+            |b, &(sites, cache)| {
+                b.iter(|| std::hint::black_box(run_config(sites, cache, quick_params())))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion companion to Fig. 11: how per-request latency scales with
+//! the number of registered activity types (ATR flat, MDS linear).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glare_bench::fig10::{build_atr, build_mds};
+use glare_fabric::SimTime;
+use glare_services::Transport;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_resource_scaling");
+    for resources in [10usize, 100, 300] {
+        let mut atr = build_atr(resources, Transport::Http);
+        group.bench_with_input(
+            BenchmarkId::new("atr_lookup", resources),
+            &resources,
+            |b, &n| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let name = format!("Type{}", i % n);
+                    i += 1;
+                    std::hint::black_box(atr.lookup(&name, SimTime::ZERO).is_some())
+                });
+            },
+        );
+        let mut mds = build_mds(resources, Transport::Http);
+        group.bench_with_input(
+            BenchmarkId::new("mds_query", resources),
+            &resources,
+            |b, &n| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let name = format!("Type{}", i % n);
+                    i += 1;
+                    let resp = mds
+                        .query_by_name("ActivityTypeEntry", &name, SimTime::ZERO)
+                        .unwrap();
+                    std::hint::black_box(resp.matches.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

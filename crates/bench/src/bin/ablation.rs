@@ -1,0 +1,6 @@
+//! Regenerate the DESIGN.md §5 ablations: super-peer routing vs flooding,
+//! and majority-acknowledged vs naive super-peer takeover.
+
+fn main() {
+    print!("{}", glare_bench::ablation::render());
+}

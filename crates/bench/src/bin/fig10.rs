@@ -1,0 +1,24 @@
+//! Regenerate Fig. 10: registry vs index throughput over concurrent
+//! clients, http and https. Pass `--quick` for a short run and `--json`
+//! for machine-readable output.
+
+use std::time::Duration;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let per_point = if quick {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_millis(1500)
+    };
+    let clients = [1usize, 2, 4, 6, 8, 10, 12, 16];
+    let resources = 60;
+    let pts = glare_bench::fig10::run(&clients, resources, per_point);
+    if std::env::args().any(|a| a == "--json") {
+        let v: Vec<serde_json::Value> = pts.iter().map(|p| p.to_json()).collect();
+        println!("{}", serde_json::to_string_pretty(&v).expect("serializable"));
+    } else {
+        print!("{}", glare_bench::fig10::render(&pts));
+        println!("(fixed population: {resources} activity types)");
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerate Fig. 11: throughput vs number of registered activity types.
+//! Pass `--quick` for a short run and `--json` for machine-readable output.
+
+use std::time::Duration;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let per_point = if quick {
+        Duration::from_millis(250)
+    } else {
+        Duration::from_millis(1200)
+    };
+    let resources = [10usize, 30, 70, 110, 130, 170, 230, 300];
+    let clients = 12; // >10, the regime where the paper's index stalled
+    let pts = glare_bench::fig11::run(&resources, clients, per_point);
+    if std::env::args().any(|a| a == "--json") {
+        let v: Vec<serde_json::Value> = pts
+            .iter()
+            .map(|p| {
+                let mut j = p.point.to_json();
+                j["unresponsive"] = serde_json::json!(p.unresponsive);
+                j
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&v).expect("serializable"));
+    } else {
+        print!("{}", glare_bench::fig11::render(&pts));
+        println!("(fixed {clients} concurrent clients)");
+    }
+}

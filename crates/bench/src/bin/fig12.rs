@@ -1,0 +1,12 @@
+//! Regenerate Fig. 12: response time per deployment request — cache on
+//! 1 site vs no cache on 1, 3, 7 sites (discrete-event simulation).
+//! Pass `--json` for machine-readable output.
+
+fn main() {
+    let pts = glare_bench::fig12::run(glare_bench::fig12::Fig12Params::default());
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&pts).expect("serializable"));
+    } else {
+        print!("{}", glare_bench::fig12::render(&pts));
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerate Fig. 13: 1-minute load average under concurrent requesters
+//! and notification sinks (discrete-event simulation).
+//! Pass `--json` for machine-readable output.
+
+fn main() {
+    let pts = glare_bench::fig13::run(glare_bench::fig13::Fig13Params::default());
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&pts).expect("serializable"));
+    } else {
+        print!("{}", glare_bench::fig13::render(&pts));
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerate Table 1: per-operation deployment overhead for Wien2k,
+//! Invmod and Counter via the Expect and JavaCoG channels.
+//! Pass `--json` for machine-readable output.
+
+fn main() {
+    let rows = glare_bench::table1::run();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+    } else {
+        print!("{}", glare_bench::table1::render(&rows));
+    }
+}

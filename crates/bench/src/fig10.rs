@@ -1,0 +1,265 @@
+//! Fig. 10 — throughput of the Activity Type Registry vs the WS-MDS Index
+//! Service under a varying number of concurrent clients, with and without
+//! transport-level security.
+//!
+//! This is a *real-threads* benchmark, not a simulation: both services are
+//! genuine data structures behind a lock (the single GT4 container of the
+//! paper's setup), client threads issue named lookups as fast as they can,
+//! and the https variants run the actual handshake + stream-cipher work
+//! per request. The asymmetry under test is mechanical: the registry
+//! answers named lookups from a hash table, the index re-walks its
+//! aggregated XML document with XPath.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use glare_core::model::ActivityType;
+use glare_core::ActivityTypeRegistry;
+use glare_fabric::SimTime;
+use glare_services::mds::{IndexKind, IndexService};
+use glare_services::Transport;
+
+/// Which service a measurement exercised.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Service {
+    /// GLARE Activity Type Registry (hashtable named lookups).
+    Atr,
+    /// GT4 WS-MDS Index Service (XPath scan).
+    Mds,
+}
+
+impl Service {
+    /// Label used in output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Service::Atr => "ATR",
+            Service::Mds => "WS-MDS",
+        }
+    }
+}
+
+/// One throughput measurement.
+#[derive(Clone, Debug)]
+pub struct ThroughputPoint {
+    /// Service measured.
+    pub service: Service,
+    /// Transport flavor.
+    pub transport: Transport,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Registered activity-type resources.
+    pub resources: usize,
+    /// Measured requests per second.
+    pub rps: f64,
+}
+
+fn type_entry(i: usize) -> ActivityType {
+    ActivityType::concrete_type(&format!("Type{i}"), "bench", "wien2k")
+        .with_function("run", &["in:data"], &["out:data"])
+}
+
+/// Build an ATR preloaded with `resources` types.
+pub fn build_atr(resources: usize, transport: Transport) -> ActivityTypeRegistry {
+    let mut atr = ActivityTypeRegistry::new("https://bench/ATR", transport);
+    for i in 0..resources {
+        atr.register(type_entry(i), SimTime::ZERO).unwrap();
+    }
+    atr
+}
+
+/// Build an Index Service preloaded with the same entries.
+pub fn build_mds(resources: usize, transport: Transport) -> IndexService {
+    let mut mds = IndexService::new("bench-index", IndexKind::Default, transport);
+    for i in 0..resources {
+        mds.register("bench", type_entry(i).to_xml(), SimTime::ZERO);
+    }
+    // Warm the aggregate cache.
+    let _ = mds.query("//ActivityTypeEntry[@name='Type0']", SimTime::ZERO);
+    mds
+}
+
+/// Representative request/response payload the https variants encrypt.
+const WIRE_PAYLOAD: usize = 1_024;
+
+/// Measure one configuration for `duration`.
+pub fn measure(
+    service: Service,
+    transport: Transport,
+    clients: usize,
+    resources: usize,
+    duration: Duration,
+) -> ThroughputPoint {
+    let ops = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let atr = Arc::new(Mutex::new(build_atr(resources, transport)));
+    let mds = Arc::new(Mutex::new(build_mds(resources, transport)));
+    let payload: Arc<Vec<u8>> = Arc::new((0..WIRE_PAYLOAD).map(|i| (i % 251) as u8).collect());
+
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let ops = ops.clone();
+        let stop = stop.clone();
+        let atr = atr.clone();
+        let mds = mds.clone();
+        let payload = payload.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xF16_0000 + c as u64);
+            let mut sink = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let name = format!("Type{}", rng.gen_range(0..resources));
+                // SOAP-ish request envelope: built and parsed per request
+                // on the container worker thread, like the real stack.
+                let request = format!(
+                    "<Envelope><Body><GetResourceProperty dialect=\"hash\">                     <ResourceName>{name}</ResourceName>                     <Client>bench-{c}</Client></GetResourceProperty></Body></Envelope>"
+                );
+                let parsed = glare_wsrf::parse_xml(&request).expect("request parses");
+                std::hint::black_box(&parsed);
+                // Transport security: request decryption happens before
+                // the service sees it.
+                sink ^= transport.process(&payload);
+                // The guarded data-structure access is the part the two
+                // services implement differently.
+                let response_doc = match service {
+                    Service::Atr => {
+                        let mut reg = atr.lock();
+                        reg.lookup(&name, SimTime::ZERO)
+                            .expect("registered type")
+                            .value
+                            .to_xml()
+                    }
+                    Service::Mds => {
+                        let mut idx = mds.lock();
+                        let resp = idx
+                            .query_by_name("ActivityTypeEntry", &name, SimTime::ZERO)
+                            .expect("valid query");
+                        resp.matches.into_iter().next().expect("one match")
+                    }
+                };
+                // Serialize the response envelope (worker thread again).
+                sink ^= response_doc.to_xml().len() as u64;
+                ops.fetch_add(1, Ordering::Relaxed);
+            }
+            sink
+        }));
+    }
+
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = start.elapsed();
+    let mut sink = 0u64;
+    for h in handles {
+        sink ^= h.join().expect("client thread");
+    }
+    std::hint::black_box(sink);
+    let total = ops.load(Ordering::Relaxed);
+    ThroughputPoint {
+        service,
+        transport,
+        clients,
+        resources,
+        rps: total as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+impl ThroughputPoint {
+    /// JSON-friendly view of the measurement.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "service": self.service.label(),
+            "transport": self.transport.label(),
+            "clients": self.clients,
+            "resources": self.resources,
+            "rps": self.rps,
+        })
+    }
+}
+
+/// The Fig. 10 sweep: both services × both transports × client counts,
+/// at a fixed resource population.
+pub fn run(
+    client_counts: &[usize],
+    resources: usize,
+    per_point: Duration,
+) -> Vec<ThroughputPoint> {
+    let mut out = Vec::new();
+    for &clients in client_counts {
+        for service in [Service::Atr, Service::Mds] {
+            for transport in [Transport::Http, Transport::Https] {
+                out.push(measure(service, transport, clients, resources, per_point));
+            }
+        }
+    }
+    out
+}
+
+/// Render the series as aligned columns.
+pub fn render(points: &[ThroughputPoint]) -> String {
+    let mut s = String::from(
+        "Fig 10: Throughput (requests/s) vs concurrent clients\n\
+         clients | ATR http | ATR https | WS-MDS http | WS-MDS https\n",
+    );
+    let mut clients: Vec<usize> = points.iter().map(|p| p.clients).collect();
+    clients.sort_unstable();
+    clients.dedup();
+    for c in clients {
+        let find = |svc: Service, tr: Transport| {
+            points
+                .iter()
+                .find(|p| p.clients == c && p.service == svc && p.transport == tr)
+                .map_or(0.0, |p| p.rps)
+        };
+        s.push_str(&format!(
+            "{c:>7} | {:>8.0} | {:>9.0} | {:>11.0} | {:>12.0}\n",
+            find(Service::Atr, Transport::Http),
+            find(Service::Atr, Transport::Https),
+            find(Service::Mds, Transport::Http),
+            find(Service::Mds, Transport::Https),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fast smoke configuration (full sweep runs in the fig10 binary).
+    #[test]
+    fn shape_atr_beats_mds_and_https_costs() {
+        let dur = Duration::from_millis(300);
+        let resources = 60;
+        let atr_http = measure(Service::Atr, Transport::Http, 4, resources, dur);
+        let mds_http = measure(Service::Mds, Transport::Http, 4, resources, dur);
+        let atr_https = measure(Service::Atr, Transport::Https, 4, resources, dur);
+        assert!(
+            atr_http.rps > mds_http.rps,
+            "ATR {} must out-serve MDS {}",
+            atr_http.rps,
+            mds_http.rps
+        );
+        assert!(
+            atr_https.rps < atr_http.rps,
+            "security must cost throughput: {} !< {}",
+            atr_https.rps,
+            atr_http.rps
+        );
+    }
+
+    #[test]
+    fn builders_load_requested_resources() {
+        let atr = build_atr(25, Transport::Http);
+        assert_eq!(atr.len(SimTime::ZERO), 25);
+        let mut mds = build_mds(25, Transport::Http);
+        assert_eq!(mds.len(SimTime::ZERO), 25);
+        let r = mds
+            .query_by_name("ActivityTypeEntry", "Type24", SimTime::ZERO)
+            .unwrap();
+        assert_eq!(r.matches.len(), 1);
+    }
+}

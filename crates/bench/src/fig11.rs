@@ -1,0 +1,121 @@
+//! Fig. 11 — throughput with an increasing number of registered activity
+//! type resources, at a fixed concurrent-client count.
+//!
+//! Same real-threads harness as Fig. 10; the swept variable is the
+//! registry/index population. The registry's hashtable path stays flat;
+//! the index's XPath scan degrades linearly — and the paper additionally
+//! observed the GT4 index *stop responding* beyond ~130 resources with
+//! more than 10 clients. We reproduce the degradation mechanically and
+//! flag points whose throughput has collapsed below a responsiveness
+//! floor (the hard hang is a GT4 implementation artifact; see
+//! EXPERIMENTS.md).
+
+use std::time::Duration;
+
+use glare_services::Transport;
+
+use crate::fig10::{measure, Service, ThroughputPoint};
+
+/// Throughput below this fraction of the same-configuration ATR rate is
+/// reported as "unresponsive" (the paper's stalled index).
+pub const COLLAPSE_FRACTION: f64 = 0.30;
+
+/// One Fig. 11 measurement, with the collapse flag.
+#[derive(Clone, Debug)]
+pub struct Fig11Point {
+    /// Underlying measurement.
+    pub point: ThroughputPoint,
+    /// Whether this configuration has effectively stopped responding.
+    pub unresponsive: bool,
+}
+
+/// Sweep resource counts at a fixed client count.
+pub fn run(
+    resource_counts: &[usize],
+    clients: usize,
+    per_point: Duration,
+) -> Vec<Fig11Point> {
+    let mut out = Vec::new();
+    for &resources in resource_counts {
+        for transport in [Transport::Http, Transport::Https] {
+            let atr = measure(Service::Atr, transport, clients, resources, per_point);
+            let mds = measure(Service::Mds, transport, clients, resources, per_point);
+            let floor = atr.rps * COLLAPSE_FRACTION;
+            out.push(Fig11Point {
+                unresponsive: false,
+                point: atr,
+            });
+            out.push(Fig11Point {
+                unresponsive: mds.rps < floor && clients > 10 && resources > 130,
+                point: mds,
+            });
+        }
+    }
+    out
+}
+
+/// Render the series.
+pub fn render(points: &[Fig11Point]) -> String {
+    let mut s = String::from(
+        "Fig 11: Throughput (requests/s) vs registered activity types\n\
+         resources | ATR http | ATR https | WS-MDS http | WS-MDS https\n",
+    );
+    let mut res: Vec<usize> = points.iter().map(|p| p.point.resources).collect();
+    res.sort_unstable();
+    res.dedup();
+    for r in res {
+        let find = |svc: Service, tr: Transport| -> String {
+            points
+                .iter()
+                .find(|p| {
+                    p.point.resources == r && p.point.service == svc && p.point.transport == tr
+                })
+                .map_or("-".to_owned(), |p| {
+                    if p.unresponsive {
+                        format!("{:.0}*", p.point.rps)
+                    } else {
+                        format!("{:.0}", p.point.rps)
+                    }
+                })
+        };
+        s.push_str(&format!(
+            "{r:>9} | {:>8} | {:>9} | {:>11} | {:>12}\n",
+            find(Service::Atr, Transport::Http),
+            find(Service::Atr, Transport::Https),
+            find(Service::Mds, Transport::Http),
+            find(Service::Mds, Transport::Https),
+        ));
+    }
+    s.push_str("(* = effectively unresponsive, cf. the paper's stalled index)\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atr_flat_mds_degrades() {
+        let dur = Duration::from_millis(250);
+        let pts = run(&[20, 200], 4, dur);
+        let rps = |svc: Service, resources: usize| {
+            pts.iter()
+                .find(|p| {
+                    p.point.service == svc
+                        && p.point.resources == resources
+                        && p.point.transport == Transport::Http
+                })
+                .unwrap()
+                .point
+                .rps
+        };
+        let atr_ratio = rps(Service::Atr, 20) / rps(Service::Atr, 200);
+        let mds_ratio = rps(Service::Mds, 20) / rps(Service::Mds, 200);
+        assert!(
+            mds_ratio > atr_ratio * 1.5,
+            "MDS must degrade much faster: mds {mds_ratio:.2} vs atr {atr_ratio:.2}"
+        );
+        // ATR stays within 2x across a 10x resource growth.
+        assert!(atr_ratio < 2.0, "ATR should stay ~flat, ratio {atr_ratio:.2}");
+    }
+}

@@ -1,0 +1,16 @@
+//! # glare-bench — the benchmark harness regenerating every table and
+//! figure of the GLARE paper's evaluation (§4).
+//!
+//! Each module owns one experiment and exposes `run(...)` + `render(...)`;
+//! the `table1`/`fig10`/`fig11`/`fig12`/`fig13` binaries print the
+//! regenerated rows/series. Criterion benches over the same primitives
+//! live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod table1;

@@ -1,0 +1,197 @@
+//! Declarative failure injection.
+//!
+//! A [`FaultPlan`] is a reproducible script of site crashes/restarts and
+//! partition windows, applied to a [`Simulation`] before it runs. Tests of
+//! GLARE's super-peer re-election and deployment migration drive their
+//! failure scenarios through this module so scenarios stay data, not code.
+
+use crate::rng::SimRng;
+use crate::sim::Simulation;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::SiteId;
+
+/// One scripted fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Crash `site` at `at`; it stays down until a matching restart.
+    Crash {
+        /// When the crash happens.
+        at: SimTime,
+        /// Which site crashes.
+        site: SiteId,
+    },
+    /// Restart `site` at `at`.
+    Restart {
+        /// When the restart happens.
+        at: SimTime,
+        /// Which site restarts.
+        site: SiteId,
+    },
+    /// Sever the pair from `from` until `until`.
+    Partition {
+        /// Partition start.
+        from: SimTime,
+        /// Partition end (healed).
+        until: SimTime,
+        /// One side of the cut.
+        a: SiteId,
+        /// The other side.
+        b: SiteId,
+    },
+}
+
+/// A reproducible failure script.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a crash.
+    pub fn crash(mut self, at: SimTime, site: SiteId) -> Self {
+        self.faults.push(Fault::Crash { at, site });
+        self
+    }
+
+    /// Add a restart.
+    pub fn restart(mut self, at: SimTime, site: SiteId) -> Self {
+        self.faults.push(Fault::Restart { at, site });
+        self
+    }
+
+    /// Crash then restart after `downtime`.
+    pub fn outage(self, at: SimTime, site: SiteId, downtime: SimDuration) -> Self {
+        self.crash(at, site).restart(at + downtime, site)
+    }
+
+    /// Add a partition window.
+    pub fn partition(mut self, from: SimTime, until: SimTime, a: SiteId, b: SiteId) -> Self {
+        assert!(from < until, "partition window must be non-empty");
+        self.faults.push(Fault::Partition { from, until, a, b });
+        self
+    }
+
+    /// Generate `n` random outages across the sites in `[start, end)`, each
+    /// lasting `downtime`. Deterministic in the RNG stream.
+    pub fn random_outages(
+        mut self,
+        rng: &mut SimRng,
+        n: usize,
+        sites: &[SiteId],
+        start: SimTime,
+        end: SimTime,
+        downtime: SimDuration,
+    ) -> Self {
+        assert!(!sites.is_empty(), "need at least one site");
+        assert!(start < end, "empty outage window");
+        let span = end.since(start).as_nanos();
+        for _ in 0..n {
+            let at = start + SimDuration::from_nanos(rng.range(0, span));
+            let site = sites[rng.index(sites.len())];
+            self = self.outage(at, site, downtime);
+        }
+        self
+    }
+
+    /// The scripted faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Apply the plan to a simulation (schedules all events).
+    pub fn apply(&self, sim: &mut Simulation) {
+        for fault in &self.faults {
+            match *fault {
+                Fault::Crash { at, site } => sim.schedule_crash(at, site),
+                Fault::Restart { at, site } => sim.schedule_restart(at, site),
+                Fault::Partition { from, until, a, b } => {
+                    sim.schedule_call(from, move |s| s.set_partitioned(a, b, true));
+                    sim.schedule_call(until, move |s| s.set_partitioned(a, b, false));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Actor, Ctx, Envelope, Simulation};
+    use crate::topology::Topology;
+
+    struct Noop;
+    impl Actor for Noop {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _env: Envelope) {}
+    }
+
+    #[test]
+    fn outage_crashes_then_restarts() {
+        let mut sim = Simulation::new(Topology::uniform(2), 1);
+        sim.add_actor(SiteId(0), Box::new(Noop));
+        FaultPlan::new()
+            .outage(SimTime::from_secs(1), SiteId(0), SimDuration::from_secs(2))
+            .apply(&mut sim);
+        sim.start();
+        sim.run_until(SimTime::from_millis(1_500));
+        assert!(!sim.site(SiteId(0)).is_up());
+        sim.run_until(SimTime::from_secs(4));
+        assert!(sim.site(SiteId(0)).is_up());
+    }
+
+    #[test]
+    fn partition_window_opens_and_closes() {
+        let mut sim = Simulation::new(Topology::uniform(2), 1);
+        sim.add_actor(SiteId(0), Box::new(Noop));
+        FaultPlan::new()
+            .partition(
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+                SiteId(0),
+                SiteId(1),
+            )
+            .apply(&mut sim);
+        sim.start();
+        sim.run_to_quiescence(100);
+        // Both schedule_call events executed without panicking; the
+        // partition set is empty again afterwards (verified indirectly by
+        // sending across after the window in sim-level tests).
+        assert!(sim.now() >= SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn random_outages_deterministic() {
+        let plan = |seed| {
+            let mut rng = SimRng::from_seed(seed);
+            FaultPlan::new()
+                .random_outages(
+                    &mut rng,
+                    5,
+                    &[SiteId(0), SiteId(1), SiteId(2)],
+                    SimTime::ZERO,
+                    SimTime::from_secs(100),
+                    SimDuration::from_secs(5),
+                )
+                .faults()
+                .to_vec()
+        };
+        assert_eq!(plan(9), plan(9));
+        assert_ne!(plan(9), plan(10));
+        assert_eq!(plan(9).len(), 10, "5 outages = 5 crashes + 5 restarts");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_partition_window_rejected() {
+        let _ = FaultPlan::new().partition(
+            SimTime::from_secs(2),
+            SimTime::from_secs(2),
+            SiteId(0),
+            SiteId(1),
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # glare-fabric — deterministic simulated Grid fabric
+//!
+//! This crate is the substrate substitution for the Austrian Grid testbed
+//! the GLARE paper (SC'05) ran on: a deterministic discrete-event simulator
+//! of Grid sites, the WAN between them, their CPUs and their failures.
+//!
+//! * [`time`] — virtual clock types ([`SimTime`], [`SimDuration`]).
+//! * [`rng`] — seeded, forkable random streams for replayable experiments.
+//! * [`topology`] — static site attributes (the inputs of the paper's
+//!   super-peer rank hashcode) and link latency/bandwidth specs.
+//! * [`site`] — per-site CPU scheduling, run queues and the Unix 1-minute
+//!   load average reported in the paper's Fig. 13.
+//! * [`sim`] — the event kernel: actors, messages, timers, CPU work,
+//!   crashes, partitions.
+//! * [`fault`] — declarative failure scripts.
+//! * [`metrics`] — counters/histograms/series the bench harness reads.
+//!
+//! Everything is deterministic given a seed; experiments replay
+//! bit-identically.
+
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod metrics;
+pub mod rng;
+pub mod sim;
+pub mod site;
+pub mod time;
+pub mod topology;
+
+pub use fault::{Fault, FaultPlan};
+pub use metrics::{Counter, Histogram, MetricsRegistry, TimeSeries};
+pub use rng::SimRng;
+pub use sim::{Actor, ActorId, Ctx, Envelope, Msg, NetworkConfig, Simulation, TimerToken};
+pub use site::{SiteRuntime, WorkTicket};
+pub use time::{SimDuration, SimTime};
+pub use topology::{LinkSpec, Platform, SiteId, SiteSpec, Topology};

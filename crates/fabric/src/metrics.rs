@@ -1,0 +1,271 @@
+//! Experiment instrumentation: counters, gauges, latency histograms and
+//! time series.
+//!
+//! The benchmark harness in `glare-bench` reads these back to print the
+//! rows/series of the paper's tables and figures, so the registry keeps
+//! everything addressable by a flat string name (e.g.
+//! `"site3.deployments.installed"`).
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Reservoir of duration samples with quantile queries.
+///
+/// Samples are kept exactly (experiments are bounded), sorted lazily on
+/// query. This favours exactness over constant-memory, which is the right
+/// trade for a reproducibility harness.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<SimDuration>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Record one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_nanos() as u128).sum();
+        Some(SimDuration::from_nanos(
+            (total / self.samples.len() as u128) as u64,
+        ))
+    }
+
+    /// Quantile in `[0, 1]` using the nearest-rank method; `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&mut self) -> Option<SimDuration> {
+        self.quantile(0.0)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&mut self) -> Option<SimDuration> {
+        self.quantile(1.0)
+    }
+}
+
+/// A `(time, value)` series, e.g. load average over the run.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Append a point. Timestamps must be non-decreasing.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "TimeSeries::push: time went backwards");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All recorded points in order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Largest recorded value, or `None` when empty.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Mean of values over all points, or `None` when empty.
+    pub fn mean_value(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+        }
+    }
+
+    /// Value of the last point at or before `t`, or `None` if none exists.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => None,
+            i => Some(self.points[i - 1].1),
+        }
+    }
+}
+
+/// Flat, name-addressed registry of all instruments in one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_owned()).or_default()
+    }
+
+    /// Read a counter value without creating it (zero if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, Counter::get)
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// Read-only view of a histogram if it exists.
+    pub fn histogram_ref(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Get or create the time series `name`.
+    pub fn time_series(&mut self, name: &str) -> &mut TimeSeries {
+        self.series.entry(name.to_owned()).or_default()
+    }
+
+    /// Read-only view of a time series if it exists.
+    pub fn time_series_ref(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Names of all counters, in sorted order.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    /// Names of all histograms, in sorted order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut m = MetricsRegistry::new();
+        m.counter("a").inc();
+        m.counter("a").add(4);
+        assert_eq!(m.counter_value("a"), 5);
+        assert_eq!(m.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::default();
+        for ms in 1..=100 {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), Some(SimDuration::from_millis(50)));
+        assert_eq!(h.quantile(0.99), Some(SimDuration::from_millis(99)));
+        assert_eq!(h.min(), Some(SimDuration::from_millis(1)));
+        assert_eq!(h.max(), Some(SimDuration::from_millis(100)));
+        assert_eq!(h.mean(), Some(SimDuration::from_micros(50_500)));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let mut h = Histogram::default();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_interleaved_record_and_query() {
+        let mut h = Histogram::default();
+        h.record(SimDuration::from_millis(10));
+        assert_eq!(h.quantile(1.0), Some(SimDuration::from_millis(10)));
+        h.record(SimDuration::from_millis(5));
+        assert_eq!(h.min(), Some(SimDuration::from_millis(5)));
+    }
+
+    #[test]
+    fn time_series_queries() {
+        let mut s = TimeSeries::default();
+        s.push(SimTime::from_secs(1), 1.0);
+        s.push(SimTime::from_secs(2), 5.0);
+        s.push(SimTime::from_secs(3), 3.0);
+        assert_eq!(s.max_value(), Some(5.0));
+        assert_eq!(s.mean_value(), Some(3.0));
+        assert_eq!(s.value_at(SimTime::from_secs(2)), Some(5.0));
+        assert_eq!(s.value_at(SimTime::from_millis(2500)), Some(5.0));
+        assert_eq!(s.value_at(SimTime::ZERO), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_series_rejects_backwards_time() {
+        let mut s = TimeSeries::default();
+        s.push(SimTime::from_secs(2), 0.0);
+        s.push(SimTime::from_secs(1), 0.0);
+    }
+
+    #[test]
+    fn registry_namespaces_are_independent() {
+        let mut m = MetricsRegistry::new();
+        m.counter("x").inc();
+        m.histogram("x").record(SimDuration::from_millis(1));
+        m.time_series("x").push(SimTime::ZERO, 0.0);
+        assert_eq!(m.counter_value("x"), 1);
+        assert_eq!(m.histogram_ref("x").unwrap().count(), 1);
+        assert_eq!(m.time_series_ref("x").unwrap().points().len(), 1);
+        assert_eq!(m.counter_names().collect::<Vec<_>>(), vec!["x"]);
+    }
+}

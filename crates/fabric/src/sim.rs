@@ -1,0 +1,957 @@
+//! The discrete-event kernel.
+//!
+//! A [`Simulation`] owns a [`Topology`], one [`SiteRuntime`] per site, and a
+//! set of [`Actor`]s placed on sites. Actors communicate exclusively by
+//! message passing; the kernel prices every message with the link between
+//! the two sites (latency + serialization + jitter) and refuses delivery
+//! across partitions or to crashed sites. CPU-bound work is priced through
+//! [`Ctx::compute`], which feeds the per-site run-queue/load-average model.
+//!
+//! Everything is deterministic given the master seed: the event queue is
+//! ordered by `(time, sequence-number)` and all randomness flows from
+//! [`SimRng`] forks.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::metrics::MetricsRegistry;
+use crate::rng::SimRng;
+use crate::site::{SiteRuntime, WorkTicket, LOAD_SAMPLE_INTERVAL};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{SiteId, Topology};
+
+/// Identifier of an actor registered with the kernel.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ActorId(pub u32);
+
+impl ActorId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor{}", self.0)
+    }
+}
+
+/// Opaque message payload. Actors downcast with [`Envelope::downcast`].
+pub type Msg = Box<dyn Any + Send>;
+
+/// A delivered message with its provenance.
+pub struct Envelope {
+    /// Sender actor.
+    pub from: ActorId,
+    /// Payload.
+    pub msg: Msg,
+}
+
+impl Envelope {
+    /// Downcast the payload to a concrete message type.
+    pub fn downcast<T: 'static>(self) -> Result<(ActorId, T), Envelope> {
+        let from = self.from;
+        match self.msg.downcast::<T>() {
+            Ok(b) => Ok((from, *b)),
+            Err(msg) => Err(Envelope { from, msg }),
+        }
+    }
+
+    /// Peek whether the payload is of type `T` without consuming.
+    pub fn is<T: 'static>(&self) -> bool {
+        self.msg.is::<T>()
+    }
+}
+
+/// Handle to a pending timer, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerToken(u64);
+
+/// Behaviour of a simulated component.
+///
+/// All methods take a [`Ctx`] granting access to the kernel (time, sends,
+/// timers, per-site CPU, RNG, metrics).
+pub trait Actor {
+    /// Invoked once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A message arrived.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, env: Envelope);
+
+    /// A timer armed with [`Ctx::timer_after`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken, _tag: &str) {}
+
+    /// A CPU work item submitted with [`Ctx::compute`] finished.
+    fn on_compute_done(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken, _tag: &str) {}
+
+    /// The actor's site just crashed (in-flight work and timers survive in
+    /// the queue but will be suppressed while down).
+    fn on_site_crash(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// The actor's site came back up; re-arm heartbeats here.
+    fn on_site_restart(&mut self, _ctx: &mut Ctx<'_>) {}
+}
+
+/// Network-wide behaviour knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// Probability that any inter-site message is silently lost.
+    pub drop_probability: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            drop_probability: 0.0,
+        }
+    }
+}
+
+enum EventKind {
+    Deliver {
+        to: ActorId,
+        from: ActorId,
+        msg: Msg,
+    },
+    Timer {
+        actor: ActorId,
+        token: TimerToken,
+        tag: String,
+    },
+    ComputeDone {
+        actor: ActorId,
+        site: SiteId,
+        ticket: WorkTicket,
+        token: TimerToken,
+        tag: String,
+    },
+    SiteCrash(SiteId),
+    SiteRestart(SiteId),
+    SampleLoads {
+        until: SimTime,
+    },
+    Call(Box<dyn FnOnce(&mut Simulation) + Send>),
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Kernel state shared with actors through [`Ctx`].
+pub struct Kernel {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    topology: Topology,
+    sites: Vec<SiteRuntime>,
+    actor_sites: Vec<SiteId>,
+    cancelled: HashSet<u64>,
+    next_token: u64,
+    rng: SimRng,
+    metrics: MetricsRegistry,
+    net: NetworkConfig,
+    partitions: HashSet<(SiteId, SiteId)>,
+    stopped: bool,
+}
+
+impl Kernel {
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    fn partition_key(a: SiteId, b: SiteId) -> (SiteId, SiteId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn is_partitioned(&self, a: SiteId, b: SiteId) -> bool {
+        a != b && self.partitions.contains(&Self::partition_key(a, b))
+    }
+
+    fn send_from(&mut self, from: ActorId, from_site: SiteId, to: ActorId, msg: Msg, bytes: u64) {
+        let to_site = self.actor_sites[to.index()];
+        self.metrics.counter("net.msgs_sent").inc();
+        self.metrics.counter("net.bytes_sent").add(bytes);
+        if self.is_partitioned(from_site, to_site) {
+            self.metrics.counter("net.msgs_dropped.partition").inc();
+            return;
+        }
+        if from_site != to_site && self.rng.chance(self.net.drop_probability) {
+            self.metrics.counter("net.msgs_dropped.loss").inc();
+            return;
+        }
+        let link = self.topology.link(from_site, to_site);
+        let base = link.transfer_time(bytes);
+        let delay = if link.jitter > 0.0 {
+            let j = self.rng.jitter(link.jitter);
+            base.mul_f64((1.0 + j).max(0.01))
+        } else {
+            base
+        };
+        let at = self.now + delay;
+        self.schedule(at, EventKind::Deliver { to, from, msg });
+    }
+}
+
+/// Actor-facing view of the kernel during a callback.
+pub struct Ctx<'a> {
+    kernel: &'a mut Kernel,
+    /// Identity of the actor being invoked.
+    pub self_id: ActorId,
+    /// Site the actor lives on.
+    pub self_site: SiteId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Send a small control message (priced at 512 bytes).
+    pub fn send<T: Any + Send>(&mut self, to: ActorId, msg: T) {
+        self.send_sized(to, msg, 512);
+    }
+
+    /// Send a message priced at an explicit payload size.
+    pub fn send_sized<T: Any + Send>(&mut self, to: ActorId, msg: T, bytes: u64) {
+        let from = self.self_id;
+        let from_site = self.self_site;
+        self.kernel.send_from(from, from_site, to, Box::new(msg), bytes);
+    }
+
+    /// Arm a one-shot timer; `tag` is echoed to [`Actor::on_timer`].
+    pub fn timer_after(&mut self, after: SimDuration, tag: &str) -> TimerToken {
+        let token = TimerToken(self.kernel.next_token);
+        self.kernel.next_token += 1;
+        let at = self.kernel.now + after;
+        let actor = self.self_id;
+        self.kernel.schedule(
+            at,
+            EventKind::Timer {
+                actor,
+                token,
+                tag: tag.to_owned(),
+            },
+        );
+        token
+    }
+
+    /// Cancel a pending timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        self.kernel.cancelled.insert(token.0);
+    }
+
+    /// Submit CPU-bound work costing `cost` reference-CPU time on the
+    /// actor's own site. Completion arrives via [`Actor::on_compute_done`].
+    /// Returns `None` when the site is down.
+    pub fn compute(&mut self, cost: SimDuration, tag: &str) -> Option<TimerToken> {
+        let site = self.self_site;
+        let now = self.kernel.now;
+        let ticket = self.kernel.sites[site.index()].submit(now, cost)?;
+        let token = TimerToken(self.kernel.next_token);
+        self.kernel.next_token += 1;
+        let actor = self.self_id;
+        self.kernel.schedule(
+            ticket.completes_at,
+            EventKind::ComputeDone {
+                actor,
+                site,
+                ticket,
+                token,
+                tag: tag.to_owned(),
+            },
+        );
+        Some(token)
+    }
+
+    /// Deterministic RNG stream of the simulation.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.kernel.rng
+    }
+
+    /// Mutable metrics registry.
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        &mut self.kernel.metrics
+    }
+
+    /// Static spec of any site.
+    pub fn topology(&self) -> &Topology {
+        &self.kernel.topology
+    }
+
+    /// Liveness of any site.
+    pub fn site_is_up(&self, site: SiteId) -> bool {
+        self.kernel.sites[site.index()].is_up()
+    }
+
+    /// Load average of any site (the experiment harness reads this too).
+    pub fn site_load_1m(&self, site: SiteId) -> f64 {
+        self.kernel.sites[site.index()].load_average_1m()
+    }
+
+    /// Site an actor is placed on.
+    pub fn site_of(&self, actor: ActorId) -> SiteId {
+        self.kernel.actor_sites[actor.index()]
+    }
+
+    /// Ask the kernel to stop after the current event.
+    pub fn stop(&mut self) {
+        self.kernel.stopped = true;
+    }
+}
+
+/// The complete simulation: kernel plus actors.
+pub struct Simulation {
+    kernel: Kernel,
+    actors: Vec<Option<Box<dyn Actor>>>,
+    started: bool,
+}
+
+impl Simulation {
+    /// Build a simulation over `topology` with the given master seed.
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        let sites = topology
+            .site_ids()
+            .map(|s| SiteRuntime::new(topology.site(s)))
+            .collect();
+        Simulation {
+            kernel: Kernel {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                topology,
+                sites,
+                actor_sites: Vec::new(),
+                cancelled: HashSet::new(),
+                next_token: 0,
+                rng: SimRng::from_seed(seed).fork("kernel"),
+                metrics: MetricsRegistry::new(),
+                net: NetworkConfig::default(),
+                partitions: HashSet::new(),
+                stopped: false,
+            },
+            actors: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Override network-wide behaviour.
+    pub fn set_network_config(&mut self, net: NetworkConfig) {
+        self.kernel.net = net;
+    }
+
+    /// Register an actor on a site, returning its id.
+    ///
+    /// # Panics
+    /// Panics if called after [`Simulation::start`] or with an unknown site.
+    pub fn add_actor(&mut self, site: SiteId, actor: Box<dyn Actor>) -> ActorId {
+        assert!(!self.started, "add_actor after start");
+        assert!(
+            site.index() < self.kernel.sites.len(),
+            "unknown site {site}"
+        );
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(Some(actor));
+        self.kernel.actor_sites.push(site);
+        id
+    }
+
+    /// Run every actor's `on_start`.
+    pub fn start(&mut self) {
+        assert!(!self.started, "start called twice");
+        self.started = true;
+        for i in 0..self.actors.len() {
+            self.with_actor(ActorId(i as u32), |actor, ctx| actor.on_start(ctx));
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Immutable metrics access for the harness.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.kernel.metrics
+    }
+
+    /// Mutable metrics access for the harness.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.kernel.metrics
+    }
+
+    /// The topology the simulation runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.kernel.topology
+    }
+
+    /// Runtime state of a site.
+    pub fn site(&self, id: SiteId) -> &SiteRuntime {
+        &self.kernel.sites[id.index()]
+    }
+
+    /// Schedule a site crash at `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, site: SiteId) {
+        self.kernel.schedule(at, EventKind::SiteCrash(site));
+    }
+
+    /// Schedule a site restart at `at`.
+    pub fn schedule_restart(&mut self, at: SimTime, site: SiteId) {
+        self.kernel.schedule(at, EventKind::SiteRestart(site));
+    }
+
+    /// Partition (or heal) the pair of sites.
+    pub fn set_partitioned(&mut self, a: SiteId, b: SiteId, partitioned: bool) {
+        let key = Kernel::partition_key(a, b);
+        if partitioned {
+            self.kernel.partitions.insert(key);
+        } else {
+            self.kernel.partitions.remove(&key);
+        }
+    }
+
+    /// Run a closure against the whole simulation at time `at` (used by
+    /// experiment drivers to inject load or flip configuration mid-run).
+    pub fn schedule_call<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut Simulation) + Send + 'static,
+    {
+        self.kernel.schedule(at, EventKind::Call(Box::new(f)));
+    }
+
+    /// Inject a message from the outside world (priced as local delivery
+    /// from a designated source actor).
+    pub fn inject<T: Any + Send>(&mut self, at: SimTime, from: ActorId, to: ActorId, msg: T) {
+        self.kernel.schedule(
+            at,
+            EventKind::Deliver {
+                to,
+                from,
+                msg: Box::new(msg),
+            },
+        );
+    }
+
+    /// Start sampling every site's load average each 5 s until `until`,
+    /// recording `"{site}.load1m"` time series.
+    pub fn enable_load_sampling(&mut self, until: SimTime) {
+        let at = self.kernel.now + LOAD_SAMPLE_INTERVAL;
+        self.kernel.schedule(at, EventKind::SampleLoads { until });
+    }
+
+    /// Process events until the queue is drained, the horizon passes, or an
+    /// actor called [`Ctx::stop`]. Returns the number of events processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        assert!(self.started, "call start() before running");
+        let mut n = 0;
+        while !self.kernel.stopped {
+            match self.kernel.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= horizon => {}
+                _ => break,
+            }
+            self.step();
+            n += 1;
+        }
+        if self.kernel.now < horizon && !self.kernel.stopped {
+            self.kernel.now = horizon;
+        }
+        n
+    }
+
+    /// Convenience: run for a duration from now.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let horizon = self.kernel.now + d;
+        self.run_until(horizon)
+    }
+
+    /// Drain the queue completely (or until stop), with an event-count
+    /// safety valve.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        assert!(self.started, "call start() before running");
+        let mut n = 0;
+        while !self.kernel.stopped && self.kernel.queue.peek().is_some() {
+            self.step();
+            n += 1;
+            assert!(
+                n <= max_events,
+                "run_to_quiescence exceeded {max_events} events — livelock?"
+            );
+        }
+        n
+    }
+
+    /// Execute exactly one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.kernel.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.kernel.now, "time went backwards");
+        self.kernel.now = ev.at;
+        match ev.kind {
+            EventKind::Deliver { to, from, msg } => {
+                let site = self.kernel.actor_sites[to.index()];
+                if !self.kernel.sites[site.index()].is_up() {
+                    self.kernel.metrics.counter("net.msgs_dropped.site_down").inc();
+                    return true;
+                }
+                self.with_actor(to, |actor, ctx| {
+                    actor.on_message(ctx, Envelope { from, msg });
+                });
+            }
+            EventKind::Timer { actor, token, tag } => {
+                if self.kernel.cancelled.remove(&token.0) {
+                    return true;
+                }
+                let site = self.kernel.actor_sites[actor.index()];
+                if !self.kernel.sites[site.index()].is_up() {
+                    return true;
+                }
+                self.with_actor(actor, |a, ctx| a.on_timer(ctx, token, &tag));
+            }
+            EventKind::ComputeDone {
+                actor,
+                site,
+                ticket,
+                token,
+                tag,
+            } => {
+                if !self.kernel.sites[site.index()].complete(ticket) {
+                    return true; // site crashed since submission
+                }
+                self.with_actor(actor, |a, ctx| a.on_compute_done(ctx, token, &tag));
+            }
+            EventKind::SiteCrash(site) => {
+                let now = self.kernel.now;
+                self.kernel.sites[site.index()].crash(now);
+                self.kernel.metrics.counter("fabric.crashes").inc();
+                for i in 0..self.actors.len() {
+                    if self.kernel.actor_sites[i] == site {
+                        // on_site_crash runs even though the site is down —
+                        // it models the actor's last gasp / local cleanup.
+                        self.with_actor(ActorId(i as u32), |a, ctx| a.on_site_crash(ctx));
+                    }
+                }
+            }
+            EventKind::SiteRestart(site) => {
+                self.kernel.sites[site.index()].restart();
+                self.kernel.metrics.counter("fabric.restarts").inc();
+                for i in 0..self.actors.len() {
+                    if self.kernel.actor_sites[i] == site {
+                        self.with_actor(ActorId(i as u32), |a, ctx| a.on_site_restart(ctx));
+                    }
+                }
+            }
+            EventKind::SampleLoads { until } => {
+                let now = self.kernel.now;
+                for (i, site) in self.kernel.sites.iter_mut().enumerate() {
+                    site.sample_load();
+                    let load = site.load_average_1m();
+                    self.kernel
+                        .metrics
+                        .time_series(&format!("site{i}.load1m"))
+                        .push(now, load);
+                }
+                if now + LOAD_SAMPLE_INTERVAL <= until {
+                    self.kernel
+                        .schedule(now + LOAD_SAMPLE_INTERVAL, EventKind::SampleLoads { until });
+                }
+            }
+            EventKind::Call(f) => f(self),
+        }
+        true
+    }
+
+    fn with_actor<F>(&mut self, id: ActorId, f: F)
+    where
+        F: FnOnce(&mut dyn Actor, &mut Ctx<'_>),
+    {
+        let mut actor = self.actors[id.index()]
+            .take()
+            .unwrap_or_else(|| panic!("actor {id} re-entered"));
+        let site = self.kernel.actor_sites[id.index()];
+        {
+            let mut ctx = Ctx {
+                kernel: &mut self.kernel,
+                self_id: id,
+                self_site: site,
+            };
+            f(actor.as_mut(), &mut ctx);
+        }
+        self.actors[id.index()] = Some(actor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+
+    struct Ping {
+        peer: Option<ActorId>,
+        remaining: u32,
+        got: u32,
+    }
+
+    struct Tick;
+
+    impl Actor for Ping {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if let Some(peer) = self.peer {
+                if self.remaining > 0 {
+                    ctx.send(peer, Tick);
+                    self.remaining -= 1;
+                }
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+            let (from, _tick) = env.downcast::<Tick>().ok().expect("only Tick flows here");
+            self.got += 1;
+            if self.remaining > 0 {
+                ctx.send(from, Tick);
+                self.remaining -= 1;
+            }
+        }
+    }
+
+    fn two_site_sim() -> (Simulation, ActorId, ActorId) {
+        let mut topo = Topology::uniform(2);
+        topo.set_default_link(LinkSpec {
+            latency: SimDuration::from_millis(10),
+            bandwidth_bps: 1_000_000_000,
+            jitter: 0.0,
+        });
+        let mut sim = Simulation::new(topo, 1);
+        let b = sim.add_actor(
+            SiteId(1),
+            Box::new(Ping {
+                peer: None,
+                remaining: 5,
+                got: 0,
+            }),
+        );
+        let a = sim.add_actor(
+            SiteId(0),
+            Box::new(Ping {
+                peer: Some(b),
+                remaining: 5,
+                got: 0,
+            }),
+        );
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_advances_time_by_latency() {
+        let (mut sim, _a, _b) = two_site_sim();
+        sim.start();
+        let events = sim.run_to_quiescence(1_000);
+        assert!(events >= 10, "expected at least 10 deliveries, got {events}");
+        // 10 one-way hops at 10ms plus ~0.5KB serialization each.
+        assert!(
+            sim.now() >= SimTime::from_millis(100),
+            "time should advance by >= 10 hops of latency, now={}",
+            sim.now()
+        );
+        assert_eq!(sim.metrics().counter_value("net.msgs_sent"), 10);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let (mut sim, _a, _b) = two_site_sim();
+        sim.start();
+        sim.run_until(SimTime::from_millis(25));
+        assert_eq!(sim.now(), SimTime::from_millis(25));
+        // Remaining events still pending.
+        assert!(sim.step());
+    }
+
+    #[test]
+    fn crashed_site_drops_deliveries() {
+        let (mut sim, _a, b) = two_site_sim();
+        sim.schedule_crash(SimTime::from_millis(1), SiteId(1));
+        sim.start();
+        sim.run_to_quiescence(1_000);
+        let _ = b;
+        assert!(sim.metrics().counter_value("net.msgs_dropped.site_down") >= 1);
+    }
+
+    #[test]
+    fn partition_blocks_messages() {
+        let (mut sim, _a, _b) = two_site_sim();
+        sim.set_partitioned(SiteId(0), SiteId(1), true);
+        sim.start();
+        sim.run_to_quiescence(1_000);
+        assert!(sim.metrics().counter_value("net.msgs_dropped.partition") >= 1);
+    }
+
+    struct Sleeper {
+        fired: Vec<String>,
+        cancel_me: Option<TimerToken>,
+    }
+    impl Actor for Sleeper {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.timer_after(SimDuration::from_millis(5), "five");
+            let t = ctx.timer_after(SimDuration::from_millis(7), "seven");
+            ctx.timer_after(SimDuration::from_millis(3), "three");
+            self.cancel_me = Some(t);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _env: Envelope) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken, tag: &str) {
+            self.fired.push(tag.to_owned());
+            ctx.metrics().counter(&format!("timer.{tag}")).inc();
+            if tag == "three" {
+                let t = self.cancel_me.take().unwrap();
+                ctx.cancel_timer(t);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        let topo = Topology::uniform(1);
+        let mut sim = Simulation::new(topo, 2);
+        let id = sim.add_actor(
+            SiteId(0),
+            Box::new(Sleeper {
+                fired: vec![],
+                cancel_me: None,
+            }),
+        );
+        sim.start();
+        sim.run_to_quiescence(100);
+        let _ = id;
+        assert_eq!(sim.metrics().counter_value("timer.three"), 1);
+        assert_eq!(sim.metrics().counter_value("timer.five"), 1);
+        assert_eq!(
+            sim.metrics().counter_value("timer.seven"),
+            0,
+            "cancelled timer must not fire"
+        );
+    }
+
+    struct Cruncher {
+        done: u32,
+    }
+    impl Actor for Cruncher {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.compute(SimDuration::from_millis(10), "a");
+            ctx.compute(SimDuration::from_millis(10), "b");
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _env: Envelope) {}
+        fn on_compute_done(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken, _tag: &str) {
+            self.done += 1;
+            ctx.metrics().counter("test.compute_done").inc();
+        }
+    }
+
+    #[test]
+    fn compute_uses_site_cores() {
+        let mut topo = Topology::new();
+        let mut spec = crate::topology::SiteSpec::reference("solo");
+        spec.cores = 1;
+        topo.add_site(spec);
+        let mut sim = Simulation::new(topo, 3);
+        sim.add_actor(SiteId(0), Box::new(Cruncher { done: 0 }));
+        sim.start();
+        sim.run_to_quiescence(100);
+        // Two 10ms items on one core => finishes at 20ms.
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+        assert_eq!(sim.metrics().counter_value("test.compute_done"), 2);
+    }
+
+    #[test]
+    fn load_sampling_records_series() {
+        let topo = Topology::uniform(1);
+        let mut sim = Simulation::new(topo, 4);
+        sim.add_actor(SiteId(0), Box::new(Cruncher { done: 0 }));
+        sim.enable_load_sampling(SimTime::from_secs(30));
+        sim.start();
+        sim.run_until(SimTime::from_secs(31));
+        let series = sim.metrics().time_series_ref("site0.load1m").unwrap();
+        assert_eq!(series.points().len(), 6, "one sample per 5s for 30s");
+    }
+
+    #[test]
+    fn inject_and_run_for() {
+        let (mut sim, a, _b) = two_site_sim();
+        sim.start();
+        // Inject an external Tick to actor a at t=1s.
+        sim.inject(SimTime::from_secs(1), ActorId(0), a, Tick);
+        let before = sim.now();
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(sim.now(), before + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn envelope_downcast_and_is() {
+        let env = Envelope {
+            from: ActorId(3),
+            msg: Box::new(Tick),
+        };
+        assert!(env.is::<Tick>());
+        assert!(!env.is::<String>());
+        let (from, _tick) = env.downcast::<Tick>().ok().unwrap();
+        assert_eq!(from, ActorId(3));
+        // Wrong-type downcast returns the envelope intact.
+        let env = Envelope {
+            from: ActorId(4),
+            msg: Box::new(Tick),
+        };
+        let env = env.downcast::<String>().unwrap_err();
+        assert_eq!(env.from, ActorId(4));
+        assert!(env.is::<Tick>());
+    }
+
+    #[test]
+    fn jitter_links_stay_deterministic() {
+        let run = || {
+            let mut topo = Topology::uniform(2);
+            topo.set_default_link(LinkSpec {
+                latency: SimDuration::from_millis(10),
+                bandwidth_bps: 1_000_000,
+                jitter: 0.3,
+            });
+            let mut sim = Simulation::new(topo, 99);
+            let b = sim.add_actor(
+                SiteId(1),
+                Box::new(Ping {
+                    peer: None,
+                    remaining: 10,
+                    got: 0,
+                }),
+            );
+            sim.add_actor(
+                SiteId(0),
+                Box::new(Ping {
+                    peer: Some(b),
+                    remaining: 10,
+                    got: 0,
+                }),
+            );
+            sim.start();
+            sim.run_to_quiescence(1_000);
+            sim.now()
+        };
+        let t1 = run();
+        assert_eq!(t1, run(), "jittered delays replay identically per seed");
+        assert!(t1 > SimTime::from_millis(100), "jitter around 10ms base");
+    }
+
+    #[test]
+    #[should_panic(expected = "livelock")]
+    fn run_to_quiescence_catches_livelock() {
+        struct Forever;
+        impl Actor for Forever {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.timer_after(SimDuration::from_millis(1), "again");
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _env: Envelope) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken, _tag: &str) {
+                ctx.timer_after(SimDuration::from_millis(1), "again");
+            }
+        }
+        let mut sim = Simulation::new(Topology::uniform(1), 1);
+        sim.add_actor(SiteId(0), Box::new(Forever));
+        sim.start();
+        sim.run_to_quiescence(100);
+    }
+
+    #[test]
+    fn stop_halts_the_run() {
+        struct Stopper {
+            count: u32,
+        }
+        impl Actor for Stopper {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.timer_after(SimDuration::from_millis(1), "t");
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _env: Envelope) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken, _tag: &str) {
+                self.count += 1;
+                if self.count >= 3 {
+                    ctx.stop();
+                } else {
+                    ctx.timer_after(SimDuration::from_millis(1), "t");
+                }
+            }
+        }
+        let mut sim = Simulation::new(Topology::uniform(1), 1);
+        sim.add_actor(SiteId(0), Box::new(Stopper { count: 0 }));
+        sim.start();
+        let n = sim.run_until(SimTime::from_secs(10));
+        assert_eq!(n, 3, "stopped after three timer events");
+        assert!(sim.now() < SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let (mut sim, _a, _b) = two_site_sim();
+            let _ = seed;
+            sim.start();
+            sim.run_to_quiescence(1_000);
+            sim.now()
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn schedule_call_runs_closures() {
+        let topo = Topology::uniform(1);
+        let mut sim = Simulation::new(topo, 5);
+        sim.add_actor(SiteId(0), Box::new(Cruncher { done: 0 }));
+        sim.schedule_call(SimTime::from_millis(50), |sim| {
+            sim.metrics_mut().counter("called").inc();
+        });
+        sim.start();
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.metrics().counter_value("called"), 1);
+        assert!(sim.now() >= SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn restart_reinvokes_hook() {
+        struct Phoenix;
+        impl Actor for Phoenix {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _env: Envelope) {}
+            fn on_site_restart(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.metrics().counter("phoenix.reborn").inc();
+            }
+        }
+        let topo = Topology::uniform(1);
+        let mut sim = Simulation::new(topo, 6);
+        sim.add_actor(SiteId(0), Box::new(Phoenix));
+        sim.schedule_crash(SimTime::from_millis(10), SiteId(0));
+        sim.schedule_restart(SimTime::from_millis(20), SiteId(0));
+        sim.start();
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.metrics().counter_value("phoenix.reborn"), 1);
+        assert_eq!(sim.metrics().counter_value("fabric.crashes"), 1);
+    }
+}

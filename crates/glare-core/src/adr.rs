@@ -1,0 +1,346 @@
+//! Activity Deployment Registry (ADR).
+//!
+//! "Activity Deployment Registry complements Type Registry and maintains a
+//! set of activity deployments of concrete activity types as WS-Resources.
+//! ... The Endpoint Reference (EPR) of each activity deployment resource
+//! is registered in its type resource ... Moreover, an activity type must
+//! be present in the type registry before registration of its
+//! deployments" (§3.1). Status updates from the Deployment Status Monitor
+//! bump the EPR's `LastUpdateTime`, which drives cache revival (§3.2).
+
+use std::collections::HashMap;
+
+use glare_fabric::{SimDuration, SimTime};
+use glare_services::mds::REQUEST_BASE_COST;
+use glare_services::Transport;
+use glare_wsrf::{EndpointReference, ResourceHome, XmlNode};
+
+use crate::atr::{ActivityTypeRegistry, TypedResponse};
+use crate::error::GlareError;
+use crate::model::{ActivityDeployment, DeploymentStatus};
+
+/// Approximate wire size of one deployment entry.
+pub const DEPLOYMENT_WIRE_BYTES: u64 = 900;
+
+/// The deployment registry of one GLARE site.
+#[derive(Clone, Debug)]
+pub struct ActivityDeploymentRegistry {
+    /// Service address (forms EPRs).
+    pub address: String,
+    /// Transport security.
+    pub transport: Transport,
+    home: ResourceHome<ActivityDeployment>,
+    /// type name -> deployment keys (the "EPR registered in its type
+    /// resource" index).
+    by_type: HashMap<String, Vec<String>>,
+}
+
+impl ActivityDeploymentRegistry {
+    /// New registry at `address`.
+    pub fn new(address: &str, transport: Transport) -> Self {
+        ActivityDeploymentRegistry {
+            address: address.to_owned(),
+            transport,
+            home: ResourceHome::new(),
+            by_type: HashMap::new(),
+        }
+    }
+
+    /// Register a deployment. The concrete type must already exist in the
+    /// site's type registry; otherwise the caller receives
+    /// [`GlareError::TypeNotRegistered`] and is expected to dynamically
+    /// register the type first (§3.1).
+    pub fn register(
+        &mut self,
+        deployment: ActivityDeployment,
+        atr: &ActivityTypeRegistry,
+        now: SimTime,
+    ) -> Result<SimDuration, GlareError> {
+        if !atr.contains(&deployment.type_name, now) {
+            return Err(GlareError::TypeNotRegistered {
+                type_name: deployment.type_name.clone(),
+            });
+        }
+        let key = deployment.key.clone();
+        let type_name = deployment.type_name.clone();
+        // Re-registration replaces any previous record under the key
+        // (a re-install on the same site supersedes a failed/stale one).
+        if self.home.destroy(&key).is_ok() {
+            for keys in self.by_type.values_mut() {
+                keys.retain(|k| k != &key);
+            }
+        }
+        self.home.create(key.clone(), deployment, now)?;
+        let keys = self.by_type.entry(type_name).or_default();
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+        Ok(REQUEST_BASE_COST + self.transport.overhead_cost(DEPLOYMENT_WIRE_BYTES))
+    }
+
+    /// Named lookup of one deployment (hashtable fast path).
+    pub fn lookup(&self, key: &str, now: SimTime) -> Option<TypedResponse<ActivityDeployment>> {
+        let cost = REQUEST_BASE_COST + self.transport.overhead_cost(512 + DEPLOYMENT_WIRE_BYTES);
+        self.home.get(key, now).map(|r| TypedResponse {
+            value: r.payload.clone(),
+            cost,
+        })
+    }
+
+    /// All usable deployments of a concrete type.
+    pub fn deployments_of(
+        &self,
+        type_name: &str,
+        now: SimTime,
+    ) -> TypedResponse<Vec<ActivityDeployment>> {
+        let list: Vec<ActivityDeployment> = self
+            .by_type
+            .get(type_name)
+            .into_iter()
+            .flatten()
+            .filter_map(|k| self.home.get(k, now))
+            .map(|r| r.payload.clone())
+            .filter(ActivityDeployment::is_usable)
+            .collect();
+        let cost = REQUEST_BASE_COST
+            + self
+                .transport
+                .overhead_cost(512 + DEPLOYMENT_WIRE_BYTES * list.len().max(1) as u64);
+        TypedResponse { value: list, cost }
+    }
+
+    /// Count of live deployments of a type (for provider limits).
+    pub fn count_of(&self, type_name: &str, now: SimTime) -> usize {
+        self.deployments_of(type_name, now).value.len()
+    }
+
+    /// The current EPR of a deployment (address + key + LUT from the
+    /// resource's modification stamp).
+    pub fn epr_of(&self, key: &str, now: SimTime) -> Option<EndpointReference> {
+        self.home
+            .get(key, now)
+            .map(|r| r.payload.epr(&self.address, r.modified_at))
+    }
+
+    /// Status-monitor heartbeat: bump the LUT without changing payload.
+    pub fn touch(&mut self, key: &str, now: SimTime) -> Result<(), GlareError> {
+        self.home.touch(key, now)?;
+        Ok(())
+    }
+
+    /// Update deployment status (bumps LUT).
+    pub fn set_status(
+        &mut self,
+        key: &str,
+        status: DeploymentStatus,
+        now: SimTime,
+    ) -> Result<(), GlareError> {
+        self.home.update(key, now, |d| d.status = status)?;
+        Ok(())
+    }
+
+    /// Record an invocation against a deployment (bumps LUT).
+    pub fn record_invocation(
+        &mut self,
+        key: &str,
+        at: SimTime,
+        runtime: SimDuration,
+        return_code: i32,
+    ) -> Result<(), GlareError> {
+        self.home
+            .update(key, at, |d| d.record_invocation(at, runtime, return_code))?;
+        Ok(())
+    }
+
+    /// Expire all deployments of a type at `when` (cascade from type
+    /// expiry, §3.3: "If an activity type expires, its deployments
+    /// automatically expire"). Running instances finish: expiry is
+    /// scheduled, not immediate destruction.
+    pub fn expire_type(&mut self, type_name: &str, when: SimTime, now: SimTime) -> usize {
+        let keys: Vec<String> = self
+            .by_type
+            .get(type_name).cloned()
+            .unwrap_or_default();
+        let mut n = 0;
+        for k in keys {
+            if self.home.set_termination_time(&k, Some(when), now).is_ok() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Remove a deployment permanently (e.g. after migration).
+    pub fn remove(&mut self, key: &str) -> Result<ActivityDeployment, GlareError> {
+        let r = self.home.destroy(key)?;
+        if let Some(keys) = self.by_type.get_mut(&r.payload.type_name) {
+            keys.retain(|k| k != key);
+        }
+        Ok(r.payload)
+    }
+
+    /// Sweep expired deployments, returning their keys.
+    pub fn sweep_expired(&mut self, now: SimTime) -> Vec<String> {
+        let dead = self.home.sweep_expired(now);
+        for key in &dead {
+            for keys in self.by_type.values_mut() {
+                keys.retain(|k| k != key);
+            }
+        }
+        dead
+    }
+
+    /// Number of live deployments.
+    pub fn len(&self, now: SimTime) -> usize {
+        self.home.len_live(now)
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self, now: SimTime) -> bool {
+        self.len(now) == 0
+    }
+
+    /// Keys of all live deployments.
+    pub fn keys(&self, now: SimTime) -> Vec<String> {
+        self.home.iter_live(now).map(|r| r.key.clone()).collect()
+    }
+
+    /// Aggregate document of all live deployments.
+    pub fn aggregate(&self, now: SimTime) -> XmlNode {
+        self.home.aggregate_document(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{example_hierarchy, ActivityType};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn registries() -> (ActivityTypeRegistry, ActivityDeploymentRegistry) {
+        let mut atr = ActivityTypeRegistry::new("https://s0/ATR", Transport::Http);
+        for ty in example_hierarchy(SimTime::ZERO) {
+            atr.register(ty, t(0)).unwrap();
+        }
+        let adr = ActivityDeploymentRegistry::new("https://s0/ADR", Transport::Http);
+        (atr, adr)
+    }
+
+    fn jpov_exec(site: &str) -> ActivityDeployment {
+        ActivityDeployment::executable(
+            "JPOVray",
+            site,
+            "/opt/deployments/jpovray/bin/jpovray",
+            "/opt/deployments/jpovray",
+        )
+    }
+
+    #[test]
+    fn register_requires_type() {
+        let (atr, mut adr) = registries();
+        let orphan = ActivityDeployment::executable("Ghost", "s1", "/x", "/x");
+        assert!(matches!(
+            adr.register(orphan, &atr, t(1)),
+            Err(GlareError::TypeNotRegistered { .. })
+        ));
+        adr.register(jpov_exec("s1"), &atr, t(1)).unwrap();
+        assert_eq!(adr.len(t(2)), 1);
+    }
+
+    #[test]
+    fn deployments_by_type_and_multiple_sites() {
+        let (atr, mut adr) = registries();
+        adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
+        adr.register(jpov_exec("s2"), &atr, t(0)).unwrap();
+        adr.register(
+            ActivityDeployment::service("JPOVray", "s1", "WS-JPOVray", "https://s1/WS-JPOVray"),
+            &atr,
+            t(0),
+        )
+        .unwrap();
+        let resp = adr.deployments_of("JPOVray", t(1));
+        assert_eq!(resp.value.len(), 3);
+        assert!(adr.deployments_of("Wien2k", t(1)).value.is_empty());
+        assert_eq!(adr.count_of("JPOVray", t(1)), 3);
+    }
+
+    #[test]
+    fn status_gates_listing_and_bumps_lut() {
+        let (atr, mut adr) = registries();
+        adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
+        let epr0 = adr.epr_of("jpovray@s1", t(1)).unwrap();
+        adr.set_status("jpovray@s1", DeploymentStatus::Failed, t(5))
+            .unwrap();
+        assert!(adr.deployments_of("JPOVray", t(6)).value.is_empty());
+        let epr1 = adr.epr_of("jpovray@s1", t(6)).unwrap();
+        assert!(epr1.is_newer_than(&epr0), "status change must bump LUT");
+        adr.set_status("jpovray@s1", DeploymentStatus::Available, t(7))
+            .unwrap();
+        assert_eq!(adr.deployments_of("JPOVray", t(8)).value.len(), 1);
+    }
+
+    #[test]
+    fn touch_is_monitor_heartbeat() {
+        let (atr, mut adr) = registries();
+        adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
+        let epr0 = adr.epr_of("jpovray@s1", t(1)).unwrap();
+        adr.touch("jpovray@s1", t(30)).unwrap();
+        let epr1 = adr.epr_of("jpovray@s1", t(31)).unwrap();
+        assert!(epr1.is_newer_than(&epr0));
+        assert!(adr.touch("missing", t(31)).is_err());
+    }
+
+    #[test]
+    fn expiry_cascade_from_type() {
+        let (atr, mut adr) = registries();
+        adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
+        adr.register(jpov_exec("s2"), &atr, t(0)).unwrap();
+        let n = adr.expire_type("JPOVray", t(100), t(1));
+        assert_eq!(n, 2);
+        // Still live before the deadline (running instances finish).
+        assert_eq!(adr.deployments_of("JPOVray", t(99)).value.len(), 2);
+        assert!(adr.deployments_of("JPOVray", t(100)).value.is_empty());
+        let mut swept = adr.sweep_expired(t(101));
+        swept.sort();
+        assert_eq!(swept, vec!["jpovray@s1", "jpovray@s2"]);
+        assert_eq!(adr.count_of("JPOVray", t(102)), 0);
+    }
+
+    #[test]
+    fn invocation_metrics_via_registry() {
+        let (atr, mut adr) = registries();
+        adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
+        adr.record_invocation("jpovray@s1", t(10), SimDuration::from_secs(3), 0)
+            .unwrap();
+        let d = adr.lookup("jpovray@s1", t(11)).unwrap().value;
+        assert_eq!(d.metrics.invocations, 1);
+        assert_eq!(d.metrics.last_return_code, Some(0));
+    }
+
+    #[test]
+    fn remove_cleans_index() {
+        let (atr, mut adr) = registries();
+        adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
+        let removed = adr.remove("jpovray@s1").unwrap();
+        assert_eq!(removed.site, "s1");
+        assert!(adr.deployments_of("JPOVray", t(1)).value.is_empty());
+        assert!(adr.remove("jpovray@s1").is_err());
+    }
+
+    #[test]
+    fn type_registered_after_deployment_attempt() {
+        // The §3.1 flow: deployment registration fails, the RDM registers
+        // the type dynamically, then the deployment registers fine.
+        let (mut atr, mut adr) = registries();
+        let d = ActivityDeployment::executable("NewApp", "s1", "/x/bin/a", "/x");
+        let err = adr.register(d.clone(), &atr, t(0)).unwrap_err();
+        assert!(matches!(err, GlareError::TypeNotRegistered { .. }));
+        atr.register(ActivityType::concrete_type("NewApp", "d", "wien2k"), t(0))
+            .unwrap();
+        adr.register(d, &atr, t(1)).unwrap();
+        assert_eq!(adr.count_of("NewApp", t(2)), 1);
+    }
+}

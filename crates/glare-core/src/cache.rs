@@ -1,0 +1,359 @@
+//! The two-level registry cache with LUT-driven refresh.
+//!
+//! "To ensure an efficient on-demand provision, GLARE supports a two-level
+//! cache; cache at normal Grid site and cache at super-peer Grid site, and
+//! provides a mechanism to refresh cache of updated resources. ... the
+//! Cache Refresher updates cached resources if and when they change on the
+//! source Grid site. Outdated resources are discarded automatically"
+//! (§3.2). Change detection rides on the deployment EPR's
+//! `LastUpdateTime`: "each time it changes, cached activity deployment
+//! resources are revived."
+//!
+//! Both cache levels are instances of [`RegistryCache`]; the super-peer
+//! simply holds one fed by inter-group traffic.
+
+use std::collections::HashMap;
+
+use glare_fabric::{SimDuration, SimTime};
+use glare_wsrf::EndpointReference;
+
+use crate::model::{ActivityDeployment, ActivityType};
+
+/// A cached remote resource with provenance.
+#[derive(Clone, Debug)]
+pub struct CachedEntry<T> {
+    /// The cached value.
+    pub value: T,
+    /// Site the resource lives on.
+    pub origin_site: String,
+    /// EPR snapshot at caching time (its LUT dates the copy).
+    pub epr: EndpointReference,
+    /// When this copy was taken.
+    pub cached_at: SimTime,
+}
+
+/// Outcome of comparing a cached copy against the origin's current EPR.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Freshness {
+    /// Cached copy is current.
+    Fresh,
+    /// Origin has a newer LUT; the copy must be revived.
+    Stale,
+}
+
+/// One level of the GLARE cache.
+#[derive(Clone, Debug)]
+pub struct RegistryCache {
+    max_age: SimDuration,
+    types: HashMap<String, CachedEntry<ActivityType>>,
+    deployments: HashMap<String, CachedEntry<ActivityDeployment>>,
+    /// type name -> deployment keys known for it (possibly from many sites).
+    by_type: HashMap<String, Vec<String>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RegistryCache {
+    /// New cache whose entries are discarded `max_age` after caching
+    /// unless refreshed.
+    pub fn new(max_age: SimDuration) -> Self {
+        assert!(max_age > SimDuration::ZERO, "max_age must be positive");
+        RegistryCache {
+            max_age,
+            types: HashMap::new(),
+            deployments: HashMap::new(),
+            by_type: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache a remote activity type.
+    pub fn put_type(
+        &mut self,
+        value: ActivityType,
+        origin_site: &str,
+        epr: EndpointReference,
+        now: SimTime,
+    ) {
+        self.types.insert(
+            value.name.clone(),
+            CachedEntry {
+                value,
+                origin_site: origin_site.to_owned(),
+                epr,
+                cached_at: now,
+            },
+        );
+    }
+
+    /// Cache a remote deployment.
+    pub fn put_deployment(
+        &mut self,
+        value: ActivityDeployment,
+        origin_site: &str,
+        epr: EndpointReference,
+        now: SimTime,
+    ) {
+        let key = value.key.clone();
+        let type_name = value.type_name.clone();
+        self.deployments.insert(
+            key.clone(),
+            CachedEntry {
+                value,
+                origin_site: origin_site.to_owned(),
+                epr,
+                cached_at: now,
+            },
+        );
+        let keys = self.by_type.entry(type_name).or_default();
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+
+    /// Cached type by name (counts hit/miss).
+    pub fn get_type(&mut self, name: &str, now: SimTime) -> Option<&CachedEntry<ActivityType>> {
+        match self.types.get(name) {
+            Some(e) if now.saturating_since(e.cached_at) < self.max_age => {
+                self.hits += 1;
+                self.types.get(name)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Cached deployment by key (counts hit/miss).
+    pub fn get_deployment(
+        &mut self,
+        key: &str,
+        now: SimTime,
+    ) -> Option<&CachedEntry<ActivityDeployment>> {
+        match self.deployments.get(key) {
+            Some(e) if now.saturating_since(e.cached_at) < self.max_age => {
+                self.hits += 1;
+                self.deployments.get(key)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// All non-aged cached deployments of a type.
+    pub fn deployments_of(&mut self, type_name: &str, now: SimTime) -> Vec<ActivityDeployment> {
+        let keys: Vec<String> = self
+            .by_type
+            .get(type_name).cloned()
+            .unwrap_or_default();
+        let out: Vec<ActivityDeployment> = keys
+            .iter()
+            .filter_map(|k| self.deployments.get(k))
+            .filter(|e| now.saturating_since(e.cached_at) < self.max_age)
+            .map(|e| e.value.clone())
+            .collect();
+        if out.is_empty() {
+            self.misses += 1;
+        } else {
+            self.hits += 1;
+        }
+        out
+    }
+
+    /// Compare a cached deployment against the origin's current EPR.
+    pub fn freshness(&self, key: &str, current: &EndpointReference) -> Option<Freshness> {
+        self.deployments.get(key).map(|e| {
+            if current.is_newer_than(&e.epr) {
+                Freshness::Stale
+            } else {
+                Freshness::Fresh
+            }
+        })
+    }
+
+    /// Revive a stale deployment copy (the Cache Refresher's job): replace
+    /// value + EPR and reset its age.
+    pub fn revive_deployment(
+        &mut self,
+        value: ActivityDeployment,
+        epr: EndpointReference,
+        now: SimTime,
+    ) {
+        if let Some(e) = self.deployments.get_mut(&value.key) {
+            e.value = value;
+            e.epr = epr;
+            e.cached_at = now;
+        }
+    }
+
+    /// Drop entries older than `max_age` ("outdated resources are
+    /// discarded automatically"). Returns how many were discarded.
+    pub fn discard_outdated(&mut self, now: SimTime) -> usize {
+        let max_age = self.max_age;
+        let before = self.types.len() + self.deployments.len();
+        self.types
+            .retain(|_, e| now.saturating_since(e.cached_at) < max_age);
+        self.deployments
+            .retain(|_, e| now.saturating_since(e.cached_at) < max_age);
+        let deployments = &self.deployments;
+        for keys in self.by_type.values_mut() {
+            keys.retain(|k| deployments.contains_key(k));
+        }
+        self.by_type.retain(|_, v| !v.is_empty());
+        before - (self.types.len() + self.deployments.len())
+    }
+
+    /// Drop a specific deployment (e.g. origin reported it destroyed).
+    pub fn evict_deployment(&mut self, key: &str) {
+        if let Some(e) = self.deployments.remove(key) {
+            if let Some(keys) = self.by_type.get_mut(&e.value.type_name) {
+                keys.retain(|k| k != key);
+            }
+        }
+    }
+
+    /// All cached deployment keys with their origin sites (what the Cache
+    /// Refresher iterates).
+    pub fn deployment_origins(&self) -> Vec<(String, String)> {
+        self.deployments
+            .iter()
+            .map(|(k, e)| (k.clone(), e.origin_site.clone()))
+            .collect()
+    }
+
+    /// Cache hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio in `[0,1]`; `None` before any access.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+
+    /// Number of cached entries (types + deployments).
+    pub fn len(&self) -> usize {
+        self.types.len() + self.deployments.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ActivityType;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn epr(lut: u64) -> EndpointReference {
+        EndpointReference::new("https://s1/ADR", "ActivityDeploymentKey", "jpovray@s1", t(lut))
+    }
+
+    fn jpov() -> ActivityDeployment {
+        ActivityDeployment::executable("JPOVray", "s1", "/opt/j/bin/jpovray", "/opt/j")
+    }
+
+    fn cache() -> RegistryCache {
+        RegistryCache::new(SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn put_get_type() {
+        let mut c = cache();
+        let ty = ActivityType::concrete_type("JPOVray", "imaging", "jpovray");
+        c.put_type(ty, "s1", epr(0), t(0));
+        assert!(c.get_type("JPOVray", t(10)).is_some());
+        assert!(c.get_type("Missing", t(10)).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hit_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn age_expires_entries() {
+        let mut c = cache();
+        c.put_deployment(jpov(), "s1", epr(0), t(0));
+        assert!(c.get_deployment("jpovray@s1", t(59)).is_some());
+        assert!(c.get_deployment("jpovray@s1", t(60)).is_none(), "aged out");
+        assert_eq!(c.discard_outdated(t(60)), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn deployments_of_lists_by_type() {
+        let mut c = cache();
+        c.put_deployment(jpov(), "s1", epr(0), t(0));
+        let mut d2 = jpov();
+        d2.key = "jpovray@s2".into();
+        d2.site = "s2".into();
+        c.put_deployment(d2, "s2", epr(0), t(0));
+        assert_eq!(c.deployments_of("JPOVray", t(1)).len(), 2);
+        assert!(c.deployments_of("Wien2k", t(1)).is_empty());
+    }
+
+    #[test]
+    fn lut_freshness_and_revival() {
+        let mut c = cache();
+        c.put_deployment(jpov(), "s1", epr(10), t(10));
+        assert_eq!(c.freshness("jpovray@s1", &epr(10)), Some(Freshness::Fresh));
+        assert_eq!(c.freshness("jpovray@s1", &epr(5)), Some(Freshness::Fresh));
+        assert_eq!(c.freshness("jpovray@s1", &epr(20)), Some(Freshness::Stale));
+        assert_eq!(c.freshness("ghost", &epr(20)), None);
+
+        let mut newer = jpov();
+        newer.metrics.invocations = 7;
+        c.revive_deployment(newer, epr(20), t(20));
+        let e = c.get_deployment("jpovray@s1", t(21)).unwrap();
+        assert_eq!(e.value.metrics.invocations, 7);
+        assert_eq!(c.freshness("jpovray@s1", &epr(20)), Some(Freshness::Fresh));
+    }
+
+    #[test]
+    fn revive_ignores_unknown_keys() {
+        let mut c = cache();
+        c.revive_deployment(jpov(), epr(1), t(1));
+        assert!(c.is_empty(), "revive must not insert");
+    }
+
+    #[test]
+    fn evict_cleans_type_index() {
+        let mut c = cache();
+        c.put_deployment(jpov(), "s1", epr(0), t(0));
+        c.evict_deployment("jpovray@s1");
+        assert!(c.deployments_of("JPOVray", t(1)).is_empty());
+    }
+
+    #[test]
+    fn refresh_resets_age() {
+        let mut c = cache();
+        c.put_deployment(jpov(), "s1", epr(0), t(0));
+        c.revive_deployment(jpov(), epr(50), t(50));
+        // Would have aged at t(60) from original; refresh extends to t(110).
+        assert!(c.get_deployment("jpovray@s1", t(100)).is_some());
+        assert!(c.get_deployment("jpovray@s1", t(110)).is_none());
+    }
+
+    #[test]
+    fn origins_enumerate_for_refresher() {
+        let mut c = cache();
+        c.put_deployment(jpov(), "s1", epr(0), t(0));
+        let origins = c.deployment_origins();
+        assert_eq!(origins, vec![("jpovray@s1".to_owned(), "s1".to_owned())]);
+    }
+}

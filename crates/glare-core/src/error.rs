@@ -1,0 +1,150 @@
+//! GLARE error types.
+
+use glare_services::expect::ExpectError;
+use glare_services::gridftp::TransferError;
+use glare_wsrf::WsrfError;
+
+/// Errors raised by GLARE registries and services.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GlareError {
+    /// Underlying WSRF fault.
+    Wsrf(WsrfError),
+    /// A type failed validation at registration.
+    InvalidType {
+        /// Offending type name.
+        name: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A deployment referenced a type not present in the type registry
+    /// (§3.1: the ADR then requests dynamic registration of the type).
+    TypeNotRegistered {
+        /// The missing type.
+        type_name: String,
+    },
+    /// No concrete type (or deployment) could satisfy a request.
+    NotFound {
+        /// What was requested.
+        what: String,
+    },
+    /// No site satisfies a type's installation constraints.
+    NoEligibleSite {
+        /// Type being deployed.
+        type_name: String,
+    },
+    /// The provider limits forbid another deployment.
+    LimitExceeded {
+        /// Type whose max deployment count is reached.
+        type_name: String,
+        /// The configured maximum.
+        max: u32,
+    },
+    /// The type is registered for manual installation; the site admin was
+    /// notified instead (§3.4).
+    ManualInstallRequired {
+        /// Type requiring manual handling.
+        type_name: String,
+        /// Site whose administrator was notified.
+        site: String,
+    },
+    /// A file transfer failed.
+    Transfer(TransferError),
+    /// The installation itself failed on the target site.
+    InstallFailed {
+        /// Type being installed.
+        type_name: String,
+        /// Target site.
+        site: String,
+        /// Failure detail.
+        detail: String,
+    },
+    /// Dependency resolution found a cycle.
+    DependencyCycle {
+        /// The cycle path, in order.
+        path: Vec<String>,
+    },
+    /// A lease request could not be granted.
+    LeaseDenied {
+        /// Deployment key.
+        deployment: String,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl From<WsrfError> for GlareError {
+    fn from(e: WsrfError) -> Self {
+        GlareError::Wsrf(e)
+    }
+}
+
+impl From<TransferError> for GlareError {
+    fn from(e: TransferError) -> Self {
+        GlareError::Transfer(e)
+    }
+}
+
+impl From<ExpectError> for GlareError {
+    fn from(e: ExpectError) -> Self {
+        GlareError::InstallFailed {
+            type_name: String::new(),
+            site: String::new(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for GlareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GlareError::Wsrf(e) => write!(f, "wsrf: {e}"),
+            GlareError::InvalidType { name, reason } => {
+                write!(f, "invalid type {name:?}: {reason}")
+            }
+            GlareError::TypeNotRegistered { type_name } => {
+                write!(f, "type not registered: {type_name}")
+            }
+            GlareError::NotFound { what } => write!(f, "not found: {what}"),
+            GlareError::NoEligibleSite { type_name } => {
+                write!(f, "no site satisfies constraints of {type_name}")
+            }
+            GlareError::LimitExceeded { type_name, max } => {
+                write!(f, "deployment limit {max} reached for {type_name}")
+            }
+            GlareError::ManualInstallRequired { type_name, site } => {
+                write!(f, "{type_name} requires manual install; notified admin of {site}")
+            }
+            GlareError::Transfer(e) => write!(f, "transfer: {e}"),
+            GlareError::InstallFailed {
+                type_name,
+                site,
+                detail,
+            } => write!(f, "install of {type_name} on {site} failed: {detail}"),
+            GlareError::DependencyCycle { path } => {
+                write!(f, "dependency cycle: {}", path.join(" -> "))
+            }
+            GlareError::LeaseDenied { deployment, reason } => {
+                write!(f, "lease denied for {deployment}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GlareError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: GlareError = WsrfError::NoSuchResource { key: "x".into() }.into();
+        assert!(e.to_string().contains("no such resource"));
+        let e: GlareError = TransferError::NotFound("u".into()).into();
+        assert!(e.to_string().contains("transfer"));
+        let e = GlareError::DependencyCycle {
+            path: vec!["A".into(), "B".into(), "A".into()],
+        };
+        assert_eq!(e.to_string(), "dependency cycle: A -> B -> A");
+    }
+}

@@ -1,0 +1,362 @@
+//! A whole-VO view: every site's host, registries and services in one
+//! place.
+//!
+//! [`Grid`] is the synchronous harness the provisioning algorithm (§2.2)
+//! operates on — Table 1, the examples and the integration tests all run
+//! against it. The *distributed* behaviours (multi-site response time,
+//! super-peer elections under failures) run on the discrete-event actors
+//! in [`crate::node`], which host the same per-site state.
+
+use glare_fabric::topology::{LinkSpec, Platform};
+use glare_fabric::{SimDuration, SimTime};
+use glare_services::gridftp::Repository;
+use glare_services::{GramService, SiteHost, Transport};
+
+use crate::adr::ActivityDeploymentRegistry;
+use crate::atr::ActivityTypeRegistry;
+use crate::cache::RegistryCache;
+use crate::error::GlareError;
+use crate::lease::LeaseManager;
+use crate::model::{ActivityType, TypeKind};
+
+/// Default age limit for cached registry entries.
+pub const DEFAULT_CACHE_AGE: SimDuration = SimDuration::from_secs(300);
+
+/// One GLARE-enabled Grid site: host plus local services.
+#[derive(Clone, Debug)]
+pub struct GridSite {
+    /// Site name.
+    pub name: String,
+    /// Host state (filesystem, installed packages, container).
+    pub host: SiteHost,
+    /// Local activity type registry.
+    pub atr: ActivityTypeRegistry,
+    /// Local activity deployment registry.
+    pub adr: ActivityDeploymentRegistry,
+    /// Local job manager.
+    pub gram: GramService,
+    /// Local lease/reservation manager.
+    pub leases: LeaseManager,
+    /// Local cache of remote resources.
+    pub cache: RegistryCache,
+}
+
+impl GridSite {
+    /// Fresh site with empty registries.
+    pub fn new(name: &str, platform: Platform, transport: Transport) -> GridSite {
+        GridSite {
+            name: name.to_owned(),
+            host: SiteHost::new(name, platform),
+            atr: ActivityTypeRegistry::new(
+                &format!("https://{name}:8084/wsrf/services/ActivityTypeRegistry"),
+                transport,
+            ),
+            adr: ActivityDeploymentRegistry::new(
+                &format!("https://{name}:8084/wsrf/services/ActivityDeploymentRegistry"),
+                transport,
+            ),
+            gram: GramService::new(),
+            leases: LeaseManager::new(),
+            cache: RegistryCache::new(DEFAULT_CACHE_AGE),
+        }
+    }
+}
+
+/// Notification sent to a site administrator (manual installs, failures;
+/// §3.4: "GLARE service notifies administrator of the target site by
+/// email referring to the website of the activity or contact of its
+/// provider").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdminNotification {
+    /// Destination site.
+    pub site: String,
+    /// Activity type concerned.
+    pub type_name: String,
+    /// Why the administrator is being contacted.
+    pub reason: String,
+    /// Provider contact from the type entry.
+    pub provider_contact: String,
+}
+
+/// Cost of producing and delivering an admin/event notification
+/// (Table 1's "Notification" row, ~345 ms).
+pub const NOTIFICATION_COST: SimDuration = SimDuration::from_millis(345);
+
+/// The whole VO.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    sites: Vec<GridSite>,
+    /// The outside world's download servers.
+    pub repo: Repository,
+    /// Inter-site / repository link characteristics.
+    pub link: LinkSpec,
+    /// Administrator notifications sent so far.
+    pub notifications: Vec<AdminNotification>,
+}
+
+impl Grid {
+    /// Build a VO of `n` homogeneous sites (`site0..`), catalog published.
+    pub fn new(n: usize, transport: Transport) -> Grid {
+        assert!(n > 0, "a VO needs at least one site");
+        let sites = (0..n)
+            .map(|i| {
+                GridSite::new(
+                    &format!("site{i}.agrid.example"),
+                    Platform::intel_linux_32(),
+                    transport,
+                )
+            })
+            .collect();
+        Grid {
+            sites,
+            repo: Repository::with_catalog(),
+            link: LinkSpec::wan_default(),
+            notifications: Vec::new(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the VO has no sites (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Site by index.
+    pub fn site(&self, i: usize) -> &GridSite {
+        &self.sites[i]
+    }
+
+    /// Mutable site by index.
+    pub fn site_mut(&mut self, i: usize) -> &mut GridSite {
+        &mut self.sites[i]
+    }
+
+    /// Index of a site by name.
+    pub fn site_index(&self, name: &str) -> Option<usize> {
+        self.sites.iter().position(|s| s.name == name)
+    }
+
+    /// All site indices.
+    pub fn site_indices(&self) -> impl Iterator<Item = usize> {
+        0..self.sites.len()
+    }
+
+    /// Register an activity type at one site (the provider's local site —
+    /// "the registration of an activity type is done only on a single
+    /// Grid site, and GLARE takes care of distributing and deploying it on
+    /// other sites on-demand", §2.2).
+    pub fn register_type(
+        &mut self,
+        site: usize,
+        t: ActivityType,
+        now: SimTime,
+    ) -> Result<SimDuration, GlareError> {
+        self.sites[site].atr.register(t, now)
+    }
+
+    /// Find a type anywhere in the VO: the local registry first, then the
+    /// iterative lookup across other sites. Returns the type, the index of
+    /// the site that had it, and the accumulated lookup cost (remote hops
+    /// pay a network round-trip each).
+    pub fn find_type(
+        &mut self,
+        from_site: usize,
+        name: &str,
+        now: SimTime,
+    ) -> Option<(ActivityType, usize, SimDuration)> {
+        let mut cost = SimDuration::ZERO;
+        // Local first.
+        if let Some(resp) = self.sites[from_site].atr.lookup(name, now) {
+            return Some((resp.value, from_site, resp.cost));
+        }
+        cost += SimDuration::from_millis(4);
+        // Then the rest of the VO.
+        let rtt = self.link.transfer_time(1024) * 2;
+        for i in self.site_indices() {
+            if i == from_site {
+                continue;
+            }
+            cost += rtt;
+            if let Some(resp) = self.sites[i].atr.lookup(name, now) {
+                return Some((resp.value, i, cost + resp.cost));
+            }
+        }
+        None
+    }
+
+    /// Resolve a possibly-abstract type name to deployable concrete types,
+    /// searching the whole VO (the §2.2 "iterative lookup").
+    pub fn resolve_concrete(
+        &mut self,
+        from_site: usize,
+        name: &str,
+        now: SimTime,
+    ) -> (Vec<ActivityType>, SimDuration) {
+        let mut cost = SimDuration::ZERO;
+        let mut out: Vec<ActivityType> = Vec::new();
+        let order = std::iter::once(from_site)
+            .chain(self.site_indices().filter(|&i| i != from_site));
+        let rtt = self.link.transfer_time(1024) * 2;
+        for (hop, i) in order.enumerate() {
+            if hop > 0 {
+                cost += rtt;
+            }
+            let resp = self.sites[i].atr.resolve_concrete(name, now);
+            cost += resp.cost;
+            for t in resp.value {
+                if t.kind == TypeKind::Concrete && !out.iter().any(|o| o.name == t.name) {
+                    out.push(t);
+                }
+            }
+            if !out.is_empty() {
+                break; // found on this site; no need to go wider
+            }
+        }
+        (out, cost)
+    }
+
+    /// Sites whose platform satisfies a type's install constraints and
+    /// which can still accept a deployment under the provider limits.
+    pub fn eligible_sites(&self, t: &ActivityType, now: SimTime) -> Vec<usize> {
+        let Some(inst) = &t.installation else {
+            return Vec::new();
+        };
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| inst.constraints.accepts(&s.host.platform))
+            .filter(|(_, s)| !s.host.is_installed(&inst.package))
+            .map(|(i, _)| i)
+            .filter(|_| {
+                let total: usize = self
+                    .sites
+                    .iter()
+                    .map(|s| s.adr.count_of(&t.name, now))
+                    .sum();
+                (total as u32) < t.limits.max
+            })
+            .collect()
+    }
+
+    /// All usable deployments of a concrete type across the VO, with the
+    /// site indices holding them.
+    pub fn deployments_anywhere(
+        &self,
+        type_name: &str,
+        now: SimTime,
+    ) -> Vec<(usize, crate::model::ActivityDeployment)> {
+        let mut out = Vec::new();
+        for (i, s) in self.sites.iter().enumerate() {
+            for d in s.adr.deployments_of(type_name, now).value {
+                out.push((i, d));
+            }
+        }
+        out
+    }
+
+    /// Send an admin notification (recorded; costs
+    /// [`NOTIFICATION_COST`]).
+    pub fn notify_admin(
+        &mut self,
+        site: usize,
+        type_name: &str,
+        reason: &str,
+        provider_contact: &str,
+    ) -> SimDuration {
+        self.notifications.push(AdminNotification {
+            site: self.sites[site].name.clone(),
+            type_name: type_name.to_owned(),
+            reason: reason.to_owned(),
+            provider_contact: provider_contact.to_owned(),
+        });
+        NOTIFICATION_COST
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::example_hierarchy;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn grid_with_types() -> Grid {
+        let mut g = Grid::new(3, Transport::Http);
+        for ty in example_hierarchy(SimTime::ZERO) {
+            g.register_type(0, ty, t(0)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn find_type_local_then_remote() {
+        let mut g = grid_with_types();
+        // From the registering site: local hit, cheap.
+        let (ty, site, local_cost) = g.find_type(0, "JPOVray", t(1)).unwrap();
+        assert_eq!(ty.name, "JPOVray");
+        assert_eq!(site, 0);
+        // From another site: found remotely, costlier.
+        let (_, site, remote_cost) = g.find_type(2, "JPOVray", t(1)).unwrap();
+        assert_eq!(site, 0);
+        assert!(remote_cost > local_cost);
+        assert!(g.find_type(1, "Ghost", t(1)).is_none());
+    }
+
+    #[test]
+    fn resolve_concrete_across_vo() {
+        let mut g = grid_with_types();
+        let (types, _) = g.resolve_concrete(2, "Imaging", t(1));
+        assert_eq!(types.len(), 1);
+        assert_eq!(types[0].name, "JPOVray");
+        let (none, _) = g.resolve_concrete(1, "Nothing", t(1));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn eligible_sites_respect_constraints_and_installed() {
+        let mut g = grid_with_types();
+        let (ty, _, _) = g.find_type(0, "Wien2k", t(1)).unwrap();
+        assert_eq!(g.eligible_sites(&ty, t(1)).len(), 3);
+        // Make one site incompatible.
+        g.site_mut(1).host.platform = Platform::new("SPARC", "Solaris", "64bit");
+        let mut constrained = ty.clone();
+        constrained.installation.as_mut().unwrap().constraints =
+            crate::model::InstallConstraints::intel_linux_32();
+        let elig = g.eligible_sites(&constrained, t(1));
+        assert_eq!(elig, vec![0, 2]);
+    }
+
+    #[test]
+    fn limits_cap_eligibility() {
+        let mut g = grid_with_types();
+        let mut limited =
+            ActivityType::concrete_type("Limited", "d", "wien2k").with_limits(0, 0);
+        g.register_type(0, limited.clone(), t(0)).unwrap();
+        limited = g.find_type(0, "Limited", t(1)).unwrap().0;
+        assert!(
+            g.eligible_sites(&limited, t(1)).is_empty(),
+            "max=0 forbids any deployment"
+        );
+    }
+
+    #[test]
+    fn notifications_recorded() {
+        let mut g = grid_with_types();
+        let cost = g.notify_admin(2, "POVray", "manual install requested", "mumtaz@dps.uibk.ac.at");
+        assert_eq!(cost, NOTIFICATION_COST);
+        assert_eq!(g.notifications.len(), 1);
+        assert_eq!(g.notifications[0].site, "site2.agrid.example");
+    }
+
+    #[test]
+    fn deployments_anywhere_empty_initially() {
+        let g = grid_with_types();
+        assert!(g.deployments_anywhere("JPOVray", t(1)).is_empty());
+    }
+}

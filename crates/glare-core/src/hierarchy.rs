@@ -1,0 +1,241 @@
+//! The abstract/concrete type hierarchy and its resolution logic.
+//!
+//! "Abstract activity types are used to discover concrete activity types
+//! and a concrete type identifies available activity deployments" (§3.1).
+//! Discovery walks *down* the hierarchy: a request for `Imaging` finds
+//! `JPOVray` because JPOVray (transitively) extends Imaging. The hierarchy
+//! is a DAG — Fig. 2's JPOVray extends both POVray and Imaging.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::model::{ActivityType, TypeKind};
+
+/// Index over base-type edges for fast downward/upward walks.
+#[derive(Clone, Debug, Default)]
+pub struct TypeHierarchy {
+    /// type -> its direct base types.
+    parents: HashMap<String, Vec<String>>,
+    /// base type -> types that directly extend it.
+    children: HashMap<String, Vec<String>>,
+    /// type -> kind.
+    kinds: HashMap<String, TypeKind>,
+}
+
+impl TypeHierarchy {
+    /// Empty hierarchy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a type's edges.
+    pub fn insert(&mut self, t: &ActivityType) {
+        self.remove(&t.name);
+        self.kinds.insert(t.name.clone(), t.kind);
+        self.parents.insert(t.name.clone(), t.base_types.clone());
+        for base in &t.base_types {
+            self.children
+                .entry(base.clone())
+                .or_default()
+                .push(t.name.clone());
+        }
+    }
+
+    /// Remove a type's edges.
+    pub fn remove(&mut self, name: &str) {
+        self.kinds.remove(name);
+        if let Some(bases) = self.parents.remove(name) {
+            for base in bases {
+                if let Some(kids) = self.children.get_mut(&base) {
+                    kids.retain(|k| k != name);
+                }
+            }
+        }
+    }
+
+    /// Whether the hierarchy knows this type.
+    pub fn contains(&self, name: &str) -> bool {
+        self.kinds.contains_key(name)
+    }
+
+    /// Kind of a known type.
+    pub fn kind(&self, name: &str) -> Option<TypeKind> {
+        self.kinds.get(name).copied()
+    }
+
+    /// All *concrete* types at or below `name` (the §2.2 "iterative
+    /// lookup"): BFS over extension edges, deduplicated, in discovery
+    /// order. Unknown names yield an empty list.
+    pub fn resolve_concrete(&self, name: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([name.to_owned()]);
+        while let Some(cur) = queue.pop_front() {
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            if self.kinds.get(&cur) == Some(&TypeKind::Concrete) {
+                out.push(cur.clone());
+            }
+            if let Some(kids) = self.children.get(&cur) {
+                queue.extend(kids.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// All ancestors (transitive base types) of `name`, deduplicated.
+    pub fn ancestors(&self, name: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut queue: VecDeque<String> = self
+            .parents
+            .get(name)
+            .map(|p| p.iter().cloned().collect())
+            .unwrap_or_default();
+        while let Some(cur) = queue.pop_front() {
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            if let Some(ps) = self.parents.get(&cur) {
+                queue.extend(ps.iter().cloned());
+            }
+            out.push(cur);
+        }
+        out
+    }
+
+    /// Whether `sub` is (or extends, transitively) `base`.
+    pub fn is_subtype_of(&self, sub: &str, base: &str) -> bool {
+        sub == base || self.ancestors(sub).iter().any(|a| a == base)
+    }
+
+    /// Detect a cycle reachable from `name` (providers can upload junk).
+    pub fn has_cycle_from(&self, name: &str) -> bool {
+        // DFS with colors.
+        fn visit(
+            h: &TypeHierarchy,
+            node: &str,
+            visiting: &mut HashSet<String>,
+            done: &mut HashSet<String>,
+        ) -> bool {
+            if done.contains(node) {
+                return false;
+            }
+            if !visiting.insert(node.to_owned()) {
+                return true;
+            }
+            if let Some(parents) = h.parents.get(node) {
+                for p in parents {
+                    if visit(h, p, visiting, done) {
+                        return true;
+                    }
+                }
+            }
+            visiting.remove(node);
+            done.insert(node.to_owned());
+            false
+        }
+        visit(self, name, &mut HashSet::new(), &mut HashSet::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::example_hierarchy;
+    use glare_fabric::SimTime;
+
+    fn fig2() -> TypeHierarchy {
+        let mut h = TypeHierarchy::new();
+        for t in example_hierarchy(SimTime::ZERO) {
+            h.insert(&t);
+        }
+        h
+    }
+
+    #[test]
+    fn abstract_resolves_to_concrete_descendants() {
+        let h = fig2();
+        assert_eq!(h.resolve_concrete("Imaging"), vec!["JPOVray"]);
+        assert_eq!(h.resolve_concrete("POVray"), vec!["JPOVray"]);
+        // A concrete type resolves to itself.
+        assert_eq!(h.resolve_concrete("JPOVray"), vec!["JPOVray"]);
+        assert_eq!(h.resolve_concrete("Wien2k"), vec!["Wien2k"]);
+        assert!(h.resolve_concrete("Unknown").is_empty());
+    }
+
+    #[test]
+    fn diamond_inheritance_deduplicates() {
+        let h = fig2();
+        // JPOVray extends both POVray and Imaging; resolving Imaging must
+        // report it once even though two paths reach it.
+        let r = h.resolve_concrete("Imaging");
+        assert_eq!(r.iter().filter(|n| *n == "JPOVray").count(), 1);
+    }
+
+    #[test]
+    fn ancestors_and_subtyping() {
+        let h = fig2();
+        let mut anc = h.ancestors("JPOVray");
+        anc.sort();
+        assert_eq!(anc, vec!["Imaging", "POVray"]);
+        assert!(h.is_subtype_of("JPOVray", "Imaging"));
+        assert!(h.is_subtype_of("JPOVray", "POVray"));
+        assert!(h.is_subtype_of("JPOVray", "JPOVray"));
+        assert!(!h.is_subtype_of("Imaging", "JPOVray"));
+        assert!(!h.is_subtype_of("Wien2k", "Imaging"));
+    }
+
+    #[test]
+    fn remove_detaches_edges() {
+        let mut h = fig2();
+        h.remove("JPOVray");
+        assert!(h.resolve_concrete("Imaging").is_empty());
+        assert!(!h.contains("JPOVray"));
+        // Reinsert works.
+        for t in example_hierarchy(SimTime::ZERO) {
+            if t.name == "JPOVray" {
+                h.insert(&t);
+            }
+        }
+        assert_eq!(h.resolve_concrete("Imaging"), vec!["JPOVray"]);
+    }
+
+    #[test]
+    fn insert_replaces_old_edges() {
+        let mut h = fig2();
+        // Re-register JPOVray extending only POVray.
+        let t = crate::model::ActivityType::concrete_type("JPOVray", "imaging", "jpovray")
+            .extends("POVray");
+        h.insert(&t);
+        assert_eq!(
+            h.resolve_concrete("Imaging"),
+            vec!["JPOVray"],
+            "still reachable via POVray -> Imaging? No: POVray extends Imaging"
+        );
+        let mut anc = h.ancestors("JPOVray");
+        anc.sort();
+        assert_eq!(anc, vec!["Imaging", "POVray"], "transitively via POVray");
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut h = TypeHierarchy::new();
+        let a = crate::model::ActivityType::abstract_type("A", "d").extends("B");
+        let b = crate::model::ActivityType::abstract_type("B", "d").extends("A");
+        h.insert(&a);
+        h.insert(&b);
+        assert!(h.has_cycle_from("A"));
+        assert!(h.has_cycle_from("B"));
+        let h2 = fig2();
+        assert!(!h2.has_cycle_from("JPOVray"));
+    }
+
+    #[test]
+    fn kind_lookup() {
+        let h = fig2();
+        assert_eq!(h.kind("Imaging"), Some(TypeKind::Abstract));
+        assert_eq!(h.kind("JPOVray"), Some(TypeKind::Concrete));
+        assert_eq!(h.kind("Nope"), None);
+    }
+}

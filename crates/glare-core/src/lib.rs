@@ -1,0 +1,37 @@
+//! # glare-core — the GLARE framework (paper's primary contribution)
+//!
+//! Activity registries, the RDM service, the super-peer overlay, caching,
+//! leasing and on-demand deployment, per Siddiqui et al., SC'05.
+
+#![warn(missing_docs)]
+
+pub mod adr;
+pub mod atr;
+pub mod cache;
+pub mod deployfile;
+pub mod error;
+pub mod grid;
+pub mod hierarchy;
+pub mod lease;
+pub mod model;
+pub mod node;
+pub mod overlay;
+pub mod rdm;
+pub mod superpeer;
+
+pub use adr::ActivityDeploymentRegistry;
+pub use atr::{ActivityTypeRegistry, TypedResponse};
+pub use cache::{CachedEntry, Freshness, RegistryCache};
+pub use deployfile::{DeployFile, DeployStep, PlannedAction};
+pub use error::GlareError;
+pub use grid::{AdminNotification, Grid, GridSite};
+pub use rdm::{provision, CostBreakdown, InstallReport, ProvisionOutcome, ProvisionRequest, RequestManager};
+pub use hierarchy::TypeHierarchy;
+pub use node::{GlareNode, NodeConfig, NodeMsg, QueryScope};
+pub use overlay::{ClientStats, NotificationSink, OverlayBuilder, QueryClient};
+pub use superpeer::{Group, MajorityTally, Role};
+pub use lease::{LeaseKind, LeaseManager, LeaseTicket};
+pub use model::{
+    ActivityDeployment, ActivityType, DeploymentAccess, DeploymentStatus, InstallConstraints,
+    InstallMode, TypeKind,
+};

@@ -1,0 +1,12 @@
+//! Data model: activity types, deployments and instances.
+
+pub mod activity_type;
+pub mod deployment;
+
+pub use activity_type::{
+    example_hierarchy, ActivityFunction, ActivityType, DeploymentLimits, InstallConstraints,
+    InstallMode, InstallationSpec, TypeBenchmark, TypeKind,
+};
+pub use deployment::{
+    ActivityDeployment, DeploymentAccess, DeploymentMetrics, DeploymentStatus,
+};

@@ -1,0 +1,1271 @@
+//! The distributed GLARE node: a discrete-event actor hosting one site's
+//! registries, cache and super-peer protocol endpoint.
+//!
+//! This is the form of GLARE the paper's distributed experiments exercise:
+//! Fig. 12 (multi-site response time with/without cache), Fig. 13 (load
+//! average under requesters and notification sinks) and the §3.3 fault
+//! tolerance story (super-peer election, failure detection, majority-
+//! acknowledged re-election) all run on networks of [`GlareNode`]s inside
+//! a [`glare_fabric::Simulation`].
+//!
+//! ## Query path
+//!
+//! A client's request reaches its *local* node only (§3.2 "Local
+//! Access"). The node charges the request's CPU cost to its site (feeding
+//! the run-queue/load-average model), then resolves: own registry → cache
+//! → group peers → super-peer, which forwards to the other super-peers
+//! and caches results (§3.3).
+//!
+//! ## Election
+//!
+//! The node holding the GT4 *community index* acts as election
+//! coordinator: it notifies all sites twice (the second notification is
+//! acknowledged with the site's rank hashcode), partitions responders
+//! into groups and appoints the highest-ranked member of each group as
+//! super-peer. Members detect a dead super-peer by heartbeat silence,
+//! notify the highest-ranked member, which verifies with every member and
+//! takes over on a simple-majority acknowledgement.
+
+use std::collections::{HashMap, HashSet};
+
+use glare_fabric::{Actor, ActorId, Ctx, Envelope, SimDuration, SimTime, TimerToken};
+use glare_services::mds::REQUEST_BASE_COST;
+use glare_services::Transport;
+
+use crate::adr::ActivityDeploymentRegistry;
+use crate::atr::ActivityTypeRegistry;
+use crate::cache::RegistryCache;
+use crate::model::{ActivityDeployment, ActivityType};
+use crate::superpeer::{highest_ranked, partition_groups, MajorityTally, Role};
+
+/// How far a query may travel from the handling node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryScope {
+    /// Answer from local state only (a probe).
+    LocalOnly,
+    /// Local state, then probe the node's own group members (a super-peer
+    /// handling an escalation from one of its members).
+    GroupProbe,
+    /// Like [`QueryScope::GroupProbe`], but terminal: a super-peer
+    /// handling a request forwarded by *another* super-peer must not
+    /// forward it again (loop prevention).
+    SpForwarded,
+    /// The full ladder: local → cache → group → super-peer → other
+    /// super-peers (a client request).
+    Full,
+}
+
+/// Messages exchanged between nodes, clients and sinks.
+pub enum NodeMsg {
+    // --- election ---
+    /// Coordinator's broadcast; the second notice requests an ack.
+    ElectionNotice {
+        /// The coordinator to ack to.
+        coordinator: ActorId,
+        /// Whether this is the acknowledged (second) notice.
+        second: bool,
+        /// Size of the coordinator's community (smaller wins contention).
+        community_size: u32,
+    },
+    /// Responder's rank (paper: the site-attribute hashcode).
+    ElectionAck {
+        /// Responder's rank.
+        rank: u64,
+    },
+    /// Coordinator → every node of a formed group.
+    Appointment {
+        /// All nodes of the group (super-peer included).
+        group: Vec<ActorId>,
+        /// The elected super-peer.
+        super_peer: ActorId,
+        /// Super-peers of the other groups.
+        other_super_peers: Vec<ActorId>,
+    },
+    /// Super-peer liveness beacon.
+    Heartbeat,
+    /// Member → highest-ranked member: the super-peer looks dead.
+    SuspectNotice {
+        /// The suspected super-peer.
+        suspect: ActorId,
+    },
+    /// Highest-ranked member → every member: confirm the suspicion.
+    VerifyRequest {
+        /// The suspected super-peer.
+        suspect: ActorId,
+    },
+    /// Member's verdict on the suspect.
+    VerifyAck {
+        /// The suspected super-peer.
+        suspect: ActorId,
+        /// Whether this member also finds it unreachable.
+        missing: bool,
+    },
+    /// New super-peer announcement after a majority-confirmed takeover.
+    Takeover,
+    // --- data path ---
+    /// Register a type at this node (provider update).
+    RegisterType(Box<ActivityType>),
+    /// Register a deployment at this node.
+    RegisterDeployment(Box<ActivityDeployment>),
+    /// Deployment-list query.
+    QueryDeployments {
+        /// Requested activity (type name).
+        activity: String,
+        /// Correlation id chosen by the requester.
+        req_id: u64,
+        /// Where the answer goes.
+        reply_to: ActorId,
+        /// How far this request may travel.
+        scope: QueryScope,
+    },
+    /// Answer to a query.
+    QueryResponse {
+        /// Correlation id echoed back.
+        req_id: u64,
+        /// Deployments found (empty = miss).
+        deployments: Vec<ActivityDeployment>,
+    },
+    /// A sink subscribes to this node's type-update notifications.
+    Subscribe,
+    /// Notification delivered to a sink.
+    Notification {
+        /// Sequence number.
+        seq: u64,
+    },
+}
+
+/// Static configuration of a node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Site name (for registry addresses and deployment records).
+    pub site_name: String,
+    /// Election rank (the §3.3 hashcode over static site attributes).
+    pub rank: u64,
+    /// Whether this node hosts the GT4 community index (→ election
+    /// coordinator).
+    pub has_community_index: bool,
+    /// Super-peer heartbeat period.
+    pub heartbeat_interval: SimDuration,
+    /// Silence threshold before a member suspects its super-peer.
+    pub heartbeat_timeout: SimDuration,
+    /// Maximum group size used by the coordinator.
+    pub max_group_size: usize,
+    /// Whether the node caches remote results (Fig. 12's switch).
+    pub use_cache: bool,
+    /// CPU cost of accepting/parsing any request.
+    pub request_cost: SimDuration,
+    /// Extra CPU cost of resolving through the registries (the cache
+    /// fast path skips this — Fig. 12's cache effect).
+    pub registry_cost: SimDuration,
+    /// How long to wait for probe replies before concluding a stage.
+    pub probe_timeout: SimDuration,
+    /// Coordinator's re-election period (the Index Monitor "periodically
+    /// probes the GT4 Default Index", §3.3); `None` = single election.
+    pub election_interval: Option<SimDuration>,
+    /// ABLATION: resolve misses by flooding every node in the VO instead
+    /// of the group/super-peer ladder (what GLARE's overlay avoids).
+    pub flood_mode: bool,
+    /// ABLATION: a member that detects super-peer silence takes over
+    /// immediately, skipping the majority-acknowledged verification —
+    /// demonstrates the split-brain the paper's protocol prevents.
+    pub naive_takeover: bool,
+    /// When set, the node notifies all subscribed sinks at this period
+    /// (Fig. 13's notification rate).
+    pub notify_interval: Option<SimDuration>,
+    /// CPU cost per delivered notification.
+    pub notify_cost: SimDuration,
+}
+
+impl NodeConfig {
+    /// Sensible defaults for a named site.
+    pub fn new(site_name: &str, rank: u64) -> NodeConfig {
+        NodeConfig {
+            site_name: site_name.to_owned(),
+            rank,
+            has_community_index: false,
+            heartbeat_interval: SimDuration::from_secs(5),
+            heartbeat_timeout: SimDuration::from_secs(16),
+            max_group_size: 4,
+            use_cache: true,
+            request_cost: REQUEST_BASE_COST,
+            registry_cost: SimDuration::from_millis(4),
+            probe_timeout: SimDuration::from_millis(500),
+            election_interval: Some(SimDuration::from_secs(120)),
+            flood_mode: false,
+            naive_takeover: false,
+            notify_interval: None,
+            notify_cost: SimDuration::from_millis(25),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Stage {
+    /// Waiting on this node's group members.
+    PeerProbe,
+    /// Waiting on the super-peer's escalation.
+    SpEscalate,
+    /// A super-peer waiting on the other super-peers.
+    SpForward,
+}
+
+struct PendingQuery {
+    activity: String,
+    orig_req_id: u64,
+    reply_to: ActorId,
+    awaiting: HashSet<ActorId>,
+    collected: Vec<ActivityDeployment>,
+    stage: Stage,
+    scope: QueryScope,
+    deadline: TimerToken,
+}
+
+enum Deferred {
+    HandleQuery {
+        activity: String,
+        req_id: u64,
+        reply_to: ActorId,
+        scope: QueryScope,
+    },
+    ReplyAfterRegistry {
+        req_id: u64,
+        reply_to: ActorId,
+        deployments: Vec<ActivityDeployment>,
+    },
+    DeliverNotification {
+        sink: ActorId,
+        seq: u64,
+    },
+    /// A staggered per-sink notification waiting for its send offset.
+    NotifyStagger {
+        sink: ActorId,
+        seq: u64,
+    },
+}
+
+/// One distributed GLARE node.
+pub struct GlareNode {
+    cfg: NodeConfig,
+    /// Full roster of overlay nodes `(id, rank)` — what the MDS community
+    /// index would provide.
+    roster: Vec<(ActorId, u64)>,
+    /// The node's own actor id (fixed at overlay build time).
+    me: ActorId,
+    // --- registries ---
+    /// The node's type registry.
+    pub atr: ActivityTypeRegistry,
+    /// The node's deployment registry.
+    pub adr: ActivityDeploymentRegistry,
+    /// The node's cache.
+    pub cache: RegistryCache,
+    // --- overlay state ---
+    role: Role,
+    group: Vec<ActorId>,
+    super_peer: Option<ActorId>,
+    other_super_peers: Vec<ActorId>,
+    last_heartbeat: SimTime,
+    preferred_coordinator: Option<(ActorId, u32)>,
+    election_acks: Vec<(ActorId, u64)>,
+    tally: Option<(ActorId, MajorityTally)>,
+    verification_sent: bool,
+    // --- request state ---
+    next_req: u64,
+    pending: HashMap<u64, PendingQuery>,
+    deferred: HashMap<TimerToken, Deferred>,
+    deadline_to_req: HashMap<TimerToken, u64>,
+    // --- notification state ---
+    sinks: Vec<ActorId>,
+    notify_seq: u64,
+}
+
+impl GlareNode {
+    /// Create a node. `me` must equal the actor id this node will receive
+    /// from the simulation (the [`crate::overlay::OverlayBuilder`] guarantees this).
+    pub fn new(cfg: NodeConfig, me: ActorId, roster: Vec<(ActorId, u64)>) -> GlareNode {
+        let atr = ActivityTypeRegistry::new(
+            &format!("https://{}:8084/wsrf/services/ActivityTypeRegistry", cfg.site_name),
+            Transport::Http,
+        );
+        let adr = ActivityDeploymentRegistry::new(
+            &format!(
+                "https://{}:8084/wsrf/services/ActivityDeploymentRegistry",
+                cfg.site_name
+            ),
+            Transport::Http,
+        );
+        GlareNode {
+            roster,
+            me,
+            atr,
+            adr,
+            cache: RegistryCache::new(crate::grid::DEFAULT_CACHE_AGE),
+            role: Role::Member,
+            group: Vec::new(),
+            super_peer: None,
+            other_super_peers: Vec::new(),
+            last_heartbeat: SimTime::ZERO,
+            preferred_coordinator: None,
+            election_acks: Vec::new(),
+            tally: None,
+            verification_sent: false,
+            next_req: 0,
+            pending: HashMap::new(),
+            deferred: HashMap::new(),
+            deadline_to_req: HashMap::new(),
+            sinks: Vec::new(),
+            notify_seq: 0,
+            cfg,
+        }
+    }
+
+    /// Current overlay role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The node's current super-peer (itself when it is one).
+    pub fn super_peer(&self) -> Option<ActorId> {
+        self.super_peer
+    }
+
+    /// The node's group (empty before the first election).
+    pub fn group(&self) -> &[ActorId] {
+        &self.group
+    }
+
+    fn group_peers(&self) -> Vec<ActorId> {
+        self.group
+            .iter()
+            .copied()
+            .filter(|&id| id != self.me && Some(id) != self.super_peer)
+            .collect()
+    }
+
+    fn resolve_local(&mut self, activity: &str, now: SimTime) -> Vec<ActivityDeployment> {
+        // Resolve through the hierarchy, falling back to the raw name.
+        let mut names: Vec<String> = self
+            .atr
+            .hierarchy()
+            .resolve_concrete(activity)
+            .into_iter()
+            .collect();
+        if names.is_empty() {
+            names.push(activity.to_owned());
+        }
+        let mut out = Vec::new();
+        for n in &names {
+            out.extend(self.adr.deployments_of(n, now).value);
+        }
+        out
+    }
+
+    fn resolve_cache(&mut self, activity: &str, now: SimTime) -> Vec<ActivityDeployment> {
+        if !self.cfg.use_cache {
+            return Vec::new();
+        }
+        let mut names: Vec<String> = self
+            .atr
+            .hierarchy()
+            .resolve_concrete(activity)
+            .into_iter()
+            .collect();
+        if names.is_empty() {
+            names.push(activity.to_owned());
+        }
+        let mut out = Vec::new();
+        for n in &names {
+            out.extend(self.cache.deployments_of(n, now));
+        }
+        out
+    }
+
+    fn reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        reply_to: ActorId,
+        req_id: u64,
+        deployments: Vec<ActivityDeployment>,
+    ) {
+        ctx.send_sized(
+            reply_to,
+            NodeMsg::QueryResponse {
+                req_id,
+                deployments,
+            },
+            2_048,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_probe(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        activity: String,
+        orig_req_id: u64,
+        reply_to: ActorId,
+        targets: Vec<ActorId>,
+        stage: Stage,
+        scope: QueryScope,
+        probe_scope: QueryScope,
+    ) {
+        let local_id = self.next_req;
+        self.next_req += 1;
+        let deadline = ctx.timer_after(self.cfg.probe_timeout, &format!("qdl:{local_id}"));
+        self.deadline_to_req.insert(deadline, local_id);
+        let mut awaiting = HashSet::new();
+        for t in &targets {
+            awaiting.insert(*t);
+            ctx.send(
+                *t,
+                NodeMsg::QueryDeployments {
+                    activity: activity.clone(),
+                    req_id: local_id,
+                    reply_to: ctx.self_id,
+                    scope: probe_scope,
+                },
+            );
+        }
+        self.pending.insert(
+            local_id,
+            PendingQuery {
+                activity,
+                orig_req_id,
+                reply_to,
+                awaiting,
+                collected: Vec::new(),
+                stage,
+                scope,
+                deadline,
+            },
+        );
+    }
+
+    fn conclude_stage(&mut self, ctx: &mut Ctx<'_>, local_id: u64) {
+        let Some(p) = self.pending.remove(&local_id) else {
+            return;
+        };
+        ctx.cancel_timer(p.deadline);
+        self.deadline_to_req.retain(|_, v| *v != local_id);
+        if !p.collected.is_empty() {
+            // Cache what the probe learned (§3.3: the super-peer "caches
+            // the results"; §3.1: remote resources optionally cached).
+            if self.cfg.use_cache {
+                for d in &p.collected {
+                    let epr = d.epr(&self.adr.address, ctx.now());
+                    let origin = d.site.clone();
+                    self.cache.put_deployment(d.clone(), &origin, epr, ctx.now());
+                }
+            }
+            let deployments = p.collected.clone();
+            self.reply(ctx, p.reply_to, p.orig_req_id, deployments);
+            return;
+        }
+        // Miss: escalate or give up.
+        match (p.stage, p.scope) {
+            (Stage::PeerProbe, QueryScope::Full) if self.cfg.flood_mode => {
+                // Everyone was already asked; a miss is final.
+                self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new());
+            }
+            (Stage::PeerProbe, QueryScope::Full) => {
+                if let Some(sp) = self.super_peer.filter(|&sp| sp != self.me) {
+                    self.start_probe(
+                        ctx,
+                        p.activity,
+                        p.orig_req_id,
+                        p.reply_to,
+                        vec![sp],
+                        Stage::SpEscalate,
+                        QueryScope::Full,
+                        QueryScope::GroupProbe,
+                    );
+                } else if !self.other_super_peers.is_empty() && self.role == Role::SuperPeer {
+                    let sps = self.other_super_peers.clone();
+                    self.start_probe(
+                        ctx,
+                        p.activity,
+                        p.orig_req_id,
+                        p.reply_to,
+                        sps,
+                        Stage::SpForward,
+                        QueryScope::Full,
+                        QueryScope::SpForwarded,
+                    );
+                } else {
+                    self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new());
+                }
+            }
+            (Stage::PeerProbe, QueryScope::GroupProbe) if self.role == Role::SuperPeer => {
+                // A super-peer handling an escalation: own group missed;
+                // forward to the other super-peers, whose handling is
+                // terminal (they probe their groups but don't re-forward).
+                if self.other_super_peers.is_empty() {
+                    self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new());
+                } else {
+                    let sps = self.other_super_peers.clone();
+                    self.start_probe(
+                        ctx,
+                        p.activity,
+                        p.orig_req_id,
+                        p.reply_to,
+                        sps,
+                        Stage::SpForward,
+                        QueryScope::GroupProbe,
+                        QueryScope::SpForwarded,
+                    );
+                }
+            }
+            _ => {
+                self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new());
+            }
+        }
+    }
+
+    fn handle_query(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        activity: String,
+        req_id: u64,
+        reply_to: ActorId,
+        scope: QueryScope,
+    ) {
+        let now = ctx.now();
+        // Cache fast path: answers without the registry resolution stage.
+        let cached = self.resolve_cache(&activity, now);
+        if !cached.is_empty() {
+            ctx.metrics().counter("glare.cache_answers").inc();
+            self.reply(ctx, reply_to, req_id, cached);
+            return;
+        }
+        let local = self.resolve_local(&activity, now);
+        if !local.is_empty() {
+            // Registry resolution costs an extra CPU stage; its result is
+            // cached for subsequent requests.
+            if self.cfg.use_cache {
+                for d in &local {
+                    let epr = d.epr(&self.adr.address, now);
+                    let origin = d.site.clone();
+                    self.cache.put_deployment(d.clone(), &origin, epr, now);
+                }
+            }
+            if let Some(token) = ctx.compute(self.cfg.registry_cost, "registry") {
+                self.deferred.insert(
+                    token,
+                    Deferred::ReplyAfterRegistry {
+                        req_id,
+                        reply_to,
+                        deployments: local,
+                    },
+                );
+            }
+            return;
+        }
+        match scope {
+            QueryScope::LocalOnly => {
+                self.reply(ctx, reply_to, req_id, Vec::new());
+            }
+            QueryScope::GroupProbe | QueryScope::SpForwarded | QueryScope::Full => {
+                let peers = if self.cfg.flood_mode && scope == QueryScope::Full {
+                    // Ablation: ask everyone at once.
+                    self.roster
+                        .iter()
+                        .map(|&(id, _)| id)
+                        .filter(|&id| id != self.me)
+                        .collect()
+                } else {
+                    self.group_peers()
+                };
+                if peers.is_empty() {
+                    // Nothing to probe: behave as if the probe stage
+                    // concluded empty.
+                    let local_id = self.next_req;
+                    self.next_req += 1;
+                    let deadline = ctx.timer_after(SimDuration::ZERO, &format!("qdl:{local_id}"));
+                    self.deadline_to_req.insert(deadline, local_id);
+                    self.pending.insert(
+                        local_id,
+                        PendingQuery {
+                            activity,
+                            orig_req_id: req_id,
+                            reply_to,
+                            awaiting: HashSet::new(),
+                            collected: Vec::new(),
+                            stage: Stage::PeerProbe,
+                            scope,
+                            deadline,
+                        },
+                    );
+                    self.conclude_stage(ctx, local_id);
+                } else {
+                    self.start_probe(
+                        ctx,
+                        activity,
+                        req_id,
+                        reply_to,
+                        peers,
+                        Stage::PeerProbe,
+                        scope,
+                        QueryScope::LocalOnly,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Coordinator: broadcast the first election notice and arm the
+    /// second-notice and close timers.
+    fn start_election(&mut self, ctx: &mut Ctx<'_>) {
+        self.election_acks.clear();
+        let size = self.roster.len() as u32;
+        for &(id, _) in &self.roster {
+            ctx.send(
+                id,
+                NodeMsg::ElectionNotice {
+                    coordinator: self.me,
+                    second: false,
+                    community_size: size,
+                },
+            );
+        }
+        ctx.timer_after(SimDuration::from_millis(300), "election-second");
+        ctx.timer_after(SimDuration::from_millis(900), "election-close");
+    }
+
+    fn become_super_peer(&mut self, ctx: &mut Ctx<'_>) {
+        let already = self.role == Role::SuperPeer;
+        self.role = Role::SuperPeer;
+        self.super_peer = Some(self.me);
+        if !already {
+            // Arm the heartbeat loop exactly once per office term.
+            ctx.timer_after(self.cfg.heartbeat_interval, "heartbeat");
+            ctx.metrics().counter("glare.superpeer_takeovers").inc();
+        }
+    }
+
+    fn suspect_super_peer(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(sp) = self.super_peer else { return };
+        if sp == self.me {
+            return;
+        }
+        if self.cfg.naive_takeover {
+            // Ablation: no verification, no majority — just grab office.
+            // Under a partial partition this splits the brain.
+            self.group.retain(|&id| id != sp);
+            self.become_super_peer(ctx);
+            for &m in &self.group {
+                if m != self.me {
+                    ctx.send(m, NodeMsg::Takeover);
+                }
+            }
+            return;
+        }
+        // Rank the group, excluding the suspect.
+        let candidates: Vec<(ActorId, u64)> = self
+            .roster
+            .iter()
+            .copied()
+            .filter(|(id, _)| self.group.contains(id))
+            .collect();
+        let Some(highest) = highest_ranked(&candidates, sp) else {
+            return;
+        };
+        if highest == self.me {
+            self.begin_verification(ctx, sp);
+        } else {
+            ctx.send(highest, NodeMsg::SuspectNotice { suspect: sp });
+        }
+    }
+
+    fn begin_verification(&mut self, ctx: &mut Ctx<'_>, suspect: ActorId) {
+        if self.verification_sent {
+            return;
+        }
+        // (a) verify the super-peer is missing from our own vantage.
+        if ctx.now().saturating_since(self.last_heartbeat) < self.cfg.heartbeat_timeout {
+            return;
+        }
+        // (b) verify own rank.
+        let candidates: Vec<(ActorId, u64)> = self
+            .roster
+            .iter()
+            .copied()
+            .filter(|(id, _)| self.group.contains(id))
+            .collect();
+        if highest_ranked(&candidates, suspect) != Some(self.me) {
+            return;
+        }
+        // (c) ask every other member to verify.
+        self.verification_sent = true;
+        let voters = self.group.iter().filter(|&&id| id != suspect).count();
+        let mut tally = MajorityTally::new(voters);
+        tally.agree(self.me); // our own verdict
+        self.tally = Some((suspect, tally));
+        for &m in &self.group {
+            if m != self.me && m != suspect {
+                ctx.send(m, NodeMsg::VerifyRequest { suspect });
+            }
+        }
+        self.maybe_takeover(ctx);
+    }
+
+    fn maybe_takeover(&mut self, ctx: &mut Ctx<'_>) {
+        let Some((suspect, tally)) = &self.tally else {
+            return;
+        };
+        if !tally.has_majority() {
+            return;
+        }
+        let suspect = *suspect;
+        self.tally = None;
+        self.verification_sent = false;
+        // Remove the dead super-peer from the group and take over.
+        self.group.retain(|&id| id != suspect);
+        self.become_super_peer(ctx);
+        for &m in &self.group {
+            if m != self.me {
+                ctx.send(m, NodeMsg::Takeover);
+            }
+        }
+        for &sp in &self.other_super_peers {
+            ctx.send(sp, NodeMsg::Takeover);
+        }
+    }
+}
+
+impl Actor for GlareNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        assert_eq!(
+            ctx.self_id, self.me,
+            "OverlayBuilder must register nodes in id order"
+        );
+        self.last_heartbeat = ctx.now();
+        if self.cfg.has_community_index {
+            self.start_election(ctx);
+        }
+        // Everyone monitors super-peer liveness.
+        ctx.timer_after(self.cfg.heartbeat_timeout, "hb-check");
+        if let Some(interval) = self.cfg.notify_interval {
+            ctx.timer_after(interval, "notify");
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+        let from = env.from;
+        let Ok((_, msg)) = env.downcast::<NodeMsg>() else {
+            return;
+        };
+        match msg {
+            NodeMsg::ElectionNotice {
+                coordinator,
+                second,
+                community_size,
+            } => {
+                // Prefer the smaller community under contention (§3.3).
+                let preferred = match self.preferred_coordinator {
+                    Some((id, size)) => {
+                        if community_size < size
+                            || (community_size == size && coordinator < id)
+                        {
+                            self.preferred_coordinator = Some((coordinator, community_size));
+                            coordinator
+                        } else {
+                            id
+                        }
+                    }
+                    None => {
+                        self.preferred_coordinator = Some((coordinator, community_size));
+                        coordinator
+                    }
+                };
+                if second && coordinator == preferred {
+                    ctx.send(coordinator, NodeMsg::ElectionAck { rank: self.cfg.rank });
+                }
+            }
+            NodeMsg::ElectionAck { rank } => {
+                if !self.election_acks.iter().any(|(id, _)| *id == from) {
+                    self.election_acks.push((from, rank));
+                }
+            }
+            NodeMsg::Appointment {
+                group,
+                super_peer,
+                other_super_peers,
+            } => {
+                self.group = group;
+                self.super_peer = Some(super_peer);
+                self.other_super_peers = other_super_peers;
+                self.last_heartbeat = ctx.now();
+                self.verification_sent = false;
+                self.tally = None;
+                if super_peer == self.me {
+                    self.become_super_peer(ctx);
+                } else {
+                    // A demoted super-peer's heartbeat loop dies with the
+                    // role check in the timer handler.
+                    self.role = Role::Member;
+                }
+            }
+            NodeMsg::Heartbeat => {
+                if Some(from) == self.super_peer {
+                    self.last_heartbeat = ctx.now();
+                }
+            }
+            NodeMsg::SuspectNotice { suspect } => {
+                if Some(suspect) == self.super_peer {
+                    self.begin_verification(ctx, suspect);
+                }
+            }
+            NodeMsg::VerifyRequest { suspect } => {
+                let missing = Some(suspect) == self.super_peer
+                    && ctx.now().saturating_since(self.last_heartbeat)
+                        >= self.cfg.heartbeat_timeout;
+                ctx.send(from, NodeMsg::VerifyAck { suspect, missing });
+            }
+            NodeMsg::VerifyAck { suspect, missing } => {
+                if missing {
+                    if let Some((s, tally)) = &mut self.tally {
+                        if *s == suspect {
+                            tally.agree(from);
+                        }
+                    }
+                    self.maybe_takeover(ctx);
+                }
+            }
+            NodeMsg::Takeover => {
+                // The sender is the new super-peer of its group. If it is
+                // in our group, adopt it; if we are a super-peer, update
+                // our roster of fellow super-peers.
+                if self.group.contains(&from) {
+                    let old = self.super_peer;
+                    self.super_peer = Some(from);
+                    self.last_heartbeat = ctx.now();
+                    if let Some(old) = old {
+                        self.group.retain(|&id| id != old);
+                    }
+                } else if self.role == Role::SuperPeer
+                    && !self.other_super_peers.contains(&from) {
+                        self.other_super_peers.push(from);
+                    }
+            }
+            NodeMsg::RegisterType(t) => {
+                let _ = self.atr.register(*t, ctx.now());
+                self.notify_seq += 1;
+            }
+            NodeMsg::RegisterDeployment(d) => {
+                let _ = self.adr.register(*d, &self.atr, ctx.now());
+            }
+            NodeMsg::QueryDeployments {
+                activity,
+                req_id,
+                reply_to,
+                scope,
+            } => {
+                // Charge the request's CPU cost; handle when it completes.
+                ctx.metrics().counter("glare.requests").inc();
+                match ctx.compute(self.cfg.request_cost, "req") {
+                    Some(token) => {
+                        self.deferred.insert(
+                            token,
+                            Deferred::HandleQuery {
+                                activity,
+                                req_id,
+                                reply_to,
+                                scope,
+                            },
+                        );
+                    }
+                    None => { /* site down; request lost */ }
+                }
+            }
+            NodeMsg::QueryResponse {
+                req_id,
+                deployments,
+            } => {
+                let mut conclude = None;
+                if let Some(p) = self.pending.get_mut(&req_id) {
+                    p.awaiting.remove(&from);
+                    p.collected.extend(deployments);
+                    if p.awaiting.is_empty() {
+                        conclude = Some(req_id);
+                    }
+                }
+                if let Some(id) = conclude {
+                    self.conclude_stage(ctx, id);
+                }
+            }
+            NodeMsg::Subscribe => {
+                if !self.sinks.contains(&from) {
+                    self.sinks.push(from);
+                }
+            }
+            NodeMsg::Notification { .. } => { /* nodes don't consume these */ }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken, tag: &str) {
+        if let Some(req) = self.deadline_to_req.remove(&token) {
+            // Probe deadline: conclude with whatever arrived.
+            self.conclude_stage(ctx, req);
+            return;
+        }
+        if tag == "notify-stagger" {
+            if let Some(Deferred::NotifyStagger { sink, seq }) = self.deferred.remove(&token) {
+                if let Some(t) = ctx.compute(self.cfg.notify_cost, "notify-one") {
+                    self.deferred.insert(t, Deferred::DeliverNotification { sink, seq });
+                }
+            }
+            return;
+        }
+        match tag {
+            "election-second" => {
+                let size = self.roster.len() as u32;
+                for &(id, _) in &self.roster {
+                    ctx.send(
+                        id,
+                        NodeMsg::ElectionNotice {
+                            coordinator: self.me,
+                            second: true,
+                            community_size: size,
+                        },
+                    );
+                }
+            }
+            "election-close" => {
+                let groups = partition_groups(&self.election_acks, self.cfg.max_group_size);
+                let sps: Vec<ActorId> = groups.iter().map(|g| g.super_peer).collect();
+                for g in &groups {
+                    let others: Vec<ActorId> = sps
+                        .iter()
+                        .copied()
+                        .filter(|&s| s != g.super_peer)
+                        .collect();
+                    for &m in &g.all() {
+                        ctx.send(
+                            m,
+                            NodeMsg::Appointment {
+                                group: g.all(),
+                                super_peer: g.super_peer,
+                                other_super_peers: others.clone(),
+                            },
+                        );
+                    }
+                }
+                self.election_acks.clear();
+                if let Some(iv) = self.cfg.election_interval {
+                    ctx.timer_after(iv, "election-reopen");
+                }
+            }
+            "election-reopen"
+                if self.cfg.has_community_index => {
+                    self.start_election(ctx);
+                }
+            "heartbeat"
+                if self.role == Role::SuperPeer => {
+                    for &m in &self.group {
+                        if m != self.me {
+                            ctx.send(m, NodeMsg::Heartbeat);
+                        }
+                    }
+                    ctx.timer_after(self.cfg.heartbeat_interval, "heartbeat");
+                }
+            "hb-check" => {
+                if self.role == Role::Member
+                    && self.super_peer.is_some()
+                    && ctx.now().saturating_since(self.last_heartbeat)
+                        >= self.cfg.heartbeat_timeout
+                {
+                    self.suspect_super_peer(ctx);
+                }
+                ctx.timer_after(self.cfg.heartbeat_timeout, "hb-check");
+            }
+            "notify" => {
+                // Fan one notification round out to every sink. Each
+                // delivery is staggered to a random offset within the
+                // interval (the container worker pool drains the sink list
+                // over the period), charging CPU per delivery — the
+                // Fig. 13 load driver.
+                self.notify_seq += 1;
+                let seq = self.notify_seq;
+                let sinks = self.sinks.clone();
+                let interval = self.cfg.notify_interval.unwrap_or(SimDuration::from_secs(1));
+                for sink in sinks {
+                    let offset_ns = ctx.rng().range(0, interval.as_nanos().max(1));
+                    let t = ctx.timer_after(SimDuration::from_nanos(offset_ns), "notify-stagger");
+                    self.deferred.insert(t, Deferred::NotifyStagger { sink, seq });
+                }
+                if let Some(interval) = self.cfg.notify_interval {
+                    ctx.timer_after(interval, "notify");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_compute_done(&mut self, ctx: &mut Ctx<'_>, token: TimerToken, _tag: &str) {
+        match self.deferred.remove(&token) {
+            Some(Deferred::HandleQuery {
+                activity,
+                req_id,
+                reply_to,
+                scope,
+            }) => {
+                self.handle_query(ctx, activity, req_id, reply_to, scope);
+            }
+            Some(Deferred::ReplyAfterRegistry {
+                req_id,
+                reply_to,
+                deployments,
+            }) => {
+                self.reply(ctx, reply_to, req_id, deployments);
+            }
+            Some(Deferred::DeliverNotification { sink, seq }) => {
+                ctx.send(sink, NodeMsg::Notification { seq });
+                ctx.metrics().counter("glare.notifications_sent").inc();
+            }
+            Some(Deferred::NotifyStagger { .. }) | None => {}
+        }
+    }
+
+    fn on_site_restart(&mut self, ctx: &mut Ctx<'_>) {
+        // Re-arm the liveness/notification loops lost in the crash.
+        self.last_heartbeat = ctx.now();
+        ctx.timer_after(self.cfg.heartbeat_timeout, "hb-check");
+        if self.cfg.has_community_index {
+            self.start_election(ctx);
+        }
+        if self.role == Role::SuperPeer {
+            ctx.timer_after(self.cfg.heartbeat_interval, "heartbeat");
+        }
+        if let Some(interval) = self.cfg.notify_interval {
+            ctx.timer_after(interval, "notify");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::example_hierarchy;
+    use crate::overlay::{ClientStats, OverlayBuilder, QueryClient};
+    use glare_fabric::{SimTime, Simulation};
+
+    fn seeded_overlay(
+        n: usize,
+        deploy_on: &[usize],
+        use_cache: bool,
+    ) -> (Simulation, Vec<ActorId>) {
+        let mut b = OverlayBuilder::new(n, 42);
+        b.configure(move |_, cfg| {
+            cfg.use_cache = use_cache;
+            cfg.max_group_size = 4;
+        });
+        let deploy_on = deploy_on.to_vec();
+        b.seed(move |i, node| {
+            for t in example_hierarchy(SimTime::ZERO) {
+                node.atr.register(t, SimTime::ZERO).unwrap();
+            }
+            if deploy_on.contains(&i) {
+                let d = ActivityDeployment::executable(
+                    "JPOVray",
+                    &format!("site{i}"),
+                    "/opt/deployments/jpovray/bin/jpovray",
+                    "/opt/deployments/jpovray",
+                );
+                node.adr.register(d, &node.atr, SimTime::ZERO).unwrap();
+            }
+        });
+        b.build()
+    }
+
+    #[test]
+    fn election_forms_groups_and_heartbeats() {
+        let (mut sim, ids) = seeded_overlay(7, &[], true);
+        sim.start();
+        sim.run_until(SimTime::from_secs(30));
+        let _ = ids;
+        // ceil(7/4) = 2 super-peers took office.
+        assert_eq!(
+            sim.metrics().counter_value("glare.superpeer_takeovers"),
+            2,
+            "two groups, two super-peers"
+        );
+    }
+
+    #[test]
+    fn local_query_answers_fast() {
+        let (mut sim, ids) = seeded_overlay(3, &[0], true);
+        let stats = ClientStats::shared();
+        let client = QueryClient::new(ids[0], "Imaging", SimDuration::from_secs(1), 5, stats.clone());
+        let topo_site = glare_fabric::SiteId(0);
+        let cid = sim.add_actor(topo_site, Box::new(client));
+        let _ = cid;
+        sim.start();
+        sim.run_until(SimTime::from_secs(30));
+        let s = stats.lock();
+        assert_eq!(s.responses, 5);
+        assert_eq!(s.hits, 5, "all answered with deployments");
+        assert!(
+            s.mean_latency().unwrap() < SimDuration::from_millis(50),
+            "local answers are fast: {:?}",
+            s.mean_latency()
+        );
+    }
+
+    #[test]
+    fn remote_query_found_via_group_and_cached() {
+        let (mut sim, ids) = seeded_overlay(3, &[2], true);
+        let stats = ClientStats::shared();
+        let client = QueryClient::new(
+            ids[0],
+            "Imaging",
+            SimDuration::from_secs(2),
+            4,
+            stats.clone(),
+        );
+        sim.add_actor(glare_fabric::SiteId(0), Box::new(client));
+        sim.start();
+        sim.run_until(SimTime::from_secs(60));
+        let s = stats.lock();
+        assert_eq!(s.responses, 4);
+        assert_eq!(s.hits, 4);
+        // Later requests hit the cache and are faster than the first.
+        assert!(
+            *s.latencies.last().unwrap() < s.latencies[0],
+            "cached {:?} vs first {:?}",
+            s.latencies.last(),
+            s.latencies[0]
+        );
+        assert!(sim.metrics().counter_value("glare.cache_answers") >= 1);
+    }
+
+    #[test]
+    fn cache_off_never_speeds_up() {
+        let (mut sim, ids) = seeded_overlay(3, &[2], false);
+        let stats = ClientStats::shared();
+        let client = QueryClient::new(
+            ids[0],
+            "Imaging",
+            SimDuration::from_secs(2),
+            4,
+            stats.clone(),
+        );
+        sim.add_actor(glare_fabric::SiteId(0), Box::new(client));
+        sim.start();
+        sim.run_until(SimTime::from_secs(60));
+        let s = stats.lock();
+        assert_eq!(s.responses, 4);
+        assert_eq!(sim.metrics().counter_value("glare.cache_answers"), 0);
+    }
+
+    #[test]
+    fn query_across_groups_via_super_peers() {
+        // 7 nodes -> 2 groups. Deployment lives on the last node; client
+        // asks the first. If they land in different groups, resolution
+        // must traverse super-peers.
+        let (mut sim, ids) = seeded_overlay(7, &[6], true);
+        let stats = ClientStats::shared();
+        let client = QueryClient::new(
+            ids[0],
+            "Imaging",
+            SimDuration::from_secs(3),
+            3,
+            stats.clone(),
+        );
+        sim.add_actor(glare_fabric::SiteId(0), Box::new(client));
+        sim.start();
+        sim.run_until(SimTime::from_secs(120));
+        let s = stats.lock();
+        assert_eq!(s.responses, 3);
+        assert_eq!(s.hits, 3, "deployment found across groups");
+    }
+
+    #[test]
+    fn coordinator_contention_smaller_community_wins() {
+        // Two nodes both believe they hold a community index. §3.3: "A
+        // message from a smaller community is acknowledged in case of
+        // notifications from multiple indices." We model the second
+        // coordinator claiming a smaller community by giving it a short
+        // roster; every node must ack exactly one coordinator, and the
+        // overlay still converges to one super-peer per group.
+        let mut b = OverlayBuilder::new(4, 31);
+        b.configure(|i, cfg| {
+            if i == 1 {
+                cfg.has_community_index = true; // second, contending index
+            }
+            cfg.election_interval = None;
+        });
+        let (mut sim, _ids) = b.build();
+        sim.start();
+        sim.run_until(SimTime::from_secs(30));
+        // Both coordinators have the same community size (full roster), so
+        // the lower actor id (node 0) wins the tie; only its appointments
+        // land. One group of 4 => exactly one super-peer.
+        assert_eq!(
+            sim.metrics().counter_value("glare.superpeer_takeovers"),
+            1,
+            "contending coordinators must not create extra super-peers"
+        );
+    }
+
+    #[test]
+    fn super_peer_failure_triggers_reelection() {
+        // One group of 4: super-peer crashes; a member takes over after
+        // majority verification.
+        let (mut sim, _ids) = seeded_overlay(4, &[], true);
+        sim.start();
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.metrics().counter_value("glare.superpeer_takeovers"), 1);
+        // Crash the highest-ranked site (the super-peer). Ranks come from
+        // OverlayBuilder's topology; find it via the takeover counter by
+        // crashing each site until the counter moves — instead, crash all
+        // sites one at a time is overkill; the builder ranks by site spec,
+        // so recompute which site won.
+        let topo = sim.topology().clone();
+        let mut ranked: Vec<(u32, u64)> = (0..4u32)
+            .map(|i| {
+                (
+                    i,
+                    topo.site(glare_fabric::SiteId(i)).rank_hashcode(),
+                )
+            })
+            .collect();
+        ranked.sort_by_key(|r| std::cmp::Reverse(r.1));
+        let sp_site = glare_fabric::SiteId(ranked[0].0);
+        sim.schedule_crash(SimTime::from_secs(20), sp_site);
+        sim.run_until(SimTime::from_secs(120));
+        assert_eq!(
+            sim.metrics().counter_value("glare.superpeer_takeovers"),
+            2,
+            "a member must take over after the crash"
+        );
+    }
+
+    #[test]
+    fn queries_survive_super_peer_failure() {
+        // Compute which site will win the election up front, so the
+        // deployment can be placed on a *surviving* member.
+        let topo = glare_fabric::Topology::uniform(4);
+        let mut ranked: Vec<(u32, u64)> = (0..4u32)
+            .map(|i| (i, topo.site(glare_fabric::SiteId(i)).rank_hashcode()))
+            .collect();
+        ranked.sort_by_key(|r| std::cmp::Reverse(r.1));
+        let sp_site = ranked[0].0 as usize;
+        let deploy_site = (0..4).find(|&i| i != sp_site).unwrap();
+        let client_site = (0..4).find(|&i| i != sp_site && i != deploy_site).unwrap();
+        let (mut sim, ids) = seeded_overlay(4, &[deploy_site], true);
+        let stats = ClientStats::shared();
+        let client = QueryClient::new(
+            ids[client_site],
+            "Imaging",
+            SimDuration::from_secs(30),
+            4,
+            stats.clone(),
+        );
+        sim.add_actor(glare_fabric::SiteId(client_site as u32), Box::new(client));
+        sim.schedule_crash(SimTime::from_secs(15), glare_fabric::SiteId(sp_site as u32));
+        sim.start();
+        sim.run_until(SimTime::from_secs(300));
+        let s = stats.lock();
+        assert_eq!(s.responses, 4, "all queries answered despite SP crash");
+        assert_eq!(s.hits, 4, "deployment on a surviving site stays findable");
+    }
+}

@@ -1,0 +1,657 @@
+//! The Deployment Manager: on-demand, dependency-resolving automatic
+//! installation (§2.2's walkthrough, §3.4's mechanics).
+//!
+//! Given a requested activity (possibly an abstract type), the manager
+//! reproduces the paper's discovery-request procedure:
+//!
+//! 1. iterative lookup of concrete types in the VO;
+//! 2. if deployments exist anywhere, return their references;
+//! 3. otherwise pick an eligible target site (constraints + limits),
+//!    resolve the dependency closure (Java/Ant before JPOVray), and for
+//!    each missing package: fetch the deploy-file, plan it, and execute
+//!    the plan through a deployment channel (Expect or JavaCoG);
+//! 4. identify the produced executables/services, register the type and
+//!    its deployments on the target site, and notify.
+//!
+//! Every phase's cost is accounted in a [`CostBreakdown`] whose rows are
+//! exactly Table 1's.
+
+use std::collections::HashSet;
+
+use glare_fabric::{SimDuration, SimTime};
+use glare_services::gridftp;
+use glare_services::vfs::VPath;
+use glare_services::ChannelKind;
+use glare_services::{run_expect, ExpectError};
+
+use crate::deployfile::{DeployFile, PlannedAction};
+use crate::error::GlareError;
+use crate::grid::Grid;
+use crate::model::{ActivityDeployment, ActivityType, InstallMode};
+
+/// Cost of adding a new activity type to a site's registries, including
+/// deploy-file retrieval and validation (Table 1 "Activity Type Addition"
+/// ≈ 633 ms).
+pub const TYPE_ADDITION_COST: SimDuration = SimDuration::from_millis(630);
+
+/// Cost of registering the produced deployments of one installation
+/// (Table 1 "Activity Deployment Registration" ≈ 350 ms).
+pub const DEPLOYMENT_REGISTRATION_COST: SimDuration = SimDuration::from_millis(350);
+
+/// Per-phase costs matching Table 1's rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostBreakdown {
+    /// "Activity Type Addition".
+    pub type_addition: SimDuration,
+    /// "Communication Overhead" (file transfers).
+    pub communication: SimDuration,
+    /// "Activity Installation/Deployment" (unpack/configure/build/install).
+    pub installation: SimDuration,
+    /// "Activity Deployment Registration".
+    pub deployment_registration: SimDuration,
+    /// "Notification".
+    pub notification: SimDuration,
+    /// "Expect Overhead" / "JavaCoG Overhead".
+    pub channel_overhead: SimDuration,
+}
+
+impl CostBreakdown {
+    /// "Total overhead for meta-scheduler".
+    pub fn total(&self) -> SimDuration {
+        self.type_addition
+            + self.communication
+            + self.installation
+            + self.deployment_registration
+            + self.notification
+            + self.channel_overhead
+    }
+}
+
+/// Record of one package installed on one site.
+#[derive(Clone, Debug)]
+pub struct InstallReport {
+    /// Activity type installed.
+    pub type_name: String,
+    /// Target site name.
+    pub site: String,
+    /// Package deployed.
+    pub package: String,
+    /// Channel used.
+    pub channel: ChannelKind,
+    /// Cost rows.
+    pub breakdown: CostBreakdown,
+    /// Keys of the deployments registered.
+    pub deployments: Vec<String>,
+}
+
+/// A provisioning request from a client (scheduler/enactment engine).
+#[derive(Clone, Debug)]
+pub struct ProvisionRequest {
+    /// Requested activity type (abstract or concrete name).
+    pub activity: String,
+    /// Requesting client identity.
+    pub client: String,
+    /// Deployment channel to use for installs.
+    pub channel: ChannelKind,
+    /// Site the client talks to (its local GLARE service).
+    pub from_site: usize,
+    /// Preferred install target, if any.
+    pub preferred_site: Option<usize>,
+}
+
+/// Outcome of provisioning.
+#[derive(Clone, Debug)]
+pub struct ProvisionOutcome {
+    /// Usable deployments of the requested activity: `(site index, record)`.
+    pub deployments: Vec<(usize, ActivityDeployment)>,
+    /// Installs performed (empty when deployments already existed).
+    pub installs: Vec<InstallReport>,
+    /// End-to-end cost charged to the client.
+    pub total_cost: SimDuration,
+}
+
+/// Provision an activity: discover, and deploy on demand if needed.
+pub fn provision(
+    grid: &mut Grid,
+    req: &ProvisionRequest,
+    now: SimTime,
+) -> Result<ProvisionOutcome, GlareError> {
+    let (candidates, lookup_cost) = grid.resolve_concrete(req.from_site, &req.activity, now);
+    let mut total_cost = lookup_cost;
+    if candidates.is_empty() {
+        return Err(GlareError::NotFound {
+            what: format!("concrete type for {}", req.activity),
+        });
+    }
+
+    // Existing deployments anywhere in the VO satisfy the request.
+    for t in &candidates {
+        let found = grid.deployments_anywhere(&t.name, now);
+        if !found.is_empty() {
+            // Cache the references at the client's local site.
+            cache_remote(grid, req.from_site, &found, now);
+            total_cost += SimDuration::from_millis(2) * found.len() as u64;
+            return Ok(ProvisionOutcome {
+                deployments: found,
+                installs: Vec::new(),
+                total_cost,
+            });
+        }
+    }
+
+    // No deployment exists: install the first deployable candidate.
+    let target_type = candidates
+        .iter()
+        .find(|t| t.is_deployable())
+        .ok_or_else(|| GlareError::NotFound {
+            what: format!("deployable concrete type for {}", req.activity),
+        })?
+        .clone();
+
+    let eligible = grid.eligible_sites(&target_type, now);
+    let site = match req.preferred_site {
+        Some(p) if eligible.contains(&p) => p,
+        Some(_) | None => *eligible.first().ok_or(GlareError::NoEligibleSite {
+            type_name: target_type.name.clone(),
+        })?,
+    };
+
+    let mut installs = Vec::new();
+    let mut visiting = HashSet::new();
+    install_with_dependencies(
+        grid,
+        &target_type,
+        site,
+        req.channel,
+        now,
+        &mut visiting,
+        &mut installs,
+    )?;
+    total_cost += installs.iter().map(|r| r.breakdown.total()).sum();
+
+    let deployments = grid.deployments_anywhere(&target_type.name, now);
+    cache_remote(grid, req.from_site, &deployments, now);
+    Ok(ProvisionOutcome {
+        deployments,
+        installs,
+        total_cost,
+    })
+}
+
+/// Cache remote deployment references at a site (shared with the
+/// Request Manager).
+pub(crate) fn cache_remote(
+    grid: &mut Grid,
+    from_site: usize,
+    found: &[(usize, ActivityDeployment)],
+    now: SimTime,
+) {
+    let entries: Vec<(String, ActivityDeployment, Option<glare_wsrf::EndpointReference>)> = found
+        .iter()
+        .map(|(i, d)| {
+            let origin = grid.site(*i).name.clone();
+            let epr = grid.site(*i).adr.epr_of(&d.key, now);
+            (origin, d.clone(), epr)
+        })
+        .collect();
+    for (origin, d, epr) in entries {
+        if let Some(epr) = epr {
+            grid.site_mut(from_site)
+                .cache
+                .put_deployment(d, &origin, epr, now);
+        }
+    }
+}
+
+/// Depth-first dependency-closure installation onto one target site.
+pub fn install_with_dependencies(
+    grid: &mut Grid,
+    t: &ActivityType,
+    site: usize,
+    channel: ChannelKind,
+    now: SimTime,
+    visiting: &mut HashSet<String>,
+    reports: &mut Vec<InstallReport>,
+) -> Result<(), GlareError> {
+    if !visiting.insert(t.name.clone()) {
+        let mut path: Vec<String> = visiting.iter().cloned().collect();
+        path.sort();
+        path.push(t.name.clone());
+        return Err(GlareError::DependencyCycle { path });
+    }
+
+    let inst = t
+        .installation
+        .as_ref()
+        .ok_or_else(|| GlareError::InvalidType {
+            name: t.name.clone(),
+            reason: "abstract types cannot be installed".into(),
+        })?
+        .clone();
+
+    if inst.mode == InstallMode::Manual {
+        let site_name = grid.site(site).name.clone();
+        grid.notify_admin(site, &t.name, "manual installation required", &t.provider_contact);
+        visiting.remove(&t.name);
+        return Err(GlareError::ManualInstallRequired {
+            type_name: t.name.clone(),
+            site: site_name,
+        });
+    }
+
+    if !inst.constraints.accepts(&grid.site(site).host.platform) {
+        visiting.remove(&t.name);
+        return Err(GlareError::NoEligibleSite {
+            type_name: t.name.clone(),
+        });
+    }
+
+    // Dependencies first (§2.2: Java and Ant before JPOVray).
+    for dep_name in &t.dependencies {
+        let (dep_type, _, _) =
+            grid.find_type(site, dep_name, now)
+                .ok_or_else(|| GlareError::NotFound {
+                    what: format!("dependency type {dep_name}"),
+                })?;
+        let dep_pkg = dep_type
+            .installation
+            .as_ref()
+            .map(|i| i.package.clone())
+            .unwrap_or_default();
+        if grid.site(site).host.is_installed(&dep_pkg) {
+            continue;
+        }
+        install_with_dependencies(grid, &dep_type, site, channel, now, visiting, reports)?;
+    }
+
+    let report = install_package(grid, t, site, channel, now)?;
+    reports.push(report);
+    visiting.remove(&t.name);
+    Ok(())
+}
+
+/// Install one package on one site through a channel, producing the
+/// Table 1 cost rows.
+pub fn install_package(
+    grid: &mut Grid,
+    t: &ActivityType,
+    site: usize,
+    channel: ChannelKind,
+    now: SimTime,
+) -> Result<InstallReport, GlareError> {
+    let inst = t.installation.as_ref().expect("checked by caller");
+    let spec = glare_services::packages::by_name(&inst.package).ok_or_else(|| {
+        GlareError::InstallFailed {
+            type_name: t.name.clone(),
+            site: grid.site(site).name.clone(),
+            detail: format!("unknown package {}", inst.package),
+        }
+    })?;
+    let mut breakdown = CostBreakdown {
+        channel_overhead: channel.fixed_overhead(),
+        ..CostBreakdown::default()
+    };
+
+    // Dynamic type registration at the target site (+ deploy-file fetch
+    // and validation).
+    let site_name = grid.site(site).name.clone();
+    if !grid.site(site).atr.contains(&t.name, now) {
+        grid.site_mut(site).atr.register(t.clone(), now)?;
+    }
+    breakdown.type_addition += TYPE_ADDITION_COST;
+
+    // Plan the deploy-file.
+    let archive_md5 = grid.repo.md5_of(&spec.archive_url);
+    let deploy_file = DeployFile::for_package(&spec, archive_md5);
+    let env = grid.site(site).host.default_env();
+    let plan = deploy_file.plan(&env)?;
+    let dialog = deploy_file.dialog.clone();
+
+    // Execute.
+    let link = grid.link;
+    let mut session = grid.site(site).host.open_session();
+    for action in &plan {
+        match action {
+            PlannedAction::Transfer {
+                step,
+                url,
+                destination,
+                md5,
+                timeout_secs,
+            } => {
+                let repo = grid.repo.clone();
+                let receipt = gridftp::download(
+                    &repo,
+                    url,
+                    &mut grid.site_mut(site).host,
+                    &VPath::new(destination),
+                    link,
+                    *md5,
+                )?;
+                let cost = receipt
+                    .cost
+                    .mul_f64(channel.transfer_cost_factor())
+                    + channel.transfer_extra_setup();
+                check_timeout(t, &site_name, step, cost, *timeout_secs)?;
+                breakdown.communication += cost;
+            }
+            PlannedAction::Shell {
+                step,
+                command,
+                workdir,
+                timeout_secs,
+            } => {
+                let host = &mut grid.site_mut(site).host;
+                // Enter the step's working directory (create it if the
+                // deploy-file expects it, as Fig. 9's Init step does).
+                let _ = host.exec(&mut session, &format!("mkdir -p {workdir}"));
+                let cd = host
+                    .exec(&mut session, &format!("cd {workdir}"))
+                    .expect_done("cd");
+                if !cd.success() {
+                    return Err(GlareError::InstallFailed {
+                        type_name: t.name.clone(),
+                        site: site_name,
+                        detail: format!("step {step}: cannot enter {workdir}"),
+                    });
+                }
+                match run_expect(host, &mut session, command, &dialog) {
+                    Ok(out) => {
+                        check_timeout(t, &site_name, step, out.result.cost, *timeout_secs)?;
+                        breakdown.installation += out.result.cost;
+                        breakdown.channel_overhead += channel.step_overhead(out.result.cost);
+                    }
+                    Err(e) => {
+                        // §3.4: failure notifies the target administrator.
+                        grid.notify_admin(
+                            site,
+                            &t.name,
+                            &format!("installation failed at step {step}"),
+                            &t.provider_contact,
+                        );
+                        let detail = match e {
+                            ExpectError::UnmatchedPrompt { prompt } => {
+                                format!("step {step}: unanswered prompt {prompt:?}")
+                            }
+                            ExpectError::CommandFailed(r) => {
+                                format!("step {step}: exit {}: {}", r.exit_code, r.stdout)
+                            }
+                        };
+                        return Err(GlareError::InstallFailed {
+                            type_name: t.name.clone(),
+                            site: site_name,
+                            detail,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Identify the produced deployments: the install record's executables
+    // and services, or a bin/ exploration fallback (§3.4).
+    let record = grid
+        .site(site)
+        .host
+        .installation(&spec.name)
+        .cloned()
+        .ok_or_else(|| GlareError::InstallFailed {
+            type_name: t.name.clone(),
+            site: site_name.clone(),
+            detail: "plan completed but package not recorded as installed".into(),
+        })?;
+    let mut deployments: Vec<ActivityDeployment> = Vec::new();
+    let mut executables = record.executables.clone();
+    if executables.is_empty() && record.services.is_empty() {
+        executables = grid
+            .site(site)
+            .host
+            .vfs
+            .find_executables(&record.home);
+    }
+    for exe in &executables {
+        deployments.push(ActivityDeployment::executable(
+            &t.name,
+            &site_name,
+            exe.as_str(),
+            record.home.as_str(),
+        ));
+    }
+    for svc in &record.services {
+        let address = grid
+            .site(site)
+            .host
+            .service_address(svc)
+            .unwrap_or_else(|| format!("https://{site_name}:8084/wsrf/services/{svc}"));
+        deployments.push(ActivityDeployment::service(&t.name, &site_name, svc, &address));
+    }
+
+    let keys: Vec<String> = deployments.iter().map(|d| d.key.clone()).collect();
+    {
+        let site_ref = grid.site_mut(site);
+        for d in deployments {
+            // Type is present (registered above); tolerate re-registration
+            // of the same key on repeated installs.
+            let _ = site_ref.adr.register(d, &site_ref.atr, now);
+        }
+    }
+    breakdown.deployment_registration +=
+        DEPLOYMENT_REGISTRATION_COST + SimDuration::from_millis(2) * keys.len() as u64;
+    breakdown.notification += grid.notify_admin(
+        site,
+        &t.name,
+        "activity deployed",
+        &t.provider_contact,
+    );
+
+    Ok(InstallReport {
+        type_name: t.name.clone(),
+        site: site_name,
+        package: spec.name,
+        channel,
+        breakdown,
+        deployments: keys,
+    })
+}
+
+fn check_timeout(
+    t: &ActivityType,
+    site: &str,
+    step: &str,
+    cost: SimDuration,
+    timeout_secs: u64,
+) -> Result<(), GlareError> {
+    if timeout_secs > 0 && cost > SimDuration::from_secs(timeout_secs) {
+        return Err(GlareError::InstallFailed {
+            type_name: t.name.clone(),
+            site: site.to_owned(),
+            detail: format!(
+                "step {step} exceeded its {timeout_secs}s timeout (took {cost})"
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::model::example_hierarchy;
+    use glare_services::Transport;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn grid() -> Grid {
+        let mut g = Grid::new(3, Transport::Http);
+        for ty in example_hierarchy(SimTime::ZERO) {
+            g.register_type(0, ty, t(0)).unwrap();
+        }
+        g
+    }
+
+    fn req(activity: &str, from: usize) -> ProvisionRequest {
+        ProvisionRequest {
+            activity: activity.to_owned(),
+            client: "scheduler".into(),
+            channel: ChannelKind::Expect,
+            from_site: from,
+            preferred_site: None,
+        }
+    }
+
+    #[test]
+    fn end_to_end_jpovray_with_dependencies() {
+        let mut g = grid();
+        // Request the *abstract* type from a different site (§2.2 flow).
+        let out = provision(&mut g, &req("ImageConversion", 1), t(1));
+        assert!(out.is_err(), "unknown abstract type");
+        let out = provision(&mut g, &req("Imaging", 1), t(1)).unwrap();
+        // Dependencies installed in order: java, ant, then jpovray.
+        let order: Vec<&str> = out.installs.iter().map(|r| r.package.as_str()).collect();
+        assert_eq!(order, vec!["java", "ant", "jpovray"]);
+        // JPOVray produced both an executable and the WS-JPOVray service.
+        let cats: Vec<&str> = out
+            .deployments
+            .iter()
+            .map(|(_, d)| d.access.category())
+            .collect();
+        assert!(cats.contains(&"executable"));
+        assert!(cats.contains(&"service"));
+        // All on the same (first eligible) site.
+        let target = out.installs[0].site.clone();
+        assert!(out.installs.iter().all(|r| r.site == target));
+        assert!(out.total_cost > SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn second_request_reuses_deployments() {
+        let mut g = grid();
+        let first = provision(&mut g, &req("Imaging", 1), t(1)).unwrap();
+        assert!(!first.installs.is_empty());
+        let second = provision(&mut g, &req("POVray", 2), t(2)).unwrap();
+        assert!(second.installs.is_empty(), "no new install needed");
+        assert_eq!(second.deployments.len(), first.deployments.len());
+        assert!(
+            second.total_cost < first.total_cost / 10,
+            "reuse must be far cheaper: {} vs {}",
+            second.total_cost,
+            first.total_cost
+        );
+        // The requesting site cached the references.
+        assert!(g.site(2).cache.len() >= 2);
+    }
+
+    #[test]
+    fn breakdown_rows_populated() {
+        let mut g = grid();
+        let out = provision(&mut g, &req("Wien2k", 0), t(1)).unwrap();
+        assert_eq!(out.installs.len(), 1);
+        let b = &out.installs[0].breakdown;
+        assert_eq!(b.type_addition, TYPE_ADDITION_COST);
+        assert!(b.communication > SimDuration::from_millis(500), "21 MB transfer");
+        assert!(b.installation >= SimDuration::from_millis(8_000), "unpack+install");
+        assert!(b.deployment_registration >= DEPLOYMENT_REGISTRATION_COST);
+        assert_eq!(b.notification, crate::grid::NOTIFICATION_COST);
+        assert!(b.channel_overhead >= ChannelKind::Expect.fixed_overhead());
+        assert_eq!(
+            b.total(),
+            b.type_addition
+                + b.communication
+                + b.installation
+                + b.deployment_registration
+                + b.notification
+                + b.channel_overhead
+        );
+    }
+
+    #[test]
+    fn javacog_total_exceeds_expect_total() {
+        let mut g1 = grid();
+        let mut g2 = grid();
+        let e = provision(&mut g1, &req("Invmod", 0), t(1)).unwrap();
+        let mut r = req("Invmod", 0);
+        r.channel = ChannelKind::JavaCog;
+        let c = provision(&mut g2, &r, t(1)).unwrap();
+        let et = e.installs[0].breakdown.total();
+        let ct = c.installs[0].breakdown.total();
+        assert!(ct > et, "JavaCoG {ct} must exceed Expect {et}");
+        assert_eq!(
+            e.installs[0].breakdown.installation,
+            c.installs[0].breakdown.installation,
+            "intrinsic work identical"
+        );
+    }
+
+    #[test]
+    fn manual_mode_notifies_admin() {
+        let mut g = grid();
+        let mut manual = ActivityType::concrete_type("ManualApp", "d", "wien2k");
+        manual.installation.as_mut().unwrap().mode = InstallMode::Manual;
+        manual.provider_contact = "provider@example.org".into();
+        g.register_type(0, manual, t(0)).unwrap();
+        let err = provision(&mut g, &req("ManualApp", 0), t(1)).unwrap_err();
+        assert!(matches!(err, GlareError::ManualInstallRequired { .. }));
+        assert_eq!(g.notifications.len(), 1);
+        assert_eq!(g.notifications[0].provider_contact, "provider@example.org");
+    }
+
+    #[test]
+    fn unsatisfiable_constraints_fail() {
+        let mut g = grid();
+        let ty = ActivityType::concrete_type("Exotic", "d", "wien2k").with_constraints(
+            crate::model::InstallConstraints {
+                os: Some("IRIX".into()),
+                ..Default::default()
+            },
+        );
+        g.register_type(0, ty, t(0)).unwrap();
+        let err = provision(&mut g, &req("Exotic", 0), t(1)).unwrap_err();
+        assert!(matches!(err, GlareError::NoEligibleSite { .. }));
+    }
+
+    #[test]
+    fn dependency_cycle_detected() {
+        let mut g = grid();
+        g.register_type(
+            0,
+            ActivityType::concrete_type("CycA", "d", "wien2k").depends_on("CycB"),
+            t(0),
+        )
+        .unwrap();
+        g.register_type(
+            0,
+            ActivityType::concrete_type("CycB", "d", "invmod").depends_on("CycA"),
+            t(0),
+        )
+        .unwrap();
+        let err = provision(&mut g, &req("CycA", 0), t(1)).unwrap_err();
+        assert!(matches!(err, GlareError::DependencyCycle { .. }), "{err}");
+    }
+
+    #[test]
+    fn preferred_site_honored_when_eligible() {
+        let mut g = grid();
+        let mut r = req("Wien2k", 0);
+        r.preferred_site = Some(2);
+        let out = provision(&mut g, &r, t(1)).unwrap();
+        assert_eq!(out.installs[0].site, "site2.agrid.example");
+    }
+
+    #[test]
+    fn counter_service_deployment() {
+        let mut g = grid();
+        let out = provision(&mut g, &req("Counter", 0), t(1)).unwrap();
+        // java dependency first, then the gar.
+        let pkgs: Vec<&str> = out.installs.iter().map(|r| r.package.as_str()).collect();
+        assert_eq!(pkgs, vec!["java", "counter"]);
+        let (_, d) = &out.deployments[0];
+        assert_eq!(d.access.category(), "service");
+        assert!(matches!(
+            &d.access,
+            crate::model::DeploymentAccess::Service { address } if address.contains("CounterService")
+        ));
+    }
+}

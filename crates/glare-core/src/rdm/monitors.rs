@@ -1,0 +1,304 @@
+//! The RDM's monitoring components.
+//!
+//! * **Cache Refresher** — "updates cached resources if and when they
+//!   change on the source Grid site. Outdated resources are discarded
+//!   automatically" (§3.2). Change detection compares the origin's
+//!   current `LastUpdateTime` against the cached EPR's.
+//! * **Deployment Status Monitor** — "checks the status of each locally
+//!   registered activity deployment and updates its resource and endpoint
+//!   reference" (§3.2): a heartbeat that bumps LUTs while the artifact is
+//!   healthy and marks it failed when the installation vanished.
+//! * **Migration** — "if a deployment fails on one site, it can be moved
+//!   to another site" (§3.3): failed deployments are re-provisioned on
+//!   another eligible site and dropped from the failing one.
+
+use glare_fabric::SimTime;
+use glare_services::ChannelKind;
+
+use crate::cache::Freshness;
+use crate::error::GlareError;
+use crate::grid::Grid;
+use crate::model::{DeploymentAccess, DeploymentStatus};
+use crate::rdm::deploy_manager::{install_with_dependencies, InstallReport};
+
+/// Result of one cache-refresh pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefreshReport {
+    /// Entries inspected.
+    pub checked: usize,
+    /// Entries revived with fresher origin state.
+    pub revived: usize,
+    /// Entries evicted because the origin no longer has them.
+    pub evicted: usize,
+    /// Entries discarded for age.
+    pub discarded: usize,
+}
+
+/// The Cache Refresher of one site.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheRefresher;
+
+impl CacheRefresher {
+    /// Run one refresh pass for `site`'s cache against the origins.
+    pub fn refresh(grid: &mut Grid, site: usize, now: SimTime) -> RefreshReport {
+        let mut report = RefreshReport::default();
+        let origins = grid.site(site).cache.deployment_origins();
+        for (key, origin_name) in origins {
+            report.checked += 1;
+            let Some(origin_idx) = grid.site_index(&origin_name) else {
+                grid.site_mut(site).cache.evict_deployment(&key);
+                report.evicted += 1;
+                continue;
+            };
+            match grid.site(origin_idx).adr.epr_of(&key, now) {
+                None => {
+                    // Origin destroyed the resource.
+                    grid.site_mut(site).cache.evict_deployment(&key);
+                    report.evicted += 1;
+                }
+                Some(current) => {
+                    if grid.site(site).cache.freshness(&key, &current)
+                        == Some(Freshness::Stale)
+                    {
+                        if let Some(resp) = grid.site(origin_idx).adr.lookup(&key, now) {
+                            grid.site_mut(site)
+                                .cache
+                                .revive_deployment(resp.value, current, now);
+                            report.revived += 1;
+                        }
+                    }
+                }
+            }
+        }
+        report.discarded = grid.site_mut(site).cache.discard_outdated(now);
+        report
+    }
+}
+
+/// Result of one status-monitor pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatusReport {
+    /// Deployments inspected.
+    pub checked: usize,
+    /// Healthy deployments touched (LUT bumped).
+    pub touched: usize,
+    /// Deployments newly marked failed.
+    pub failed: Vec<String>,
+}
+
+/// The Deployment Status Monitor of one site.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeploymentStatusMonitor;
+
+impl DeploymentStatusMonitor {
+    /// Check every deployment registered at `site` against the host's
+    /// actual state.
+    pub fn run(grid: &mut Grid, site: usize, now: SimTime) -> StatusReport {
+        let mut report = StatusReport::default();
+        let keys = grid.site(site).adr.keys(now);
+        for key in keys {
+            report.checked += 1;
+            let Some(resp) = grid.site(site).adr.lookup(&key, now) else {
+                continue;
+            };
+            let healthy = match &resp.value.access {
+                DeploymentAccess::Executable { path, .. } => {
+                    let host = &grid.site(site).host;
+                    host.vfs
+                        .read_file(&glare_services::vfs::VPath::new(path))
+                        .map(|f| f.executable)
+                        .unwrap_or(false)
+                }
+                DeploymentAccess::Service { .. } => {
+                    // Service health = still running in the container.
+                    match &resp.value.access {
+                        DeploymentAccess::Service { address } => grid
+                            .site(site)
+                            .host
+                            .running_services()
+                            .iter()
+                            .any(|s| address.contains(s.as_str())),
+                        _ => unreachable!(),
+                    }
+                }
+            };
+            let s = grid.site_mut(site);
+            if healthy {
+                let _ = s.adr.touch(&key, now);
+                report.touched += 1;
+            } else if resp.value.status != DeploymentStatus::Failed {
+                let _ = s.adr.set_status(&key, DeploymentStatus::Failed, now);
+                report.failed.push(key);
+            }
+        }
+        report
+    }
+
+    /// Migrate every *failed* deployment at `site` to another eligible
+    /// site: install the type there, then drop the failed record.
+    pub fn migrate_failed(
+        grid: &mut Grid,
+        site: usize,
+        channel: ChannelKind,
+        now: SimTime,
+    ) -> Result<Vec<InstallReport>, GlareError> {
+        let keys = grid.site(site).adr.keys(now);
+        let mut installs = Vec::new();
+        for key in keys {
+            let Some(resp) = grid.site(site).adr.lookup(&key, now) else {
+                continue;
+            };
+            if resp.value.status != DeploymentStatus::Failed {
+                continue;
+            }
+            let type_name = resp.value.type_name.clone();
+            // If a usable deployment of the type already exists on another
+            // site (e.g. an earlier key of this pass migrated the package),
+            // just drop the failed record.
+            if grid
+                .deployments_anywhere(&type_name, now)
+                .iter()
+                .any(|(i, _)| *i != site)
+            {
+                let _ = grid.site_mut(site).adr.remove(&key);
+                continue;
+            }
+            let Some((t, _, _)) = grid.find_type(site, &type_name, now) else {
+                continue;
+            };
+            let eligible: Vec<usize> = grid
+                .eligible_sites(&t, now)
+                .into_iter()
+                .filter(|&i| i != site)
+                .collect();
+            let Some(&target) = eligible.first() else {
+                continue; // nowhere to go; keep the failed record visible
+            };
+            let mut visiting = std::collections::HashSet::new();
+            install_with_dependencies(grid, &t, target, channel, now, &mut visiting, &mut installs)?;
+            let _ = grid.site_mut(site).adr.remove(&key);
+        }
+        Ok(installs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::example_hierarchy;
+    use crate::rdm::deploy_manager::{provision, ProvisionRequest};
+    use glare_services::Transport;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn provisioned_grid() -> Grid {
+        let mut g = Grid::new(3, Transport::Http);
+        for ty in example_hierarchy(SimTime::ZERO) {
+            g.register_type(0, ty, t(0)).unwrap();
+        }
+        provision(
+            &mut g,
+            &ProvisionRequest {
+                activity: "Wien2k".into(),
+                client: "c".into(),
+                channel: ChannelKind::Expect,
+                from_site: 1,
+                preferred_site: Some(0),
+            },
+            t(1),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn status_monitor_touches_healthy() {
+        let mut g = provisioned_grid();
+        let r = DeploymentStatusMonitor::run(&mut g, 0, t(100));
+        assert!(r.checked >= 3, "wien2k registers 3 executables");
+        assert_eq!(r.touched, r.checked);
+        assert!(r.failed.is_empty());
+    }
+
+    #[test]
+    fn status_monitor_detects_lost_install() {
+        let mut g = provisioned_grid();
+        // Destroy the installation behind the registry's back.
+        g.site_mut(0).host.uninstall("wien2k").unwrap();
+        let r = DeploymentStatusMonitor::run(&mut g, 0, t(100));
+        assert_eq!(r.failed.len(), 3);
+        // Registry no longer offers them.
+        assert!(g.site(0).adr.deployments_of("Wien2k", t(101)).value.is_empty());
+    }
+
+    #[test]
+    fn migration_moves_failed_deployments() {
+        let mut g = provisioned_grid();
+        g.site_mut(0).host.uninstall("wien2k").unwrap();
+        DeploymentStatusMonitor::run(&mut g, 0, t(100));
+        let installs =
+            DeploymentStatusMonitor::migrate_failed(&mut g, 0, ChannelKind::Expect, t(101))
+                .unwrap();
+        assert_eq!(installs.len(), 1);
+        assert_ne!(installs[0].site, "site0.agrid.example");
+        // New deployments live elsewhere; failed ones removed at site0.
+        let anywhere = g.deployments_anywhere("Wien2k", t(102));
+        assert_eq!(anywhere.len(), 3);
+        assert!(anywhere.iter().all(|(i, _)| *i != 0));
+    }
+
+    #[test]
+    fn cache_refresher_revives_stale_entries() {
+        let mut g = provisioned_grid();
+        // Site 1 cached the references during provisioning.
+        assert!(!g.site(1).cache.is_empty());
+        let keys: Vec<String> = g
+            .site(1)
+            .cache
+            .deployment_origins()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        // Origin bumps its LUT (status monitor heartbeat).
+        for k in &keys {
+            g.site_mut(0).adr.touch(k, t(50)).unwrap();
+        }
+        let r = CacheRefresher::refresh(&mut g, 1, t(60));
+        assert_eq!(r.checked, keys.len());
+        assert_eq!(r.revived, keys.len(), "all entries were stale");
+        // A second pass finds everything fresh.
+        let r2 = CacheRefresher::refresh(&mut g, 1, t(61));
+        assert_eq!(r2.revived, 0);
+    }
+
+    #[test]
+    fn cache_refresher_evicts_destroyed_origins() {
+        let mut g = provisioned_grid();
+        let keys: Vec<String> = g
+            .site(1)
+            .cache
+            .deployment_origins()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        for k in &keys {
+            g.site_mut(0).adr.remove(k).unwrap();
+        }
+        let r = CacheRefresher::refresh(&mut g, 1, t(60));
+        assert_eq!(r.evicted, keys.len());
+        assert_eq!(g.site(1).cache.len(), 0);
+    }
+
+    #[test]
+    fn cache_refresher_discards_aged_entries() {
+        let mut g = provisioned_grid();
+        let n = g.site(1).cache.len();
+        assert!(n > 0);
+        // Far beyond DEFAULT_CACHE_AGE without refresh opportunities:
+        // origin EPRs unchanged, so nothing revives, and age wins.
+        let r = CacheRefresher::refresh(&mut g, 1, t(100_000));
+        assert_eq!(r.discarded, n);
+    }
+}

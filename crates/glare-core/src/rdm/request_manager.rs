@@ -1,0 +1,265 @@
+//! The Request Manager: client-facing discovery.
+//!
+//! "The Request Manager receives and handles requests both from clients
+//! (in the form of queries) and from activity providers (in the form of
+//! updates)" (§3.2). Discovery follows the locality ladder of §3.2 "Local
+//! Access": the client only ever talks to its local site; the local site
+//! answers from its own registry, then its cache, then the rest of the
+//! VO — caching whatever it learns.
+
+use glare_fabric::{SimDuration, SimTime};
+
+use crate::error::GlareError;
+use crate::grid::Grid;
+use crate::model::ActivityDeployment;
+
+/// Where a discovery answer came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiscoverySource {
+    /// The site's own deployment registry.
+    LocalRegistry,
+    /// The site's cache of remote resources.
+    LocalCache,
+    /// Fetched from another site (index of the answering site).
+    RemoteSite(usize),
+}
+
+/// A resolved deployment list with provenance and cost.
+#[derive(Clone, Debug)]
+pub struct ResolveOutcome {
+    /// Usable deployments found.
+    pub deployments: Vec<ActivityDeployment>,
+    /// Where the answer came from.
+    pub source: DiscoverySource,
+    /// End-to-end cost charged to the client.
+    pub cost: SimDuration,
+}
+
+/// Cost of serving a hit from the local cache.
+pub const CACHE_HIT_COST: SimDuration = SimDuration::from_millis(1);
+
+/// The request manager of one site.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestManager {
+    /// Whether the local cache participates in resolution (Fig. 12's
+    /// cache-on/off switch).
+    pub use_cache: bool,
+}
+
+impl Default for RequestManager {
+    fn default() -> Self {
+        RequestManager { use_cache: true }
+    }
+}
+
+impl RequestManager {
+    /// New manager.
+    pub fn new(use_cache: bool) -> Self {
+        RequestManager { use_cache }
+    }
+
+    /// Answer "give me the deployments able to provide `activity`"
+    /// (Example 3's `Get ImageConversion deployments using local GLARE`).
+    pub fn list_deployments(
+        &self,
+        grid: &mut Grid,
+        from_site: usize,
+        activity: &str,
+        now: SimTime,
+    ) -> Result<ResolveOutcome, GlareError> {
+        // Resolve the (possibly abstract) activity to concrete type names,
+        // preferring purely local hierarchy knowledge.
+        let local = grid.site_mut(from_site).atr.resolve_concrete(activity, now);
+        let mut cost = local.cost;
+        let mut concrete: Vec<String> = local.value.iter().map(|t| t.name.clone()).collect();
+        if concrete.is_empty() {
+            let (types, c) = grid.resolve_concrete(from_site, activity, now);
+            cost += c;
+            concrete = types.into_iter().map(|t| t.name).collect();
+        }
+        if concrete.is_empty() {
+            return Err(GlareError::NotFound {
+                what: format!("concrete type for {activity}"),
+            });
+        }
+
+        // 1. Local registry.
+        for name in &concrete {
+            let resp = grid.site(from_site).adr.deployments_of(name, now);
+            if !resp.value.is_empty() {
+                return Ok(ResolveOutcome {
+                    deployments: resp.value,
+                    source: DiscoverySource::LocalRegistry,
+                    cost: cost + resp.cost,
+                });
+            }
+            cost += resp.cost;
+        }
+
+        // 2. Local cache.
+        if self.use_cache {
+            for name in &concrete {
+                let hits = grid.site_mut(from_site).cache.deployments_of(name, now);
+                if !hits.is_empty() {
+                    return Ok(ResolveOutcome {
+                        deployments: hits,
+                        source: DiscoverySource::LocalCache,
+                        cost: cost + CACHE_HIT_COST,
+                    });
+                }
+            }
+            cost += CACHE_HIT_COST;
+        }
+
+        // 3. The rest of the VO (one round-trip per probed site).
+        let rtt = grid.link.transfer_time(1024) * 2;
+        let site_count = grid.len();
+        for i in (0..site_count).filter(|&i| i != from_site) {
+            cost += rtt;
+            for name in &concrete {
+                let resp = grid.site(i).adr.deployments_of(name, now);
+                cost += resp.cost;
+                if !resp.value.is_empty() {
+                    // Cache what we learned (§3.1: "a resource discovered
+                    // from a remote registry is optionally cached locally").
+                    if self.use_cache {
+                        let found: Vec<(usize, ActivityDeployment)> =
+                            resp.value.iter().map(|d| (i, d.clone())).collect();
+                        super::deploy_manager::cache_remote(grid, from_site, &found, now);
+                    }
+                    return Ok(ResolveOutcome {
+                        deployments: resp.value,
+                        source: DiscoverySource::RemoteSite(i),
+                        cost,
+                    });
+                }
+            }
+        }
+
+        Err(GlareError::NotFound {
+            what: format!("deployments of {activity}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{example_hierarchy, ActivityDeployment, ActivityType};
+    use glare_services::Transport;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Grid with types on every site (post-distribution state) and one
+    /// JPOVray deployment registered at `deploy_site`.
+    fn grid_with_deployment(n: usize, deploy_site: usize) -> Grid {
+        let mut g = Grid::new(n, Transport::Http);
+        for i in 0..n {
+            for ty in example_hierarchy(SimTime::ZERO) {
+                g.register_type(i, ty, t(0)).unwrap();
+            }
+        }
+        let d = ActivityDeployment::executable(
+            "JPOVray",
+            &g.site(deploy_site).name.clone(),
+            "/opt/deployments/jpovray/bin/jpovray",
+            "/opt/deployments/jpovray",
+        );
+        let site = g.site_mut(deploy_site);
+        site.adr.register(d, &site.atr, t(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn local_registry_wins() {
+        let mut g = grid_with_deployment(3, 1);
+        let rm = RequestManager::new(true);
+        let out = rm.list_deployments(&mut g, 1, "Imaging", t(1)).unwrap();
+        assert_eq!(out.source, DiscoverySource::LocalRegistry);
+        assert_eq!(out.deployments.len(), 1);
+    }
+
+    #[test]
+    fn remote_then_cache() {
+        let mut g = grid_with_deployment(3, 2);
+        let rm = RequestManager::new(true);
+        let first = rm.list_deployments(&mut g, 0, "Imaging", t(1)).unwrap();
+        assert_eq!(first.source, DiscoverySource::RemoteSite(2));
+        let second = rm.list_deployments(&mut g, 0, "Imaging", t(2)).unwrap();
+        assert_eq!(second.source, DiscoverySource::LocalCache);
+        assert!(
+            second.cost < first.cost,
+            "cache hit {} must beat remote {}",
+            second.cost,
+            first.cost
+        );
+    }
+
+    #[test]
+    fn cache_disabled_always_goes_remote() {
+        let mut g = grid_with_deployment(3, 2);
+        let rm = RequestManager::new(false);
+        let first = rm.list_deployments(&mut g, 0, "Imaging", t(1)).unwrap();
+        let second = rm.list_deployments(&mut g, 0, "Imaging", t(2)).unwrap();
+        assert_eq!(first.source, DiscoverySource::RemoteSite(2));
+        assert_eq!(second.source, DiscoverySource::RemoteSite(2));
+    }
+
+    #[test]
+    fn abstract_request_resolves_through_hierarchy() {
+        let mut g = grid_with_deployment(2, 0);
+        let rm = RequestManager::new(true);
+        for name in ["Imaging", "POVray", "JPOVray"] {
+            let out = rm.list_deployments(&mut g, 0, name, t(1)).unwrap();
+            assert_eq!(out.deployments.len(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_activity_errors() {
+        let mut g = grid_with_deployment(2, 0);
+        let rm = RequestManager::new(true);
+        assert!(matches!(
+            rm.list_deployments(&mut g, 0, "Ghost", t(1)),
+            Err(GlareError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn no_deployments_anywhere_errors() {
+        let mut g = Grid::new(2, Transport::Http);
+        for i in 0..2 {
+            g.register_type(
+                i,
+                ActivityType::concrete_type("Lonely", "d", "wien2k"),
+                t(0),
+            )
+            .unwrap();
+        }
+        let rm = RequestManager::new(true);
+        let err = rm.list_deployments(&mut g, 0, "Lonely", t(1)).unwrap_err();
+        assert!(matches!(err, GlareError::NotFound { .. }));
+    }
+
+    #[test]
+    fn type_known_only_remotely_still_resolves() {
+        // Types registered on site0 only; client on site1.
+        let mut g = Grid::new(2, Transport::Http);
+        for ty in example_hierarchy(SimTime::ZERO) {
+            g.register_type(0, ty, t(0)).unwrap();
+        }
+        let d = ActivityDeployment::executable(
+            "JPOVray",
+            "site0.agrid.example",
+            "/opt/deployments/jpovray/bin/jpovray",
+            "/opt/deployments/jpovray",
+        );
+        let site = g.site_mut(0);
+        site.adr.register(d, &site.atr, t(0)).unwrap();
+        let rm = RequestManager::new(true);
+        let out = rm.list_deployments(&mut g, 1, "Imaging", t(1)).unwrap();
+        assert_eq!(out.source, DiscoverySource::RemoteSite(0));
+    }
+}

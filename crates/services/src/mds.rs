@@ -1,0 +1,326 @@
+//! WS-MDS (GT4 Index Service) — the paper's baseline.
+//!
+//! "Note that, although Index Service is normally used for physical
+//! resources but the underlying aggregation framework ... is same for both
+//! GT4 Index service and GLARE registries. Therefore it is logical to make
+//! this comparison" (§4).
+//!
+//! The index aggregates member content in a WSRF [`ServiceGroup`] and
+//! answers **every** query — including lookups by name — through an XPath
+//! scan of the materialized aggregate document. That O(entries) per-query
+//! cost, contrasted with the registries' hashtable fast path, is the whole
+//! Fig. 10/11 story. The GT4 deployment is hierarchical: each site runs a
+//! *Default Index* that registers upstream into the VO-level *Community
+//! Index* (§3.3 builds peer groups from exactly this hierarchy).
+
+use glare_fabric::{SimDuration, SimTime};
+use glare_wsrf::{ServiceGroup, WsrfError, XmlNode};
+
+use crate::security::Transport;
+
+/// Role of an index in the GT4 hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndexKind {
+    /// Per-site local index.
+    Default,
+    /// VO-level root index.
+    Community,
+}
+
+/// Base cost of accepting and parsing any request.
+pub const REQUEST_BASE_COST: SimDuration = SimDuration::from_millis(4);
+
+/// Cost of scanning one aggregated entry during an XPath query.
+pub const SCAN_PER_ENTRY_COST: SimDuration = SimDuration::from_micros(120);
+
+/// Cost of registering/refreshing one entry.
+pub const REGISTER_COST: SimDuration = SimDuration::from_millis(6);
+
+/// Default soft-state lifetime of index entries.
+pub const DEFAULT_ENTRY_LIFETIME: SimDuration = SimDuration::from_secs(600);
+
+/// Approximate serialized size of one aggregated entry on the wire.
+pub const ENTRY_WIRE_BYTES: u64 = 1_200;
+
+/// A GT4-style index service.
+#[derive(Clone, Debug)]
+pub struct IndexService {
+    /// Role in the hierarchy.
+    pub kind: IndexKind,
+    /// Transport security applied to every exchange.
+    pub transport: Transport,
+    group: ServiceGroup,
+    /// Upstream community index this default index registers into.
+    upstream: Option<String>,
+    queries_served: u64,
+    /// Cached aggregate document (invalidated on registration changes).
+    doc_cache: Option<(SimTime, XmlNode)>,
+}
+
+/// Result of a query: matched subtrees plus the modeled service-side cost.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Matching XML subtrees.
+    pub matches: Vec<XmlNode>,
+    /// Modeled CPU cost of serving this query (scan + security).
+    pub cost: SimDuration,
+    /// Number of entries scanned.
+    pub scanned: usize,
+}
+
+impl IndexService {
+    /// New index of the given kind.
+    pub fn new(name: &str, kind: IndexKind, transport: Transport) -> IndexService {
+        IndexService {
+            kind,
+            transport,
+            group: ServiceGroup::new(name, DEFAULT_ENTRY_LIFETIME),
+            upstream: None,
+            queries_served: 0,
+            doc_cache: None,
+        }
+    }
+
+    /// Point a default index at its community index (by name).
+    pub fn set_upstream(&mut self, community: &str) {
+        assert_eq!(
+            self.kind,
+            IndexKind::Default,
+            "only default indexes register upstream"
+        );
+        self.upstream = Some(community.to_owned());
+    }
+
+    /// Name of the upstream community index, if configured.
+    pub fn upstream(&self) -> Option<&str> {
+        self.upstream.as_deref()
+    }
+
+    /// Register member content; returns the entry id and the modeled cost.
+    pub fn register(
+        &mut self,
+        member: &str,
+        content: XmlNode,
+        now: SimTime,
+    ) -> (glare_wsrf::EntryId, SimDuration) {
+        self.doc_cache = None;
+        let id = self.group.add(member, content, now);
+        let cost = REGISTER_COST + self.transport.overhead_cost(ENTRY_WIRE_BYTES);
+        (id, cost)
+    }
+
+    /// Refresh an entry's soft state (and optionally its content).
+    pub fn refresh(
+        &mut self,
+        id: glare_wsrf::EntryId,
+        content: Option<XmlNode>,
+        now: SimTime,
+    ) -> Result<SimDuration, WsrfError> {
+        self.group.refresh(id, content, now)?;
+        self.doc_cache = None;
+        Ok(REGISTER_COST + self.transport.overhead_cost(ENTRY_WIRE_BYTES))
+    }
+
+    /// Remove an entry.
+    pub fn remove(&mut self, id: glare_wsrf::EntryId) -> Result<(), WsrfError> {
+        self.doc_cache = None;
+        self.group.remove(id).map(|_| ())
+    }
+
+    /// Number of live entries.
+    pub fn len(&self, now: SimTime) -> usize {
+        self.group.len_live(now)
+    }
+
+    /// Whether the index holds no live entries.
+    pub fn is_empty(&self, now: SimTime) -> bool {
+        self.len(now) == 0
+    }
+
+    /// Serve an XPath query. This is the real scan: the aggregate document
+    /// is materialized and walked, and the modeled cost is charged per
+    /// entry scanned — *there is no fast path*, even for `[@name='x']`
+    /// lookups.
+    pub fn query(&mut self, xpath: &str, now: SimTime) -> Result<QueryResponse, WsrfError> {
+        let scanned = self.group.len_live(now);
+        // The aggregate document is cached between registrations, but
+        // every query still walks it in full — that linear scan is the
+        // cost the Fig. 10/11 comparison measures.
+        let rebuild = match &self.doc_cache {
+            Some((at, _)) => *at != now && self.group.sweep_stale(now) > 0,
+            None => true,
+        };
+        if rebuild {
+            self.doc_cache = Some((now, self.group.aggregate_document(now)));
+        }
+        let compiled = glare_wsrf::XPath::compile(xpath).map_err(|e| WsrfError::InvalidQuery {
+            message: e.to_string(),
+        })?;
+        let doc = &self.doc_cache.as_ref().expect("just built").1;
+        let matches: Vec<XmlNode> = compiled.select(doc).into_iter().cloned().collect();
+        self.queries_served += 1;
+        let response_bytes = ENTRY_WIRE_BYTES * matches.len().max(1) as u64;
+        let cost = REQUEST_BASE_COST
+            + SCAN_PER_ENTRY_COST * scanned as u64
+            + self.transport.overhead_cost(512 + response_bytes);
+        Ok(QueryResponse {
+            matches,
+            cost,
+            scanned,
+        })
+    }
+
+    /// Convenience: the query a client uses to find an entry by name.
+    pub fn query_by_name(
+        &mut self,
+        element: &str,
+        name: &str,
+        now: SimTime,
+    ) -> Result<QueryResponse, WsrfError> {
+        self.query(&format!("//{element}[@name='{name}']"), now)
+    }
+
+    /// Total queries served.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// The full aggregate document (what upstream registration ships).
+    pub fn aggregate(&self, now: SimTime) -> XmlNode {
+        self.group.aggregate_document(now)
+    }
+
+    /// Register this default index's entire aggregate into the community
+    /// index, as the GT4 hierarchy does on its refresh cycle. Returns the
+    /// upstream entry id.
+    pub fn push_upstream(
+        &self,
+        community: &mut IndexService,
+        member_name: &str,
+        now: SimTime,
+    ) -> (glare_wsrf::EntryId, SimDuration) {
+        assert_eq!(community.kind, IndexKind::Community);
+        community.register(member_name, self.aggregate(now), now)
+    }
+
+    /// Drop lapsed soft-state entries.
+    pub fn sweep(&mut self, now: SimTime) -> usize {
+        let n = self.group.sweep_stale(now);
+        if n > 0 {
+            self.doc_cache = None;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn entry(name: &str) -> XmlNode {
+        XmlNode::new("ActivityType")
+            .attr("name", name)
+            .child_text("Domain", "imaging")
+    }
+
+    fn index() -> IndexService {
+        IndexService::new("default-site0", IndexKind::Default, Transport::Http)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut idx = index();
+        idx.register("site0", entry("JPOVray"), t(0));
+        idx.register("site0", entry("Wien2k"), t(0));
+        let r = idx.query_by_name("ActivityType", "JPOVray", t(1)).unwrap();
+        assert_eq!(r.matches.len(), 1);
+        assert_eq!(r.scanned, 2, "every entry is scanned");
+        assert_eq!(idx.queries_served(), 1);
+    }
+
+    #[test]
+    fn query_cost_grows_linearly_with_entries() {
+        let mut small = index();
+        let mut big = index();
+        for i in 0..10 {
+            small.register("m", entry(&format!("t{i}")), t(0));
+        }
+        for i in 0..300 {
+            big.register("m", entry(&format!("t{i}")), t(0));
+        }
+        let c_small = small.query_by_name("ActivityType", "t5", t(1)).unwrap().cost;
+        let c_big = big.query_by_name("ActivityType", "t5", t(1)).unwrap().cost;
+        let delta = c_big - c_small;
+        // 290 extra entries at SCAN_PER_ENTRY_COST each.
+        assert_eq!(delta, SCAN_PER_ENTRY_COST * 290);
+    }
+
+    #[test]
+    fn https_costs_more_than_http() {
+        let mut plain = IndexService::new("p", IndexKind::Default, Transport::Http);
+        let mut secure = IndexService::new("s", IndexKind::Default, Transport::Https);
+        plain.register("m", entry("A"), t(0));
+        secure.register("m", entry("A"), t(0));
+        let c1 = plain.query_by_name("ActivityType", "A", t(1)).unwrap().cost;
+        let c2 = secure.query_by_name("ActivityType", "A", t(1)).unwrap().cost;
+        assert!(c2 > c1);
+    }
+
+    #[test]
+    fn soft_state_expires_and_sweeps() {
+        let mut idx = index();
+        let (id, _) = idx.register("m", entry("A"), t(0));
+        assert_eq!(idx.len(t(599)), 1);
+        assert_eq!(idx.len(t(600)), 0);
+        idx.refresh(id, None, t(500)).unwrap();
+        assert_eq!(idx.len(t(900)), 1);
+        assert_eq!(idx.sweep(t(2000)), 1);
+        assert!(idx.is_empty(t(2000)));
+    }
+
+    #[test]
+    fn hierarchy_pushes_aggregate_upstream() {
+        let mut community = IndexService::new("community", IndexKind::Community, Transport::Http);
+        let mut d0 = IndexService::new("d0", IndexKind::Default, Transport::Http);
+        let mut d1 = IndexService::new("d1", IndexKind::Default, Transport::Http);
+        d0.set_upstream("community");
+        d1.set_upstream("community");
+        d0.register("site0", entry("A"), t(0));
+        d1.register("site1", entry("B"), t(0));
+        d0.push_upstream(&mut community, "site0", t(1));
+        d1.push_upstream(&mut community, "site1", t(1));
+        // The community index sees both sites' content.
+        let r = community.query("//ActivityType", t(2)).unwrap();
+        assert_eq!(r.matches.len(), 2);
+        assert_eq!(d0.upstream(), Some("community"));
+    }
+
+    #[test]
+    #[should_panic(expected = "only default indexes")]
+    fn community_cannot_set_upstream() {
+        let mut c = IndexService::new("c", IndexKind::Community, Transport::Http);
+        c.set_upstream("other");
+    }
+
+    #[test]
+    fn remove_entry() {
+        let mut idx = index();
+        let (id, _) = idx.register("m", entry("A"), t(0));
+        idx.remove(id).unwrap();
+        assert!(idx.is_empty(t(1)));
+        assert!(idx.remove(id).is_err());
+    }
+
+    #[test]
+    fn invalid_xpath_surfaces() {
+        let mut idx = index();
+        assert!(matches!(
+            idx.query("][", t(0)),
+            Err(WsrfError::InvalidQuery { .. })
+        ));
+    }
+}

@@ -1,0 +1,240 @@
+//! The workflow scheduler: maps activity types to deployments via GLARE.
+//!
+//! "The scheduler interacts with a local GLARE service and requests for an
+//! activity deployment capable to provide the requested service" (§2.2).
+//! With *schedule-ahead* enabled, the scheduler provisions every type the
+//! workflow needs up front — the paper's suggested remedy for on-demand
+//! deployment latency ("a smart scheduler can reduce overhead of
+//! on-demand deployment by providing intelligent look-ahead scheduling",
+//! §3.4).
+
+use std::collections::HashMap;
+
+use glare_core::grid::Grid;
+use glare_core::model::ActivityDeployment;
+use glare_core::rdm::deploy_manager::{provision, InstallReport, ProvisionRequest};
+use glare_core::GlareError;
+use glare_fabric::{SimDuration, SimTime};
+use glare_services::ChannelKind;
+
+use crate::model::{ActivityId, Workflow};
+
+/// Where one activity will run.
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    /// Site index hosting the deployment.
+    pub site: usize,
+    /// The deployment chosen.
+    pub deployment: ActivityDeployment,
+}
+
+/// A complete mapping of workflow activities to deployments.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    /// Per-activity assignments.
+    pub assignments: HashMap<ActivityId, Assignment>,
+    /// Installs that schedule-ahead provisioning performed.
+    pub installs: Vec<InstallReport>,
+    /// Total provisioning cost paid during scheduling.
+    pub provisioning_cost: SimDuration,
+}
+
+/// Scheduling policy for picking among multiple deployments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SelectionPolicy {
+    /// First usable deployment (paper's simple client behaviour).
+    #[default]
+    First,
+    /// Prefer executables over services.
+    PreferExecutable,
+    /// Prefer Grid/web services over executables.
+    PreferService,
+    /// Spread activities of the same type across distinct sites.
+    SpreadSites,
+}
+
+/// The GLARE-backed scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct Scheduler {
+    /// Deployment channel used for on-demand installs.
+    pub channel: ChannelKind,
+    /// Site whose local GLARE service the scheduler talks to.
+    pub from_site: usize,
+    /// Deployment selection policy.
+    pub policy: SelectionPolicy,
+}
+
+impl Scheduler {
+    /// New scheduler talking to `from_site`'s local GLARE service.
+    pub fn new(from_site: usize, channel: ChannelKind) -> Scheduler {
+        Scheduler {
+            channel,
+            from_site,
+            policy: SelectionPolicy::default(),
+        }
+    }
+
+    /// Produce a schedule, provisioning every required type (look-ahead).
+    pub fn schedule(
+        &self,
+        grid: &mut Grid,
+        workflow: &Workflow,
+        now: SimTime,
+    ) -> Result<Schedule, GlareError> {
+        workflow.validate().map_err(|e| GlareError::NotFound {
+            what: format!("valid workflow: {e}"),
+        })?;
+        let mut schedule = Schedule::default();
+        // One provisioning round per distinct type.
+        let mut available: HashMap<String, Vec<(usize, ActivityDeployment)>> = HashMap::new();
+        for ty in workflow.required_types() {
+            let outcome = provision(
+                grid,
+                &ProvisionRequest {
+                    activity: ty.to_owned(),
+                    client: format!("scheduler@{}", self.from_site),
+                    channel: self.channel,
+                    from_site: self.from_site,
+                    preferred_site: None,
+                },
+                now,
+            )?;
+            schedule.provisioning_cost += outcome.total_cost;
+            schedule.installs.extend(outcome.installs);
+            available.insert(ty.to_owned(), outcome.deployments);
+        }
+        // Assign deployments per activity under the policy.
+        let mut used_sites: HashMap<String, Vec<usize>> = HashMap::new();
+        for a in &workflow.activities {
+            let options = available
+                .get(&a.activity_type)
+                .filter(|v| !v.is_empty())
+                .ok_or_else(|| GlareError::NotFound {
+                    what: format!("deployments of {}", a.activity_type),
+                })?;
+            let chosen = self.pick(options, used_sites.entry(a.activity_type.clone()).or_default());
+            schedule.assignments.insert(
+                a.id,
+                Assignment {
+                    site: chosen.0,
+                    deployment: chosen.1.clone(),
+                },
+            );
+        }
+        Ok(schedule)
+    }
+
+    fn pick<'a>(
+        &self,
+        options: &'a [(usize, ActivityDeployment)],
+        used: &mut Vec<usize>,
+    ) -> &'a (usize, ActivityDeployment) {
+        let chosen = match self.policy {
+            SelectionPolicy::First => options.first(),
+            SelectionPolicy::PreferExecutable => options
+                .iter()
+                .find(|(_, d)| d.access.category() == "executable")
+                .or_else(|| options.first()),
+            SelectionPolicy::PreferService => options
+                .iter()
+                .find(|(_, d)| d.access.category() == "service")
+                .or_else(|| options.first()),
+            SelectionPolicy::SpreadSites => options
+                .iter()
+                .find(|(s, _)| !used.contains(s))
+                .or_else(|| options.first()),
+        }
+        .expect("options non-empty");
+        used.push(chosen.0);
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glare_core::model::{example_hierarchy, ActivityType};
+    use glare_services::Transport;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn grid() -> Grid {
+        let mut g = Grid::new(3, Transport::Http);
+        for ty in example_hierarchy(SimTime::ZERO) {
+            g.register_type(0, ty, t(0)).unwrap();
+        }
+        g.register_type(
+            0,
+            ActivityType::concrete_type("Visualization", "imaging", "vizkit"),
+            t(0),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn schedule_provisions_and_assigns() {
+        let mut g = grid();
+        let w = Workflow::povray_example();
+        let s = Scheduler::new(1, ChannelKind::Expect);
+        let schedule = s.schedule(&mut g, &w, t(1)).unwrap();
+        assert_eq!(schedule.assignments.len(), 2);
+        // JPOVray chain (java, ant, jpovray) plus vizkit installed.
+        let pkgs: Vec<&str> = schedule.installs.iter().map(|r| r.package.as_str()).collect();
+        assert!(pkgs.contains(&"jpovray"));
+        assert!(pkgs.contains(&"vizkit"));
+        assert!(schedule.provisioning_cost > SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn second_schedule_is_cheap() {
+        let mut g = grid();
+        let w = Workflow::povray_example();
+        let s = Scheduler::new(1, ChannelKind::Expect);
+        let first = s.schedule(&mut g, &w, t(1)).unwrap();
+        let second = s.schedule(&mut g, &w, t(2)).unwrap();
+        assert!(second.installs.is_empty());
+        assert!(second.provisioning_cost < first.provisioning_cost / 10);
+    }
+
+    #[test]
+    fn policy_prefers_access_kind() {
+        let mut g = grid();
+        let w = Workflow::povray_example();
+        let mut s = Scheduler::new(0, ChannelKind::Expect);
+        s.policy = SelectionPolicy::PreferService;
+        let schedule = s.schedule(&mut g, &w, t(1)).unwrap();
+        let conv = &schedule.assignments[&ActivityId(0)];
+        assert_eq!(conv.deployment.access.category(), "service");
+        s.policy = SelectionPolicy::PreferExecutable;
+        let schedule = s.schedule(&mut g, &w, t(2)).unwrap();
+        let conv = &schedule.assignments[&ActivityId(0)];
+        assert_eq!(conv.deployment.access.category(), "executable");
+    }
+
+    #[test]
+    fn invalid_workflow_rejected() {
+        let mut g = grid();
+        let mut w = Workflow::new("cyc");
+        let a = w.add_activity("a", "Imaging", SimDuration::from_secs(1), 0);
+        let b = w.add_activity("b", "Imaging", SimDuration::from_secs(1), 0);
+        w.add_dependency(a, b);
+        w.add_dependency(b, a);
+        let s = Scheduler::new(0, ChannelKind::Expect);
+        assert!(s.schedule(&mut g, &w, t(1)).is_err());
+    }
+
+    #[test]
+    fn unknown_type_fails() {
+        let mut g = grid();
+        let mut w = Workflow::new("ghost");
+        w.add_activity("x", "GhostType", SimDuration::from_secs(1), 0);
+        let s = Scheduler::new(0, ChannelKind::Expect);
+        assert!(matches!(
+            s.schedule(&mut g, &w, t(1)),
+            Err(GlareError::NotFound { .. })
+        ));
+    }
+}

@@ -1,0 +1,217 @@
+//! WS-Notification: topics, subscriptions and notification fan-out.
+//!
+//! The paper's Fig. 13 loads the Activity Type Registry with up to 210
+//! *notification sinks* at notification rates down to 1 s. This module
+//! implements the mechanism: sinks subscribe to topics with a soft-state
+//! lifetime; when a topic fires, the manager yields the list of live sinks
+//! the producer must deliver to (delivery transport — DES message or
+//! in-process call — belongs to the hosting layer).
+
+use std::collections::HashMap;
+
+use glare_fabric::{SimDuration, SimTime};
+
+use crate::error::WsrfError;
+
+/// Identifier of a subscription.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SubscriptionId(pub u64);
+
+/// A notification consumer endpoint (opaque address, e.g. an actor id or
+/// URL rendered to a string).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SinkAddress(pub String);
+
+/// One subscription of a sink to a topic.
+#[derive(Clone, Debug)]
+pub struct Subscription {
+    /// Subscription id.
+    pub id: SubscriptionId,
+    /// Topic subscribed to.
+    pub topic: String,
+    /// Consumer endpoint.
+    pub sink: SinkAddress,
+    /// Creation instant.
+    pub created_at: SimTime,
+    /// Expiry instant (`None` = indefinite).
+    pub expires_at: Option<SimTime>,
+}
+
+impl Subscription {
+    fn is_live(&self, now: SimTime) -> bool {
+        self.expires_at.is_none_or(|e| e > now)
+    }
+}
+
+/// Manages subscriptions per topic and answers fan-out queries.
+#[derive(Clone, Debug, Default)]
+pub struct SubscriptionManager {
+    next_id: u64,
+    by_topic: HashMap<String, Vec<Subscription>>,
+    /// Count of notifications produced (for metrics/tests).
+    notifications_fired: u64,
+}
+
+impl SubscriptionManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribe `sink` to `topic`, optionally with a lifetime.
+    pub fn subscribe(
+        &mut self,
+        topic: impl Into<String>,
+        sink: SinkAddress,
+        now: SimTime,
+        lifetime: Option<SimDuration>,
+    ) -> SubscriptionId {
+        let id = SubscriptionId(self.next_id);
+        self.next_id += 1;
+        let topic = topic.into();
+        self.by_topic.entry(topic.clone()).or_default().push(Subscription {
+            id,
+            topic,
+            sink,
+            created_at: now,
+            expires_at: lifetime.map(|l| now + l),
+        });
+        id
+    }
+
+    /// Cancel a subscription.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), WsrfError> {
+        for subs in self.by_topic.values_mut() {
+            if let Some(i) = subs.iter().position(|s| s.id == id) {
+                subs.remove(i);
+                return Ok(());
+            }
+        }
+        Err(WsrfError::NoSuchSubscription { id: id.0 })
+    }
+
+    /// Fire a topic: returns the sinks to deliver to, newest first removed
+    /// of expired entries. Increments the fired counter once per sink.
+    pub fn fire(&mut self, topic: &str, now: SimTime) -> Vec<SinkAddress> {
+        let Some(subs) = self.by_topic.get(topic) else {
+            return Vec::new();
+        };
+        let sinks: Vec<SinkAddress> = subs
+            .iter()
+            .filter(|s| s.is_live(now))
+            .map(|s| s.sink.clone())
+            .collect();
+        self.notifications_fired += sinks.len() as u64;
+        sinks
+    }
+
+    /// Drop expired subscriptions everywhere, returning how many.
+    pub fn sweep_expired(&mut self, now: SimTime) -> usize {
+        let mut swept = 0;
+        for subs in self.by_topic.values_mut() {
+            let before = subs.len();
+            subs.retain(|s| s.is_live(now));
+            swept += before - subs.len();
+        }
+        self.by_topic.retain(|_, v| !v.is_empty());
+        swept
+    }
+
+    /// Live subscriber count for a topic.
+    pub fn subscriber_count(&self, topic: &str, now: SimTime) -> usize {
+        self.by_topic
+            .get(topic)
+            .map_or(0, |v| v.iter().filter(|s| s.is_live(now)).count())
+    }
+
+    /// Total notifications produced so far.
+    pub fn notifications_fired(&self) -> u64 {
+        self.notifications_fired
+    }
+
+    /// All topics with at least one subscription record.
+    pub fn topics(&self) -> impl Iterator<Item = &str> {
+        self.by_topic.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn sink(n: u32) -> SinkAddress {
+        SinkAddress(format!("actor{n}"))
+    }
+
+    #[test]
+    fn subscribe_fire_unsubscribe() {
+        let mut m = SubscriptionManager::new();
+        let a = m.subscribe("types/updated", sink(1), t(0), None);
+        m.subscribe("types/updated", sink(2), t(0), None);
+        let fired = m.fire("types/updated", t(1));
+        assert_eq!(fired.len(), 2);
+        m.unsubscribe(a).unwrap();
+        assert_eq!(m.fire("types/updated", t(2)), vec![sink(2)]);
+        assert_eq!(m.notifications_fired(), 3);
+    }
+
+    #[test]
+    fn unknown_topic_fires_nothing() {
+        let mut m = SubscriptionManager::new();
+        assert!(m.fire("ghost", t(0)).is_empty());
+        assert_eq!(m.subscriber_count("ghost", t(0)), 0);
+    }
+
+    #[test]
+    fn expiry_silences_sinks() {
+        let mut m = SubscriptionManager::new();
+        m.subscribe("x", sink(1), t(0), Some(SimDuration::from_secs(10)));
+        m.subscribe("x", sink(2), t(0), None);
+        assert_eq!(m.fire("x", t(9)).len(), 2);
+        assert_eq!(m.fire("x", t(10)).len(), 1, "expiry boundary exclusive");
+        assert_eq!(m.sweep_expired(t(10)), 1);
+        assert_eq!(m.subscriber_count("x", t(10)), 1);
+    }
+
+    #[test]
+    fn unsubscribe_unknown_errors() {
+        let mut m = SubscriptionManager::new();
+        assert!(matches!(
+            m.unsubscribe(SubscriptionId(5)),
+            Err(WsrfError::NoSuchSubscription { id: 5 })
+        ));
+    }
+
+    #[test]
+    fn topics_are_isolated() {
+        let mut m = SubscriptionManager::new();
+        m.subscribe("a", sink(1), t(0), None);
+        m.subscribe("b", sink(2), t(0), None);
+        assert_eq!(m.fire("a", t(0)), vec![sink(1)]);
+        assert_eq!(m.fire("b", t(0)), vec![sink(2)]);
+        let mut topics: Vec<_> = m.topics().collect();
+        topics.sort_unstable();
+        assert_eq!(topics, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn sweep_drops_empty_topics() {
+        let mut m = SubscriptionManager::new();
+        m.subscribe("a", sink(1), t(0), Some(SimDuration::from_secs(1)));
+        m.sweep_expired(t(5));
+        assert_eq!(m.topics().count(), 0);
+    }
+
+    #[test]
+    fn fan_out_scales_to_fig13_sizes() {
+        let mut m = SubscriptionManager::new();
+        for i in 0..210 {
+            m.subscribe("types/updated", sink(i), t(0), None);
+        }
+        assert_eq!(m.fire("types/updated", t(1)).len(), 210);
+    }
+}

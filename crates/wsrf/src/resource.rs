@@ -1,0 +1,323 @@
+//! WS-Resources: stateful, keyed, lifecycle-managed resources.
+//!
+//! "Each occurrence of an activity type and deployment in a registry
+//! service is represented as a WS-Resource. A WS-Resource is a stateful web
+//! service which provides mechanisms including service lifecycle
+//! management, event registration and notification" (§3.1).
+//!
+//! A [`ResourceHome<T>`] stores typed payloads under string keys with
+//! WSRF-style lifetime management: creation time, optional scheduled
+//! termination (expiry), explicit destruction, and a last-modified stamp
+//! that feeds GLARE's LUT-based cache refresh.
+
+use std::collections::HashMap;
+
+use glare_fabric::SimTime;
+
+use crate::error::WsrfError;
+use crate::xml::XmlNode;
+
+/// Payloads stored in a [`ResourceHome`] render themselves as a WSRF
+/// resource property document for XPath queries and aggregation.
+pub trait ResourceProperties {
+    /// Produce the resource property document.
+    fn to_property_document(&self) -> XmlNode;
+}
+
+impl ResourceProperties for XmlNode {
+    fn to_property_document(&self) -> XmlNode {
+        self.clone()
+    }
+}
+
+/// One live WS-Resource.
+#[derive(Clone, Debug)]
+pub struct WsResource<T> {
+    /// Resource key (unique within its home).
+    pub key: String,
+    /// Typed payload.
+    pub payload: T,
+    /// Creation instant.
+    pub created_at: SimTime,
+    /// Last modification instant (the LUT source).
+    pub modified_at: SimTime,
+    /// Scheduled termination; `None` = no expiry.
+    pub terminates_at: Option<SimTime>,
+}
+
+impl<T> WsResource<T> {
+    /// Whether the resource has passed its scheduled termination at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        self.terminates_at.is_some_and(|t| t <= now)
+    }
+}
+
+/// A keyed collection of WS-Resources with lifetime management.
+#[derive(Clone, Debug)]
+pub struct ResourceHome<T> {
+    resources: HashMap<String, WsResource<T>>,
+}
+
+impl<T> Default for ResourceHome<T> {
+    fn default() -> Self {
+        ResourceHome {
+            resources: HashMap::new(),
+        }
+    }
+}
+
+impl<T> ResourceHome<T> {
+    /// Empty home.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a resource. Fails if the key exists and is not expired.
+    pub fn create(
+        &mut self,
+        key: impl Into<String>,
+        payload: T,
+        now: SimTime,
+    ) -> Result<(), WsrfError> {
+        let key = key.into();
+        if let Some(existing) = self.resources.get(&key) {
+            if !existing.is_expired(now) {
+                return Err(WsrfError::AlreadyExists { key });
+            }
+        }
+        self.resources.insert(
+            key.clone(),
+            WsResource {
+                key,
+                payload,
+                created_at: now,
+                modified_at: now,
+                terminates_at: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Immutable access (hiding expired resources).
+    pub fn get(&self, key: &str, now: SimTime) -> Option<&WsResource<T>> {
+        self.resources.get(key).filter(|r| !r.is_expired(now))
+    }
+
+    /// Mutate a live resource's payload and bump its modification stamp.
+    pub fn update<F, R>(&mut self, key: &str, now: SimTime, f: F) -> Result<R, WsrfError>
+    where
+        F: FnOnce(&mut T) -> R,
+    {
+        let r = self
+            .resources
+            .get_mut(key)
+            .filter(|r| !r.is_expired(now))
+            .ok_or_else(|| WsrfError::NoSuchResource {
+                key: key.to_owned(),
+            })?;
+        let out = f(&mut r.payload);
+        r.modified_at = now;
+        Ok(out)
+    }
+
+    /// Touch a resource: bump `modified_at` without changing the payload
+    /// (the Deployment Status Monitor's heartbeat).
+    pub fn touch(&mut self, key: &str, now: SimTime) -> Result<(), WsrfError> {
+        self.update(key, now, |_| ()).map(|_| ())
+    }
+
+    /// Set or clear a resource's scheduled termination time.
+    pub fn set_termination_time(
+        &mut self,
+        key: &str,
+        when: Option<SimTime>,
+        now: SimTime,
+    ) -> Result<(), WsrfError> {
+        let r = self
+            .resources
+            .get_mut(key)
+            .filter(|r| !r.is_expired(now))
+            .ok_or_else(|| WsrfError::NoSuchResource {
+                key: key.to_owned(),
+            })?;
+        r.terminates_at = when;
+        Ok(())
+    }
+
+    /// Explicitly destroy a resource.
+    pub fn destroy(&mut self, key: &str) -> Result<WsResource<T>, WsrfError> {
+        self.resources
+            .remove(key)
+            .ok_or_else(|| WsrfError::NoSuchResource {
+                key: key.to_owned(),
+            })
+    }
+
+    /// Remove every expired resource, returning their keys.
+    pub fn sweep_expired(&mut self, now: SimTime) -> Vec<String> {
+        let dead: Vec<String> = self
+            .resources
+            .values()
+            .filter(|r| r.is_expired(now))
+            .map(|r| r.key.clone())
+            .collect();
+        for k in &dead {
+            self.resources.remove(k);
+        }
+        dead
+    }
+
+    /// Iterate over live resources.
+    pub fn iter_live(&self, now: SimTime) -> impl Iterator<Item = &WsResource<T>> {
+        self.resources.values().filter(move |r| !r.is_expired(now))
+    }
+
+    /// Number of live resources.
+    pub fn len_live(&self, now: SimTime) -> usize {
+        self.iter_live(now).count()
+    }
+
+    /// Total stored (live + expired-but-unswept).
+    pub fn len_total(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Whether a live resource exists under `key`.
+    pub fn contains(&self, key: &str, now: SimTime) -> bool {
+        self.get(key, now).is_some()
+    }
+}
+
+impl<T: ResourceProperties> ResourceHome<T> {
+    /// Aggregate all live resources into one queryable document
+    /// (`<Resources><Resource key="..">…</Resource>…</Resources>`), in
+    /// deterministic key order.
+    pub fn aggregate_document(&self, now: SimTime) -> XmlNode {
+        let mut live: Vec<&WsResource<T>> = self.iter_live(now).collect();
+        live.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut root = XmlNode::new("Resources");
+        for r in live {
+            root.children.push(
+                XmlNode::new("Resource")
+                    .attr("key", &r.key)
+                    .attr("modified", r.modified_at.as_nanos().to_string())
+                    .child(r.payload.to_property_document()),
+            );
+        }
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn create_get_destroy() {
+        let mut home: ResourceHome<u32> = ResourceHome::new();
+        home.create("a", 1, t(0)).unwrap();
+        assert_eq!(home.get("a", t(1)).unwrap().payload, 1);
+        assert!(home.contains("a", t(1)));
+        home.destroy("a").unwrap();
+        assert!(!home.contains("a", t(2)));
+        assert!(matches!(
+            home.destroy("a"),
+            Err(WsrfError::NoSuchResource { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_keys_rejected_until_expiry() {
+        let mut home: ResourceHome<u32> = ResourceHome::new();
+        home.create("a", 1, t(0)).unwrap();
+        assert!(matches!(
+            home.create("a", 2, t(1)),
+            Err(WsrfError::AlreadyExists { .. })
+        ));
+        home.set_termination_time("a", Some(t(5)), t(1)).unwrap();
+        // After expiry the key can be re-created.
+        home.create("a", 3, t(10)).unwrap();
+        assert_eq!(home.get("a", t(10)).unwrap().payload, 3);
+    }
+
+    #[test]
+    fn update_bumps_modified() {
+        let mut home: ResourceHome<u32> = ResourceHome::new();
+        home.create("a", 1, t(0)).unwrap();
+        home.update("a", t(7), |v| *v = 9).unwrap();
+        let r = home.get("a", t(8)).unwrap();
+        assert_eq!(r.payload, 9);
+        assert_eq!(r.modified_at, t(7));
+        assert_eq!(r.created_at, t(0));
+    }
+
+    #[test]
+    fn touch_is_heartbeat() {
+        let mut home: ResourceHome<u32> = ResourceHome::new();
+        home.create("a", 1, t(0)).unwrap();
+        home.touch("a", t(3)).unwrap();
+        assert_eq!(home.get("a", t(3)).unwrap().modified_at, t(3));
+        assert!(home.touch("missing", t(3)).is_err());
+    }
+
+    #[test]
+    fn expiry_hides_then_sweep_removes() {
+        let mut home: ResourceHome<u32> = ResourceHome::new();
+        home.create("a", 1, t(0)).unwrap();
+        home.create("b", 2, t(0)).unwrap();
+        home.set_termination_time("a", Some(t(10)), t(0)).unwrap();
+        assert!(home.contains("a", t(9)));
+        assert!(!home.contains("a", t(10)), "expiry boundary is inclusive");
+        assert_eq!(home.len_live(t(11)), 1);
+        assert_eq!(home.len_total(), 2);
+        let swept = home.sweep_expired(t(11));
+        assert_eq!(swept, vec!["a".to_owned()]);
+        assert_eq!(home.len_total(), 1);
+    }
+
+    #[test]
+    fn update_on_expired_fails() {
+        let mut home: ResourceHome<u32> = ResourceHome::new();
+        home.create("a", 1, t(0)).unwrap();
+        home.set_termination_time("a", Some(t(1)), t(0)).unwrap();
+        assert!(home.update("a", t(2), |v| *v = 5).is_err());
+    }
+
+    #[test]
+    fn clearing_termination_revives() {
+        let mut home: ResourceHome<u32> = ResourceHome::new();
+        home.create("a", 1, t(0)).unwrap();
+        home.set_termination_time("a", Some(t(10)), t(0)).unwrap();
+        home.set_termination_time("a", None, t(5)).unwrap();
+        assert!(home.contains("a", t(100)));
+    }
+
+    #[derive(Clone)]
+    struct Named(&'static str);
+    impl ResourceProperties for Named {
+        fn to_property_document(&self) -> XmlNode {
+            XmlNode::new("Named").attr("v", self.0)
+        }
+    }
+
+    #[test]
+    fn aggregate_document_is_deterministic_and_live_only() {
+        let mut home: ResourceHome<Named> = ResourceHome::new();
+        home.create("z", Named("zz"), t(0)).unwrap();
+        home.create("a", Named("aa"), t(0)).unwrap();
+        home.create("m", Named("mm"), t(0)).unwrap();
+        home.set_termination_time("m", Some(t(1)), t(0)).unwrap();
+        let doc = home.aggregate_document(t(5));
+        let keys: Vec<_> = doc
+            .children
+            .iter()
+            .map(|c| c.attribute("key").unwrap())
+            .collect();
+        assert_eq!(keys, vec!["a", "z"], "sorted, expired omitted");
+        assert_eq!(doc.children[0].children[0].attribute("v"), Some("aa"));
+    }
+}

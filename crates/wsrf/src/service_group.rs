@@ -1,0 +1,257 @@
+//! WSRF ServiceGroup: the aggregation framework.
+//!
+//! "Both registry services provide an aggregation of all locally registered
+//! and cached resources, based on a WSRF service-group framework, in which
+//! aggregated resources are periodically refreshed" (§3.1). GT4's Index
+//! Service is built on the same framework — which is why the paper argues
+//! the ATR-vs-Index comparison is fair.
+//!
+//! A [`ServiceGroup`] holds entries (XML content + provenance + lease).
+//! Entries must be refreshed before their lifetime lapses or they are
+//! swept, mirroring soft-state registration in MDS4.
+
+use glare_fabric::{SimDuration, SimTime};
+
+use crate::error::WsrfError;
+use crate::xml::XmlNode;
+use crate::xpath::XPath;
+
+/// Identifier of a service-group entry.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EntryId(pub u64);
+
+/// One aggregated entry.
+#[derive(Clone, Debug)]
+pub struct GroupEntry {
+    /// Entry id.
+    pub id: EntryId,
+    /// Name of the member service/resource that registered this content.
+    pub member: String,
+    /// Aggregated XML content.
+    pub content: XmlNode,
+    /// Registration instant.
+    pub registered_at: SimTime,
+    /// Last refresh instant.
+    pub refreshed_at: SimTime,
+    /// Soft-state lifetime: entry lapses `lifetime` after the last refresh.
+    pub lifetime: SimDuration,
+}
+
+impl GroupEntry {
+    /// Whether the entry's soft state has lapsed at `now`.
+    pub fn is_stale(&self, now: SimTime) -> bool {
+        self.refreshed_at + self.lifetime <= now
+    }
+}
+
+/// An aggregation of member-service content with soft-state lifetimes.
+#[derive(Clone, Debug)]
+pub struct ServiceGroup {
+    name: String,
+    next_id: u64,
+    entries: Vec<GroupEntry>,
+    default_lifetime: SimDuration,
+}
+
+impl ServiceGroup {
+    /// New group with the given soft-state lifetime for entries.
+    pub fn new(name: impl Into<String>, default_lifetime: SimDuration) -> Self {
+        assert!(
+            default_lifetime > SimDuration::ZERO,
+            "lifetime must be positive"
+        );
+        ServiceGroup {
+            name: name.into(),
+            next_id: 0,
+            entries: Vec::new(),
+            default_lifetime,
+        }
+    }
+
+    /// Group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register content from a member, returning the entry id.
+    pub fn add(&mut self, member: impl Into<String>, content: XmlNode, now: SimTime) -> EntryId {
+        let id = EntryId(self.next_id);
+        self.next_id += 1;
+        self.entries.push(GroupEntry {
+            id,
+            member: member.into(),
+            content,
+            registered_at: now,
+            refreshed_at: now,
+            lifetime: self.default_lifetime,
+        });
+        id
+    }
+
+    /// Refresh an entry's soft state, optionally replacing its content.
+    pub fn refresh(
+        &mut self,
+        id: EntryId,
+        content: Option<XmlNode>,
+        now: SimTime,
+    ) -> Result<(), WsrfError> {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.id == id)
+            .ok_or(WsrfError::NoSuchEntry { id: id.0 })?;
+        entry.refreshed_at = now;
+        if let Some(c) = content {
+            entry.content = c;
+        }
+        Ok(())
+    }
+
+    /// Remove an entry.
+    pub fn remove(&mut self, id: EntryId) -> Result<GroupEntry, WsrfError> {
+        match self.entries.iter().position(|e| e.id == id) {
+            Some(i) => Ok(self.entries.remove(i)),
+            None => Err(WsrfError::NoSuchEntry { id: id.0 }),
+        }
+    }
+
+    /// Drop all lapsed entries, returning how many were swept.
+    pub fn sweep_stale(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !e.is_stale(now));
+        before - self.entries.len()
+    }
+
+    /// Live entries at `now`.
+    pub fn iter_live(&self, now: SimTime) -> impl Iterator<Item = &GroupEntry> {
+        self.entries.iter().filter(move |e| !e.is_stale(now))
+    }
+
+    /// Number of live entries.
+    pub fn len_live(&self, now: SimTime) -> usize {
+        self.iter_live(now).count()
+    }
+
+    /// Build the aggregate document
+    /// (`<ServiceGroup name=".."><Entry member="..">…</Entry></ServiceGroup>`).
+    ///
+    /// This materializes the full document — the linear cost the Index
+    /// Service pays on every XPath query.
+    pub fn aggregate_document(&self, now: SimTime) -> XmlNode {
+        let mut root = XmlNode::new("ServiceGroup").attr("name", &self.name);
+        for e in self.iter_live(now) {
+            root.children.push(
+                XmlNode::new("Entry")
+                    .attr("member", &e.member)
+                    .attr("id", e.id.0.to_string())
+                    .child(e.content.clone()),
+            );
+        }
+        root
+    }
+
+    /// Run an XPath query over the aggregate document, returning matching
+    /// subtrees as owned nodes.
+    pub fn query(&self, xpath: &str, now: SimTime) -> Result<Vec<XmlNode>, WsrfError> {
+        let compiled = XPath::compile(xpath).map_err(|e| WsrfError::InvalidQuery {
+            message: e.to_string(),
+        })?;
+        let doc = self.aggregate_document(now);
+        Ok(compiled.select(&doc).into_iter().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn entry(name: &str) -> XmlNode {
+        XmlNode::new("ActivityType").attr("name", name)
+    }
+
+    fn group() -> ServiceGroup {
+        ServiceGroup::new("atr", SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut g = group();
+        g.add("site0", entry("JPOVray"), t(0));
+        g.add("site1", entry("Wien2k"), t(0));
+        let hits = g
+            .query("//ActivityType[@name='JPOVray']", t(1))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(g.len_live(t(1)), 2);
+    }
+
+    #[test]
+    fn soft_state_lapses_without_refresh() {
+        let mut g = group();
+        let id = g.add("site0", entry("A"), t(0));
+        assert_eq!(g.len_live(t(59)), 1);
+        assert_eq!(g.len_live(t(60)), 0, "lapses at exactly lifetime");
+        g.refresh(id, None, t(59)).unwrap();
+        assert_eq!(g.len_live(t(100)), 1, "refresh extends the lease");
+    }
+
+    #[test]
+    fn refresh_can_replace_content() {
+        let mut g = group();
+        let id = g.add("site0", entry("A"), t(0));
+        g.refresh(id, Some(entry("B")), t(1)).unwrap();
+        assert_eq!(g.query("//ActivityType[@name='B']", t(2)).unwrap().len(), 1);
+        assert!(g.query("//ActivityType[@name='A']", t(2)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sweep_removes_stale() {
+        let mut g = group();
+        g.add("site0", entry("A"), t(0));
+        let keep = g.add("site1", entry("B"), t(0));
+        g.refresh(keep, None, t(50)).unwrap();
+        assert_eq!(g.sweep_stale(t(70)), 1);
+        assert_eq!(g.len_live(t(70)), 1);
+    }
+
+    #[test]
+    fn remove_unknown_errors() {
+        let mut g = group();
+        assert!(matches!(
+            g.remove(EntryId(99)),
+            Err(WsrfError::NoSuchEntry { id: 99 })
+        ));
+        assert!(g.refresh(EntryId(99), None, t(0)).is_err());
+    }
+
+    #[test]
+    fn aggregate_document_carries_provenance() {
+        let mut g = group();
+        g.add("site7", entry("A"), t(0));
+        let doc = g.aggregate_document(t(1));
+        assert_eq!(doc.attribute("name"), Some("atr"));
+        assert_eq!(doc.children[0].attribute("member"), Some("site7"));
+    }
+
+    #[test]
+    fn invalid_query_is_reported() {
+        let g = group();
+        assert!(matches!(
+            g.query("///", t(0)),
+            Err(WsrfError::InvalidQuery { .. })
+        ));
+    }
+
+    #[test]
+    fn entry_ids_are_unique_across_removals() {
+        let mut g = group();
+        let a = g.add("m", entry("A"), t(0));
+        g.remove(a).unwrap();
+        let b = g.add("m", entry("B"), t(0));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,100 @@
+//! The RDM's operational machinery in one sitting: status monitoring,
+//! failure detection, migration, cache refresh, leasing protection,
+//! un-deployment and wrapper generation.
+//!
+//! ```sh
+//! cargo run --example grid_administration
+//! ```
+
+use glare::core::grid::Grid;
+use glare::core::lease::LeaseKind;
+use glare::core::model::example_hierarchy;
+use glare::core::rdm::deploy_manager::{provision, ProvisionRequest};
+use glare::core::rdm::lifecycle::{generate_wrapper_service, undeploy};
+use glare::core::rdm::monitors::{CacheRefresher, DeploymentStatusMonitor};
+use glare::fabric::SimTime;
+use glare::services::{ChannelKind, Transport};
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn main() {
+    let mut grid = Grid::new(3, Transport::Http);
+    for ty in example_hierarchy(t(0)) {
+        grid.register_type(0, ty, t(0)).unwrap();
+    }
+
+    // Provision Wien2k; site 1's scheduler caches the references.
+    let out = provision(
+        &mut grid,
+        &ProvisionRequest {
+            activity: "Wien2k".into(),
+            client: "admin-demo".into(),
+            channel: ChannelKind::Expect,
+            from_site: 1,
+            preferred_site: Some(0),
+        },
+        t(1),
+    )
+    .unwrap();
+    println!("provisioned {} deployments on site0", out.deployments.len());
+
+    // A healthy monitor pass: heartbeats bump every LUT.
+    let status = DeploymentStatusMonitor::run(&mut grid, 0, t(60));
+    println!(
+        "status monitor: checked {}, touched {}, failed {}",
+        status.checked,
+        status.touched,
+        status.failed.len()
+    );
+
+    // Disaster: the install tree is wiped behind the registry's back.
+    grid.site_mut(0).host.uninstall("wien2k").unwrap();
+    let status = DeploymentStatusMonitor::run(&mut grid, 0, t(120));
+    println!(
+        "after sabotage: {} deployments marked failed",
+        status.failed.len()
+    );
+
+    // Migration moves the activity to another eligible site (§3.3).
+    let installs =
+        DeploymentStatusMonitor::migrate_failed(&mut grid, 0, ChannelKind::Expect, t(121))
+            .unwrap();
+    for r in &installs {
+        println!("migrated {} -> {}", r.package, r.site);
+    }
+
+    // The stale cached references at site 1 are evicted by the refresher.
+    let refresh = CacheRefresher::refresh(&mut grid, 1, t(130));
+    println!(
+        "cache refresher: checked {}, revived {}, evicted {}, discarded {}",
+        refresh.checked, refresh.revived, refresh.evicted, refresh.discarded
+    );
+
+    // Lease the migrated deployment; un-deployment is now refused.
+    let (site, d) = grid.deployments_anywhere("Wien2k", t(131))[0].clone();
+    let ticket = grid
+        .site_mut(site)
+        .leases
+        .acquire(&d.key, "alice", LeaseKind::Exclusive, t(131), t(400))
+        .unwrap();
+    println!("leased {} to alice until {}", d.key, ticket.until);
+    let denied = undeploy(&mut grid, "Wien2k", None, false, t(140));
+    println!("undeploy while leased: {}", denied.unwrap_err());
+
+    // Otho-style wrapper: the legacy executable gains a service sibling.
+    let (wrapper, cost) = generate_wrapper_service(&mut grid, site, &d.key, t(150)).unwrap();
+    println!("generated {} in {}", wrapper.key, cost);
+
+    // Release the lease; un-deployment now proceeds.
+    grid.site_mut(site).leases.release(ticket.id).unwrap();
+    let report = undeploy(&mut grid, "Wien2k", None, false, t(160)).unwrap();
+    println!(
+        "undeployed: {} deployments removed, {} packages uninstalled",
+        report.removed.len(),
+        report.uninstalled.len()
+    );
+    assert!(grid.deployments_anywhere("Wien2k", t(161)).is_empty());
+    println!("VO clean.");
+}

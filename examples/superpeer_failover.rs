@@ -1,0 +1,87 @@
+//! Super-peer election and failover, live in the discrete-event fabric.
+//!
+//! ```sh
+//! cargo run --example superpeer_failover
+//! ```
+//!
+//! Seven GLARE nodes form two groups via the coordinator-driven election
+//! (§3.3). We then crash the higher-ranked super-peer mid-run: the
+//! members detect the silence, the highest-ranked member verifies with
+//! the group, collects a simple-majority acknowledgement and takes over —
+//! while a client keeps resolving deployments throughout.
+
+use glare::core::model::{example_hierarchy, ActivityDeployment};
+use glare::core::overlay::{ClientStats, OverlayBuilder, QueryClient};
+use glare::fabric::{SimDuration, SimTime, SiteId, Topology};
+
+fn main() {
+    const N: usize = 7;
+    let topo = Topology::uniform(N);
+    // Rank table (the §3.3 hashcode over static site attributes).
+    let mut ranked: Vec<(usize, u64)> = (0..N)
+        .map(|i| (i, topo.site(SiteId(i as u32)).rank_hashcode()))
+        .collect();
+    ranked.sort_by_key(|r| std::cmp::Reverse(r.1));
+    println!("site ranks (highest first):");
+    for (site, rank) in &ranked {
+        println!("  site{site}  rank {rank:#018x}");
+    }
+    let expected_sp = ranked[0].0;
+
+    // Deployment lives on a low-ranked member so it survives the crash.
+    let deploy_site = ranked[N - 1].0;
+    let client_site = ranked[N - 2].0;
+
+    let mut builder = OverlayBuilder::new(N, 2005);
+    builder.seed(move |i, node| {
+        for t in example_hierarchy(SimTime::ZERO) {
+            node.atr.register(t, SimTime::ZERO).unwrap();
+        }
+        if i == deploy_site {
+            let d = ActivityDeployment::executable(
+                "JPOVray",
+                &format!("site{i}"),
+                "/opt/deployments/jpovray/bin/jpovray",
+                "/opt/deployments/jpovray",
+            );
+            node.adr.register(d, &node.atr, SimTime::ZERO).unwrap();
+        }
+    });
+    let (mut sim, ids) = builder.build();
+
+    let stats = ClientStats::shared();
+    let client = QueryClient::new(
+        ids[client_site],
+        "Imaging",
+        SimDuration::from_secs(20),
+        10,
+        stats.clone(),
+    );
+    sim.add_actor(SiteId(client_site as u32), Box::new(client));
+
+    // Crash the expected super-peer at t=45s; restart it at t=200s.
+    sim.schedule_crash(SimTime::from_secs(45), SiteId(expected_sp as u32));
+    sim.schedule_restart(SimTime::from_secs(200), SiteId(expected_sp as u32));
+
+    sim.start();
+    sim.run_until(SimTime::from_secs(300));
+
+    let takeovers = sim.metrics().counter_value("glare.superpeer_takeovers");
+    println!("\nsuper-peer appointments/takeovers observed: {takeovers}");
+    println!("  (2 groups elected at start, +1 re-election after the crash)");
+    println!(
+        "crashes: {}, restarts: {}",
+        sim.metrics().counter_value("fabric.crashes"),
+        sim.metrics().counter_value("fabric.restarts")
+    );
+    let s = stats.lock();
+    println!(
+        "\nclient@site{client_site}: {} queries, {} answered, {} with deployments, mean latency {}",
+        s.sent,
+        s.responses,
+        s.hits,
+        s.mean_latency().map(|d| d.to_string()).unwrap_or_default()
+    );
+    assert!(takeovers >= 3, "re-election must have happened");
+    assert_eq!(s.responses, s.sent, "no query lost to the failover");
+}

@@ -1,0 +1,173 @@
+//! Workspace integration: distributed fault tolerance on the
+//! discrete-event fabric — elections under scripted failures, query
+//! continuity, and determinism of whole runs.
+
+use glare::core::model::{example_hierarchy, ActivityDeployment};
+use glare::core::overlay::{ClientStats, OverlayBuilder, QueryClient};
+use glare::fabric::{FaultPlan, SimDuration, SimTime, SiteId, Topology};
+
+fn seeded(n: usize, deploy_on: &[usize], seed: u64) -> (glare::fabric::Simulation, Vec<glare::fabric::ActorId>) {
+    let mut b = OverlayBuilder::new(n, seed);
+    let deploy_on = deploy_on.to_vec();
+    b.seed(move |i, node| {
+        for t in example_hierarchy(SimTime::ZERO) {
+            node.atr.register(t, SimTime::ZERO).unwrap();
+        }
+        if deploy_on.contains(&i) {
+            let d = ActivityDeployment::executable(
+                "JPOVray",
+                &format!("site{i}"),
+                "/opt/deployments/jpovray/bin/jpovray",
+                "/opt/deployments/jpovray",
+            );
+            node.adr.register(d, &node.atr, SimTime::ZERO).unwrap();
+        }
+    });
+    b.build()
+}
+
+fn ranks(n: usize) -> Vec<(usize, u64)> {
+    let topo = Topology::uniform(n);
+    let mut r: Vec<(usize, u64)> = (0..n)
+        .map(|i| (i, topo.site(SiteId(i as u32)).rank_hashcode()))
+        .collect();
+    r.sort_by_key(|x| std::cmp::Reverse(x.1));
+    r
+}
+
+#[test]
+fn election_is_deterministic_per_seed() {
+    let run = |seed| {
+        let (mut sim, _) = seeded(7, &[], seed);
+        sim.start();
+        sim.run_until(SimTime::from_secs(30));
+        (
+            sim.metrics().counter_value("glare.superpeer_takeovers"),
+            sim.metrics().counter_value("net.msgs_sent"),
+        )
+    };
+    assert_eq!(run(11), run(11), "same seed, same trace");
+    let (takeovers, _) = run(11);
+    assert_eq!(takeovers, 2, "7 nodes, group size 4 => 2 super-peers");
+}
+
+#[test]
+fn repeated_super_peer_crashes_keep_reelecting() {
+    let ranked = ranks(4);
+    let (mut sim, _) = seeded(4, &[], 3);
+    // Crash the first and then the second super-peer in sequence.
+    FaultPlan::new()
+        .crash(SimTime::from_secs(30), SiteId(ranked[0].0 as u32))
+        .crash(SimTime::from_secs(150), SiteId(ranked[1].0 as u32))
+        .apply(&mut sim);
+    sim.start();
+    sim.run_until(SimTime::from_secs(400));
+    let takeovers = sim.metrics().counter_value("glare.superpeer_takeovers");
+    assert!(
+        takeovers >= 3,
+        "initial election + two re-elections, got {takeovers}"
+    );
+}
+
+#[test]
+fn transient_outage_of_member_does_not_reelect() {
+    let ranked = ranks(4);
+    let member = ranked[3].0; // lowest rank: never the super-peer
+    let (mut sim, _) = seeded(4, &[], 5);
+    FaultPlan::new()
+        .outage(
+            SimTime::from_secs(30),
+            SiteId(member as u32),
+            SimDuration::from_secs(40),
+        )
+        .apply(&mut sim);
+    sim.start();
+    sim.run_until(SimTime::from_secs(300));
+    assert_eq!(
+        sim.metrics().counter_value("glare.superpeer_takeovers"),
+        1,
+        "member outages must not trigger takeovers"
+    );
+}
+
+#[test]
+fn queries_continue_through_partition_heal() {
+    let ranked = ranks(3);
+    let deploy_site = ranked[2].0;
+    let client_site = ranked[1].0;
+    let (mut sim, ids) = seeded(3, &[deploy_site], 8);
+    // Partition the client's site from the deployment's site for a while;
+    // queries during the window can still route via the third node's
+    // cache/probes or simply miss; after healing, everything resolves.
+    sim.set_partitioned(
+        SiteId(client_site as u32),
+        SiteId(deploy_site as u32),
+        true,
+    );
+    sim.schedule_call(SimTime::from_secs(120), move |s| {
+        s.set_partitioned(
+            SiteId(client_site as u32),
+            SiteId(deploy_site as u32),
+            false,
+        );
+    });
+    let stats = ClientStats::shared();
+    let client = QueryClient::new(
+        ids[client_site],
+        "Imaging",
+        SimDuration::from_secs(30),
+        8,
+        stats.clone(),
+    );
+    sim.add_actor(SiteId(client_site as u32), Box::new(client));
+    sim.start();
+    sim.run_until(SimTime::from_secs(600));
+    let s = stats.lock();
+    assert_eq!(s.responses, 8, "every query eventually answered");
+    assert!(
+        s.hits >= 4,
+        "post-heal queries must find the deployment, hits={}",
+        s.hits
+    );
+}
+
+#[test]
+fn message_loss_degrades_but_does_not_wedge() {
+    let (mut sim, ids) = seeded(3, &[0], 13);
+    sim.set_network_config(glare::fabric::NetworkConfig {
+        drop_probability: 0.05,
+    });
+    let stats = ClientStats::shared();
+    let client = QueryClient::new(ids[1], "Imaging", SimDuration::from_secs(10), 12, stats.clone());
+    sim.add_actor(SiteId(1), Box::new(client));
+    sim.start();
+    sim.run_until(SimTime::from_secs(1_200));
+    let s = stats.lock();
+    // Lost probe replies are absorbed by the probe deadline; lost client
+    // requests/responses stall that one closed-loop client forever, so we
+    // only demand progress, not perfection.
+    assert!(s.responses >= 6, "responses={} of 12", s.responses);
+    assert!(sim.metrics().counter_value("net.msgs_dropped.loss") > 0);
+}
+
+#[test]
+fn crashed_deployment_site_yields_empty_answers_not_hangs() {
+    let ranked = ranks(3);
+    let deploy_site = ranked[2].0;
+    let client_site = ranked[1].0;
+    let (mut sim, ids) = seeded(3, &[deploy_site], 21);
+    sim.schedule_crash(SimTime::from_secs(10), SiteId(deploy_site as u32));
+    let stats = ClientStats::shared();
+    let client = QueryClient::new(
+        ids[client_site],
+        "Imaging",
+        SimDuration::from_secs(20),
+        5,
+        stats.clone(),
+    );
+    sim.add_actor(SiteId(client_site as u32), Box::new(client));
+    sim.start();
+    sim.run_until(SimTime::from_secs(400));
+    let s = stats.lock();
+    assert_eq!(s.responses, 5, "probe deadlines must conclude every query");
+}

@@ -1,0 +1,286 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use glare::core::deployfile::DeployFile;
+use glare::core::hierarchy::TypeHierarchy;
+use glare::core::lease::{LeaseKind, LeaseManager};
+use glare::core::model::ActivityType;
+use glare::fabric::{SimDuration, SimTime};
+use glare::services::md5::{Md5, Md5Digest};
+use glare::services::vfs::VPath;
+use glare::wsrf::{parse_xml, XPath, XmlNode};
+
+// --- generators -----------------------------------------------------------
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.-]{0,11}"
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Printable text including XML-hostile characters; the model trims
+    // surrounding whitespace, so generate pre-trimmed text.
+    "[ -~]{0,24}".prop_map(|s| s.trim().to_owned())
+}
+
+fn arb_xml_tree() -> impl Strategy<Value = XmlNode> {
+    let leaf = (arb_name(), arb_text(), proptest::collection::vec((arb_name(), arb_text()), 0..3))
+        .prop_map(|(name, text, attrs)| {
+            let mut n = XmlNode::new(name).text(text);
+            for (k, v) in attrs {
+                // Attribute keys must be unique for round-trip equality.
+                if n.attribute(&k).is_none() {
+                    n.attributes.push((k, v));
+                }
+            }
+            n
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut n = XmlNode::new(name);
+                for (k, v) in attrs {
+                    if n.attribute(&k).is_none() {
+                        n.attributes.push((k, v));
+                    }
+                }
+                n.children = children;
+                n
+            })
+    })
+}
+
+// --- XML ------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn xml_round_trips(tree in arb_xml_tree()) {
+        let xml = tree.to_xml();
+        let parsed = parse_xml(&xml).expect("own output must parse");
+        prop_assert_eq!(&parsed, &tree);
+        // Pretty form parses to the same tree too.
+        let pretty = parse_xml(&tree.to_xml_pretty()).expect("pretty parses");
+        prop_assert_eq!(pretty, tree);
+    }
+
+    #[test]
+    fn xml_subtree_size_counts_every_element(tree in arb_xml_tree()) {
+        fn count(n: &XmlNode) -> usize {
+            1 + n.children.iter().map(count).sum::<usize>()
+        }
+        prop_assert_eq!(tree.subtree_size(), count(&tree));
+    }
+
+    /// XPath `//Name` must agree with a naive recursive search.
+    #[test]
+    fn xpath_descendant_matches_naive_search(tree in arb_xml_tree(), needle in arb_name()) {
+        let expr = XPath::compile(&format!("//{needle}")).unwrap();
+        let hits = expr.select(&tree).len();
+        fn naive(n: &XmlNode, name: &str) -> usize {
+            usize::from(n.name == name)
+                + n.children.iter().map(|c| naive(c, name)).sum::<usize>()
+        }
+        prop_assert_eq!(hits, naive(&tree, &needle));
+    }
+}
+
+// --- MD5 ------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn md5_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                    split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut ctx = Md5::new();
+        ctx.update(&data[..split]);
+        ctx.update(&data[split..]);
+        prop_assert_eq!(ctx.finalize(), Md5Digest::of(&data));
+    }
+
+    #[test]
+    fn md5_hex_round_trips(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let d = Md5Digest::of(&data);
+        prop_assert_eq!(Md5Digest::from_hex(&d.to_hex()), Some(d));
+    }
+}
+
+// --- VPath ----------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn vpath_normalization_is_idempotent(raw in "[a-z./]{0,40}") {
+        let once = VPath::new(&raw);
+        let twice = VPath::new(once.as_str());
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.as_str().starts_with('/'));
+        prop_assert!(!once.as_str().contains("//") || once.as_str() == "/");
+        prop_assert!(!once.as_str().contains("/./"));
+        prop_assert!(!once.as_str().contains("/../"));
+    }
+
+    #[test]
+    fn vpath_join_stays_inside_parent(base in "[a-z]{1,8}", seg in "[a-z]{1,8}") {
+        let parent = VPath::new(&format!("/{base}"));
+        let child = parent.join(&seg);
+        prop_assert!(child.starts_with(&parent));
+        prop_assert_eq!(child.parent(), Some(parent));
+    }
+}
+
+// --- Leasing --------------------------------------------------------------
+
+proptest! {
+    /// Whatever sequence of lease requests is made, granted exclusive
+    /// leases never overlap anything on the same deployment, and shared
+    /// occupancy never exceeds capacity.
+    #[test]
+    fn lease_invariants(ops in proptest::collection::vec(
+        (0u64..3, 0u64..2, 0u64..50, 1u64..30, 0u64..4), 1..40
+    )) {
+        let mut m = LeaseManager::new();
+        m.set_capacity("d0", 2);
+        for (dep, kind, from, len, client) in ops {
+            let dep = format!("d{dep}");
+            let kind = if kind == 0 { LeaseKind::Exclusive } else { LeaseKind::Shared };
+            let _ = m.acquire(
+                &dep,
+                &format!("c{client}"),
+                kind,
+                SimTime::from_secs(from),
+                SimTime::from_secs(from + len),
+            );
+        }
+        // Check invariants at every second of the horizon.
+        for s in 0..80 {
+            let at = SimTime::from_secs(s);
+            for dep in ["d0", "d1", "d2"] {
+                let active = m.active_leases(dep, at);
+                let exclusive = active.iter().filter(|l| l.kind == LeaseKind::Exclusive).count();
+                if exclusive > 0 {
+                    prop_assert_eq!(active.len(), 1, "exclusive lease must be alone");
+                }
+                let shared = active.iter().filter(|l| l.kind == LeaseKind::Shared).count();
+                prop_assert!(shared as u32 <= m.capacity(dep));
+            }
+        }
+    }
+}
+
+// --- Hierarchy ------------------------------------------------------------
+
+proptest! {
+    /// Every concrete type reachable via resolve_concrete is a subtype of
+    /// the queried name, and resolution never reports duplicates.
+    #[test]
+    fn hierarchy_resolution_sound(edges in proptest::collection::vec((0u8..8, 0u8..8), 0..16)) {
+        let mut h = TypeHierarchy::new();
+        // Build types T0..T7; even ones abstract, odd ones concrete.
+        // Only add child->parent edges where child > parent (acyclic).
+        let mut bases: Vec<Vec<String>> = vec![Vec::new(); 8];
+        for (a, b) in edges {
+            let (child, parent) = (a.max(b), a.min(b));
+            if child != parent {
+                let p = format!("T{parent}");
+                if !bases[child as usize].contains(&p) {
+                    bases[child as usize].push(p);
+                }
+            }
+        }
+        for i in 0..8u8 {
+            let mut t = if i % 2 == 1 {
+                ActivityType::concrete_type(&format!("T{i}"), "d", "wien2k")
+            } else {
+                ActivityType::abstract_type(&format!("T{i}"), "d")
+            };
+            t.base_types = bases[i as usize].clone();
+            h.insert(&t);
+        }
+        for i in 0..8u8 {
+            let name = format!("T{i}");
+            let resolved = h.resolve_concrete(&name);
+            // No duplicates.
+            let mut dedup = resolved.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), resolved.len());
+            // Soundness: each result is a subtype of the query.
+            for r in &resolved {
+                prop_assert!(h.is_subtype_of(r, &name), "{} !<= {}", r, name);
+            }
+            prop_assert!(!h.has_cycle_from(&name));
+        }
+    }
+}
+
+// --- Deploy files ----------------------------------------------------------
+
+proptest! {
+    /// Generated deploy-files always validate, round-trip through XML,
+    /// and plan in an order where each step follows its dependencies.
+    #[test]
+    fn deployfile_plans_respect_dependencies(pkg_idx in 0usize..8) {
+        let cat = glare::services::packages::catalog();
+        let spec = &cat[pkg_idx % cat.len()];
+        let df = DeployFile::for_package(spec, None);
+        df.validate().expect("generated files are valid");
+        let back = DeployFile::from_xml(&df.to_xml()).expect("round trip");
+        prop_assert_eq!(&back, &df);
+
+        let env = std::collections::HashMap::from([
+            ("DEPLOYMENT_DIR".to_owned(), "/opt/deployments".to_owned()),
+            ("GLOBUS_SCRATCH_DIR".to_owned(), "/scratch".to_owned()),
+            ("GLOBUS_LOCATION".to_owned(), "/opt/globus".to_owned()),
+            ("USER_HOME".to_owned(), "/home/grid".to_owned()),
+        ]);
+        let plan = df.plan(&env).expect("plannable");
+        let position: std::collections::HashMap<&str, usize> = plan
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.step_name(), i))
+            .collect();
+        for step in &df.steps {
+            for dep in &step.depends {
+                prop_assert!(position[dep.as_str()] < position[step.name.as_str()]);
+            }
+        }
+    }
+}
+
+// --- Shell ------------------------------------------------------------------
+
+proptest! {
+    /// Variable expansion leaves $-free strings untouched and is
+    /// idempotent once all variables are resolved.
+    #[test]
+    fn expand_vars_behaves(text in "[a-zA-Z0-9 /._-]{0,40}") {
+        use glare::services::shell::expand_vars;
+        let env = std::collections::HashMap::from([
+            ("HOME".to_owned(), "/home/grid".to_owned()),
+        ]);
+        prop_assert_eq!(expand_vars(&text, &env), text.clone());
+        // Braced form delimits the name even when followed by word chars.
+        let with_var = format!("{text}${{HOME}}{text}");
+        let expanded = expand_vars(&with_var, &env);
+        prop_assert_eq!(&expanded, &format!("{text}/home/grid{text}"));
+        // Idempotent on the result (no remaining $NAMES).
+        prop_assert_eq!(expand_vars(&expanded, &env), expanded.clone());
+    }
+}
+
+// --- Fabric time ------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn simtime_arithmetic_consistent(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let t = SimTime::from_micros(a);
+        let d = SimDuration::from_micros(b);
+        let t2 = t + d;
+        prop_assert_eq!(t2.since(t), d);
+        prop_assert_eq!(t2.saturating_since(t), d);
+        prop_assert_eq!(t.saturating_since(t2), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,99 @@
+//! Workspace integration: multi-branch workflows over the provisioned
+//! Grid — spread scheduling, parallel-branch makespans and data staging.
+
+use glare::core::grid::Grid;
+use glare::core::model::example_hierarchy;
+use glare::fabric::{SimDuration, SimTime};
+use glare::services::{ChannelKind, Transport};
+use glare::workflow::{ActivityId, EnactmentEngine, Scheduler, SelectionPolicy, Workflow};
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn vo(n: usize) -> Grid {
+    let mut g = Grid::new(n, Transport::Http);
+    for ty in example_hierarchy(t(0)) {
+        g.register_type(0, ty, t(0)).unwrap();
+    }
+    g
+}
+
+#[test]
+fn wien2k_pipeline_runs_end_to_end() {
+    let mut g = vo(3);
+    let w = Workflow::wien2k_pipeline();
+    let s = Scheduler::new(0, ChannelKind::Expect);
+    let schedule = s.schedule(&mut g, &w, t(1)).unwrap();
+    assert_eq!(schedule.assignments.len(), 4);
+    let engine = EnactmentEngine::new(0, ChannelKind::Expect);
+    let report = engine.execute(&mut g, &w, &schedule, t(2)).unwrap();
+    assert_eq!(report.runs.len(), 4);
+    assert_eq!(report.migrations, 0);
+    // The join (lapw2) finishes last.
+    let lapw2 = report.runs.iter().find(|r| r.label == "lapw2").unwrap();
+    assert_eq!(lapw2.finished_at, report.makespan);
+    // The join starts only after BOTH branches: its finish time must be at
+    // least branch runtime + its own runtime past lapw0's finish.
+    let lapw0 = report.runs.iter().find(|r| r.label == "lapw0").unwrap();
+    let k1 = report.runs.iter().find(|r| r.label == "lapw1-k1").unwrap();
+    assert!(lapw2.finished_at >= lapw0.finished_at + k1.runtime);
+}
+
+#[test]
+fn spread_policy_distributes_parallel_branches() {
+    let mut g = vo(3);
+    // Pre-provision Wien2k on all three sites so spreading has options.
+    glare::core::rdm::lifecycle::enforce_min_deployments(&mut g, ChannelKind::Expect, t(1))
+        .unwrap();
+    let w = Workflow::wien2k_pipeline();
+    let mut s = Scheduler::new(0, ChannelKind::Expect);
+    s.policy = SelectionPolicy::SpreadSites;
+    // Raise the provider min so deployments exist on every site.
+    let ty = glare::core::model::ActivityType::concrete_type("Wien2kWide", "physics", "invmod")
+        .with_limits(2, 10);
+    g.register_type(0, ty, t(0)).unwrap();
+    glare::core::rdm::lifecycle::enforce_min_deployments(&mut g, ChannelKind::Expect, t(2))
+        .unwrap();
+    let schedule = s.schedule(&mut g, &w, t(3)).unwrap();
+    let sites: std::collections::HashSet<usize> = [ActivityId(1), ActivityId(2)]
+        .iter()
+        .map(|id| schedule.assignments[id].site)
+        .collect();
+    assert!(
+        !sites.is_empty(),
+        "branches assigned; spread when possible: {sites:?}"
+    );
+    let engine = EnactmentEngine::new(0, ChannelKind::Expect);
+    let report = engine.execute(&mut g, &w, &schedule, t(4)).unwrap();
+    // Cross-site staging happened if the branches spread.
+    if sites.len() > 1 {
+        assert!(report
+            .runs
+            .iter()
+            .any(|r| r.stage_in > SimDuration::ZERO));
+    }
+}
+
+#[test]
+fn mixed_type_workflow_with_service_policy() {
+    let mut g = vo(3);
+    g.register_type(
+        0,
+        glare::core::model::ActivityType::concrete_type("Visualization", "imaging", "vizkit"),
+        t(0),
+    )
+    .unwrap();
+    let w = Workflow::povray_example();
+    let mut s = Scheduler::new(1, ChannelKind::Expect);
+    s.policy = SelectionPolicy::PreferService;
+    let schedule = s.schedule(&mut g, &w, t(1)).unwrap();
+    // Conversion runs as the WS-JPOVray service.
+    assert_eq!(
+        schedule.assignments[&ActivityId(0)].deployment.access.category(),
+        "service"
+    );
+    let engine = EnactmentEngine::new(1, ChannelKind::Expect);
+    let report = engine.execute(&mut g, &w, &schedule, t(2)).unwrap();
+    assert_eq!(report.runs.len(), 2);
+}

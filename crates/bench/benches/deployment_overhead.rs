@@ -1,15 +1,17 @@
-//! Criterion companion to Table 1: end-to-end on-demand provisioning of
-//! each application through both channels (full §2.2 pipeline: discovery,
-//! deploy-file planning, transfer, build, registration).
+//! Plain-timing companion to Table 1: end-to-end on-demand provisioning
+//! of each application through both channels (full §2.2 pipeline:
+//! discovery, deploy-file planning, transfer, build, registration).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use glare_bench::timing::time_it;
 use glare_core::grid::Grid;
 use glare_core::model::example_hierarchy;
 use glare_core::rdm::deploy_manager::{provision, ProvisionRequest};
 use glare_fabric::SimTime;
 use glare_services::{ChannelKind, Transport};
 
-fn provision_once(activity: &str, channel: ChannelKind) {
+fn provision_once(activity: &str, channel: ChannelKind) -> usize {
     let mut grid = Grid::new(2, Transport::Http);
     for ty in example_hierarchy(SimTime::ZERO) {
         grid.register_type(0, ty, SimTime::ZERO).unwrap();
@@ -26,22 +28,16 @@ fn provision_once(activity: &str, channel: ChannelKind) {
         SimTime::from_secs(1),
     )
     .unwrap();
-    std::hint::black_box(out.deployments.len());
+    out.deployments.len()
 }
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_deployment_overhead");
+fn main() {
+    let min = Duration::from_millis(200);
+    println!("table1_deployment_overhead — full pipeline, ns/iter");
     for channel in [ChannelKind::Expect, ChannelKind::JavaCog] {
         for app in ["Wien2k", "Invmod", "Counter"] {
-            group.bench_with_input(
-                BenchmarkId::new(channel.label().replace(' ', ""), app),
-                &(app, channel),
-                |b, &(app, channel)| b.iter(|| provision_once(app, channel)),
-            );
+            let label = format!("{}/{app}", channel.label().replace(' ', ""));
+            time_it(&label, min, || provision_once(app, channel));
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

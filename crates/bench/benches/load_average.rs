@@ -1,8 +1,10 @@
-//! Criterion companion to Fig. 13: wall-clock cost of simulating the
+//! Plain-timing companion to Fig. 13: wall-clock cost of simulating the
 //! load-average experiments.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
 use glare_bench::fig13::{run_requesters, run_sinks, Fig13Params};
+use glare_bench::timing::time_it;
 use glare_fabric::SimDuration;
 
 fn quick() -> Fig13Params {
@@ -12,21 +14,13 @@ fn quick() -> Fig13Params {
     }
 }
 
-fn bench_fig13(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig13_load_average");
-    group.sample_size(10);
+fn main() {
+    let min = Duration::from_millis(200);
+    println!("fig13_load_average — simulation wall-clock, ns/iter");
     for n in [50usize, 210] {
-        group.bench_with_input(BenchmarkId::new("requesters", n), &n, |b, &n| {
-            b.iter(|| std::hint::black_box(run_requesters(n, quick())))
-        });
-        group.bench_with_input(BenchmarkId::new("sinks_1s", n), &n, |b, &n| {
-            b.iter(|| {
-                std::hint::black_box(run_sinks(n, SimDuration::from_secs(1), quick()))
-            })
+        time_it(&format!("requesters/{n}"), min, || run_requesters(n, quick()));
+        time_it(&format!("sinks_1s/{n}"), min, || {
+            run_sinks(n, SimDuration::from_secs(1), quick())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig13);
-criterion_main!(benches);

@@ -1,52 +1,61 @@
-//! Criterion companion to Fig. 10: per-request latency of the ATR's
-//! hashtable lookup vs the WS-MDS XPath query, http and https.
+//! Plain-timing companion to Fig. 10: per-request latency of the ATR's
+//! hashtable lookup vs the WS-MDS XPath query, http and https, plus a
+//! multi-thread throughput row where client threads share the services
+//! as plain `Arc`s — **no outer `Mutex`** — through the `&self` read
+//! path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use glare_bench::fig10::{build_atr, build_mds};
+use std::sync::Arc;
+use std::time::Duration;
+
+use glare_bench::fig10::{build_atr, build_mds, measure, Service};
+use glare_bench::timing::time_it;
 use glare_fabric::SimTime;
 use glare_services::Transport;
 
 const RESOURCES: usize = 60;
 
-fn bench_lookups(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_registry_throughput");
+fn main() {
+    let min = Duration::from_millis(200);
+    println!("fig10_registry_throughput — single thread, ns/iter");
     for transport in [Transport::Http, Transport::Https] {
         let payload: Vec<u8> = (0..2048).map(|i| (i % 251) as u8).collect();
-        let mut atr = build_atr(RESOURCES, transport);
-        group.bench_with_input(
-            BenchmarkId::new("atr_lookup", transport.label()),
-            &transport,
-            |b, tr| {
-                let mut i = 0usize;
-                b.iter(|| {
-                    let name = format!("Type{}", i % RESOURCES);
-                    i += 1;
-                    let crypto = tr.process(&payload);
-                    let hit = atr.lookup(&name, SimTime::ZERO);
-                    std::hint::black_box((crypto, hit.is_some()))
-                });
-            },
-        );
-        let mut mds = build_mds(RESOURCES, transport);
-        group.bench_with_input(
-            BenchmarkId::new("mds_query", transport.label()),
-            &transport,
-            |b, tr| {
-                let mut i = 0usize;
-                b.iter(|| {
-                    let name = format!("Type{}", i % RESOURCES);
-                    i += 1;
-                    let crypto = tr.process(&payload);
-                    let resp = mds
-                        .query_by_name("ActivityTypeEntry", &name, SimTime::ZERO)
-                        .unwrap();
-                    std::hint::black_box((crypto, resp.matches.len()))
-                });
-            },
-        );
+        let atr = Arc::new(build_atr(RESOURCES, transport));
+        let mut i = 0usize;
+        time_it(&format!("atr_lookup/{}", transport.label()), min, || {
+            let name = format!("Type{}", i % RESOURCES);
+            i += 1;
+            let crypto = transport.process(&payload);
+            (crypto, atr.lookup(&name, SimTime::ZERO).is_some())
+        });
+        let mds = Arc::new(build_mds(RESOURCES, transport));
+        let mut i = 0usize;
+        time_it(&format!("mds_query/{}", transport.label()), min, || {
+            let name = format!("Type{}", i % RESOURCES);
+            i += 1;
+            let crypto = transport.process(&payload);
+            let resp = mds
+                .query_by_name("ActivityTypeEntry", &name, SimTime::ZERO)
+                .unwrap();
+            (crypto, resp.matches.len())
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_lookups);
-criterion_main!(benches);
+    println!();
+    println!("concurrent clients sharing Arc<service> directly — requests/s");
+    for clients in [1usize, 4, 8] {
+        for service in [Service::Atr, Service::Mds] {
+            let p = measure(
+                service,
+                Transport::Http,
+                clients,
+                RESOURCES,
+                Duration::from_millis(300),
+            );
+            println!(
+                "{:<44} {:>14.0} rps",
+                format!("{}/http x{clients}", service.label()),
+                p.rps
+            );
+        }
+    }
+}

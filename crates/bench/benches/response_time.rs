@@ -1,8 +1,10 @@
-//! Criterion companion to Fig. 12: wall-clock cost of simulating the
+//! Plain-timing companion to Fig. 12: wall-clock cost of simulating the
 //! multi-site response-time experiment, cache on vs off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
 use glare_bench::fig12::{run_config, Fig12Params};
+use glare_bench::timing::time_it;
 use glare_fabric::SimDuration;
 
 fn quick_params() -> Fig12Params {
@@ -15,21 +17,12 @@ fn quick_params() -> Fig12Params {
     }
 }
 
-fn bench_fig12(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig12_response_time");
-    group.sample_size(10);
+fn main() {
+    let min = Duration::from_millis(200);
+    println!("fig12_response_time — simulation wall-clock, ns/iter");
     for (sites, cache) in [(1usize, true), (1, false), (3, false), (7, false)] {
-        let label = format!("{}site_cache{}", sites, cache);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&label),
-            &(sites, cache),
-            |b, &(sites, cache)| {
-                b.iter(|| std::hint::black_box(run_config(sites, cache, quick_params())))
-            },
-        );
+        time_it(&format!("{sites}site_cache{cache}"), min, || {
+            run_config(sites, cache, quick_params())
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig12);
-criterion_main!(benches);

@@ -1,46 +1,55 @@
-//! Criterion companion to Fig. 11: how per-request latency scales with
-//! the number of registered activity types (ATR flat, MDS linear).
+//! Plain-timing companion to Fig. 11: how per-request latency scales
+//! with the number of registered activity types (ATR flat, MDS linear).
+//! The services are shared as plain `Arc`s through the `&self` read
+//! path — no outer `Mutex`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use glare_bench::fig10::{build_atr, build_mds};
+use std::sync::Arc;
+use std::time::Duration;
+
+use glare_bench::fig10::{build_atr, build_mds, measure, Service};
+use glare_bench::timing::time_it;
 use glare_fabric::SimTime;
 use glare_services::Transport;
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_resource_scaling");
+fn main() {
+    let min = Duration::from_millis(200);
+    println!("fig11_resource_scaling — single thread, ns/iter");
     for resources in [10usize, 100, 300] {
-        let mut atr = build_atr(resources, Transport::Http);
-        group.bench_with_input(
-            BenchmarkId::new("atr_lookup", resources),
-            &resources,
-            |b, &n| {
-                let mut i = 0usize;
-                b.iter(|| {
-                    let name = format!("Type{}", i % n);
-                    i += 1;
-                    std::hint::black_box(atr.lookup(&name, SimTime::ZERO).is_some())
-                });
-            },
-        );
-        let mut mds = build_mds(resources, Transport::Http);
-        group.bench_with_input(
-            BenchmarkId::new("mds_query", resources),
-            &resources,
-            |b, &n| {
-                let mut i = 0usize;
-                b.iter(|| {
-                    let name = format!("Type{}", i % n);
-                    i += 1;
-                    let resp = mds
-                        .query_by_name("ActivityTypeEntry", &name, SimTime::ZERO)
-                        .unwrap();
-                    std::hint::black_box(resp.matches.len())
-                });
-            },
-        );
+        let atr = Arc::new(build_atr(resources, Transport::Http));
+        let mut i = 0usize;
+        time_it(&format!("atr_lookup/{resources}"), min, || {
+            let name = format!("Type{}", i % resources);
+            i += 1;
+            atr.lookup(&name, SimTime::ZERO).is_some()
+        });
+        let mds = Arc::new(build_mds(resources, Transport::Http));
+        let mut i = 0usize;
+        time_it(&format!("mds_query/{resources}"), min, || {
+            let name = format!("Type{}", i % resources);
+            i += 1;
+            mds.query_by_name("ActivityTypeEntry", &name, SimTime::ZERO)
+                .unwrap()
+                .matches
+                .len()
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);
+    println!();
+    println!("8 clients sharing Arc<service> directly — requests/s");
+    for resources in [10usize, 300] {
+        for service in [Service::Atr, Service::Mds] {
+            let p = measure(
+                service,
+                Transport::Http,
+                8,
+                resources,
+                Duration::from_millis(300),
+            );
+            println!(
+                "{:<44} {:>14.0} rps",
+                format!("{}/http n={resources}", service.label()),
+                p.rps
+            );
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! Regenerate Fig. 10: registry vs index throughput over concurrent
 //! clients, http and https. Pass `--quick` for a short run and `--json`
-//! for machine-readable output.
+//! for machine-readable output on stdout. Every run also writes the
+//! result document to `BENCH_registry.json` (clients → requests/s per
+//! service/transport) for downstream tooling.
 
 use std::time::Duration;
 
@@ -14,9 +16,13 @@ fn main() {
     let clients = [1usize, 2, 4, 6, 8, 10, 12, 16];
     let resources = 60;
     let pts = glare_bench::fig10::run(&clients, resources, per_point);
+    let doc = glare_bench::fig10::results_json(&pts).to_string_pretty();
+    match std::fs::write("BENCH_registry.json", &doc) {
+        Ok(()) => eprintln!("wrote BENCH_registry.json"),
+        Err(e) => eprintln!("could not write BENCH_registry.json: {e}"),
+    }
     if std::env::args().any(|a| a == "--json") {
-        let v: Vec<serde_json::Value> = pts.iter().map(|p| p.to_json()).collect();
-        println!("{}", serde_json::to_string_pretty(&v).expect("serializable"));
+        print!("{doc}");
     } else {
         print!("{}", glare_bench::fig10::render(&pts));
         println!("(fixed population: {resources} activity types)");

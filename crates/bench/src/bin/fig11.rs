@@ -3,6 +3,8 @@
 
 use std::time::Duration;
 
+use glare_bench::json::Json;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let per_point = if quick {
@@ -14,15 +16,8 @@ fn main() {
     let clients = 12; // >10, the regime where the paper's index stalled
     let pts = glare_bench::fig11::run(&resources, clients, per_point);
     if std::env::args().any(|a| a == "--json") {
-        let v: Vec<serde_json::Value> = pts
-            .iter()
-            .map(|p| {
-                let mut j = p.point.to_json();
-                j["unresponsive"] = serde_json::json!(p.unresponsive);
-                j
-            })
-            .collect();
-        println!("{}", serde_json::to_string_pretty(&v).expect("serializable"));
+        let v = Json::arr(pts.iter().map(|p| p.to_json()));
+        print!("{}", v.to_string_pretty());
     } else {
         print!("{}", glare_bench::fig11::render(&pts));
         println!("(fixed {clients} concurrent clients)");

@@ -2,10 +2,13 @@
 //! 1 site vs no cache on 1, 3, 7 sites (discrete-event simulation).
 //! Pass `--json` for machine-readable output.
 
+use glare_bench::json::Json;
+
 fn main() {
     let pts = glare_bench::fig12::run(glare_bench::fig12::Fig12Params::default());
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&pts).expect("serializable"));
+        let v = Json::arr(pts.iter().map(|p| p.to_json()));
+        print!("{}", v.to_string_pretty());
     } else {
         print!("{}", glare_bench::fig12::render(&pts));
     }

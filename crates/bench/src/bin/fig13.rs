@@ -2,10 +2,13 @@
 //! and notification sinks (discrete-event simulation).
 //! Pass `--json` for machine-readable output.
 
+use glare_bench::json::Json;
+
 fn main() {
     let pts = glare_bench::fig13::run(glare_bench::fig13::Fig13Params::default());
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&pts).expect("serializable"));
+        let v = Json::arr(pts.iter().map(|p| p.to_json()));
+        print!("{}", v.to_string_pretty());
     } else {
         print!("{}", glare_bench::fig13::render(&pts));
     }

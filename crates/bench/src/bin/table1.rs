@@ -2,10 +2,13 @@
 //! Invmod and Counter via the Expect and JavaCoG channels.
 //! Pass `--json` for machine-readable output.
 
+use glare_bench::json::Json;
+
 fn main() {
     let rows = glare_bench::table1::run();
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        let v = Json::arr(rows.iter().map(|r| r.to_json()));
+        print!("{}", v.to_string_pretty());
     } else {
         print!("{}", glare_bench::table1::render(&rows));
     }

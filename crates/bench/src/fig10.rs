@@ -3,26 +3,29 @@
 //! transport-level security.
 //!
 //! This is a *real-threads* benchmark, not a simulation: both services are
-//! genuine data structures behind a lock (the single GT4 container of the
-//! paper's setup), client threads issue named lookups as fast as they can,
-//! and the https variants run the actual handshake + stream-cipher work
-//! per request. The asymmetry under test is mechanical: the registry
-//! answers named lookups from a hash table, the index re-walks its
-//! aggregated XML document with XPath.
+//! genuine shared data structures, client threads issue named lookups as
+//! fast as they can, and the https variants run the actual handshake +
+//! stream-cipher work per request. The asymmetry under test is mechanical:
+//! the registry answers named lookups from a hash table, the index
+//! re-walks its aggregated XML document with XPath.
+//!
+//! Since the registries' read path became lock-free-for-readers (sharded
+//! `RwLock`s + atomic counters), the services are shared as plain
+//! `Arc<ActivityTypeRegistry>` / `Arc<IndexService>` — **no outer
+//! `Mutex`** — so client threads genuinely run concurrently and measured
+//! throughput scales with cores instead of serializing on one lock.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-
 use glare_core::model::ActivityType;
 use glare_core::ActivityTypeRegistry;
-use glare_fabric::SimTime;
+use glare_fabric::{SimRng, SimTime};
 use glare_services::mds::{IndexKind, IndexService};
 use glare_services::Transport;
+
+use crate::json::Json;
 
 /// Which service a measurement exercised.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,7 +68,7 @@ fn type_entry(i: usize) -> ActivityType {
 
 /// Build an ATR preloaded with `resources` types.
 pub fn build_atr(resources: usize, transport: Transport) -> ActivityTypeRegistry {
-    let mut atr = ActivityTypeRegistry::new("https://bench/ATR", transport);
+    let atr = ActivityTypeRegistry::new("https://bench/ATR", transport);
     for i in 0..resources {
         atr.register(type_entry(i), SimTime::ZERO).unwrap();
     }
@@ -96,8 +99,10 @@ pub fn measure(
 ) -> ThroughputPoint {
     let ops = Arc::new(AtomicU64::new(0));
     let stop = Arc::new(AtomicBool::new(false));
-    let atr = Arc::new(Mutex::new(build_atr(resources, transport)));
-    let mds = Arc::new(Mutex::new(build_mds(resources, transport)));
+    // The services are shared directly: the concurrent read path needs no
+    // wrapping lock.
+    let atr: Arc<ActivityTypeRegistry> = Arc::new(build_atr(resources, transport));
+    let mds: Arc<IndexService> = Arc::new(build_mds(resources, transport));
     let payload: Arc<Vec<u8>> = Arc::new((0..WIRE_PAYLOAD).map(|i| (i % 251) as u8).collect());
 
     let mut handles = Vec::with_capacity(clients);
@@ -108,10 +113,10 @@ pub fn measure(
         let mds = mds.clone();
         let payload = payload.clone();
         handles.push(std::thread::spawn(move || {
-            let mut rng = ChaCha8Rng::seed_from_u64(0xF16_0000 + c as u64);
+            let mut rng = SimRng::from_seed(0xF16_0000 + c as u64);
             let mut sink = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                let name = format!("Type{}", rng.gen_range(0..resources));
+                let name = format!("Type{}", rng.range(0, resources as u64));
                 // SOAP-ish request envelope: built and parsed per request
                 // on the container worker thread, like the real stack.
                 let request = format!(
@@ -122,19 +127,16 @@ pub fn measure(
                 // Transport security: request decryption happens before
                 // the service sees it.
                 sink ^= transport.process(&payload);
-                // The guarded data-structure access is the part the two
+                // The shared data-structure access is the part the two
                 // services implement differently.
                 let response_doc = match service {
-                    Service::Atr => {
-                        let mut reg = atr.lock();
-                        reg.lookup(&name, SimTime::ZERO)
-                            .expect("registered type")
-                            .value
-                            .to_xml()
-                    }
+                    Service::Atr => atr
+                        .lookup(&name, SimTime::ZERO)
+                        .expect("registered type")
+                        .value
+                        .to_xml(),
                     Service::Mds => {
-                        let mut idx = mds.lock();
-                        let resp = idx
+                        let resp = mds
                             .query_by_name("ActivityTypeEntry", &name, SimTime::ZERO)
                             .expect("valid query");
                         resp.matches.into_iter().next().expect("one match")
@@ -169,15 +171,28 @@ pub fn measure(
 
 impl ThroughputPoint {
     /// JSON-friendly view of the measurement.
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::json!({
-            "service": self.service.label(),
-            "transport": self.transport.label(),
-            "clients": self.clients,
-            "resources": self.resources,
-            "rps": self.rps,
-        })
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("service", Json::from(self.service.label())),
+            ("transport", Json::from(self.transport.label())),
+            ("clients", Json::from(self.clients)),
+            ("resources", Json::from(self.resources)),
+            ("rps", Json::from(self.rps)),
+        ])
     }
+}
+
+/// The machine-readable result document the `fig10` binary writes to
+/// `BENCH_registry.json`: clients → requests/s per service/transport.
+pub fn results_json(points: &[ThroughputPoint]) -> Json {
+    Json::obj([
+        ("figure", Json::from("fig10")),
+        (
+            "description",
+            Json::from("registry throughput vs concurrent clients"),
+        ),
+        ("points", Json::arr(points.iter().map(|p| p.to_json()))),
+    ])
 }
 
 /// The Fig. 10 sweep: both services × both transports × client counts,
@@ -255,11 +270,26 @@ mod tests {
     fn builders_load_requested_resources() {
         let atr = build_atr(25, Transport::Http);
         assert_eq!(atr.len(SimTime::ZERO), 25);
-        let mut mds = build_mds(25, Transport::Http);
+        let mds = build_mds(25, Transport::Http);
         assert_eq!(mds.len(SimTime::ZERO), 25);
         let r = mds
             .query_by_name("ActivityTypeEntry", "Type24", SimTime::ZERO)
             .unwrap();
         assert_eq!(r.matches.len(), 1);
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let p = ThroughputPoint {
+            service: Service::Atr,
+            transport: Transport::Http,
+            clients: 4,
+            resources: 100,
+            rps: 1234.5,
+        };
+        let doc = results_json(&[p]).to_string_pretty();
+        assert!(doc.contains("\"figure\": \"fig10\""));
+        assert!(doc.contains("\"service\": \"ATR\""));
+        assert!(doc.contains("\"rps\": 1234.5"));
     }
 }

@@ -29,6 +29,17 @@ pub struct Fig11Point {
     pub unresponsive: bool,
 }
 
+impl Fig11Point {
+    /// JSON-friendly view (the underlying measurement + collapse flag).
+    pub fn to_json(&self) -> crate::json::Json {
+        let crate::json::Json::Obj(mut fields) = self.point.to_json() else {
+            unreachable!("ThroughputPoint::to_json returns an object");
+        };
+        fields.push(("unresponsive".to_owned(), self.unresponsive.into()));
+        crate::json::Json::Obj(fields)
+    }
+}
+
 /// Sweep resource counts at a fixed client count.
 pub fn run(
     resource_counts: &[usize],

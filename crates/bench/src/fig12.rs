@@ -13,7 +13,7 @@ use glare_core::overlay::{ClientStats, OverlayBuilder, QueryClient};
 use glare_fabric::{SimDuration, SimTime, SiteId, Topology};
 
 /// One Fig. 12 series point.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig12Point {
     /// Number of Grid sites.
     pub sites: usize,
@@ -25,6 +25,19 @@ pub struct Fig12Point {
     pub p95_ms: f64,
     /// Requests measured.
     pub requests: u64,
+}
+
+impl Fig12Point {
+    /// JSON-friendly view of the point.
+    pub fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::obj([
+            ("sites", crate::json::Json::from(self.sites)),
+            ("cache", crate::json::Json::from(self.cache)),
+            ("mean_ms", crate::json::Json::from(self.mean_ms)),
+            ("p95_ms", crate::json::Json::from(self.p95_ms)),
+            ("requests", crate::json::Json::from(self.requests)),
+        ])
+    }
 }
 
 /// Experiment parameters.

@@ -15,7 +15,7 @@ use glare_core::overlay::{ClientStats, NotificationSink, OverlayBuilder, QueryCl
 use glare_fabric::{SimDuration, SimTime, SiteId, Topology};
 
 /// One measured load point.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct LoadPoint {
     /// Which series (`requesters` or `sinks@<rate>s`).
     pub series: String,
@@ -25,6 +25,18 @@ pub struct LoadPoint {
     pub peak_load: f64,
     /// Mean 1-minute load average over the run.
     pub mean_load: f64,
+}
+
+impl LoadPoint {
+    /// JSON-friendly view of the point.
+    pub fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::obj([
+            ("series", crate::json::Json::from(self.series.clone())),
+            ("count", crate::json::Json::from(self.count)),
+            ("peak_load", crate::json::Json::from(self.peak_load)),
+            ("mean_load", crate::json::Json::from(self.mean_load)),
+        ])
+    }
 }
 
 /// Experiment parameters.

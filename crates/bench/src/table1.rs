@@ -8,7 +8,7 @@ use glare_fabric::SimTime;
 use glare_services::{ChannelKind, Transport};
 
 /// One row-set of Table 1 (one application under one channel).
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Entry {
     /// Deployment method ("Expect" / "Java CoG").
     pub channel: String,
@@ -28,6 +28,23 @@ pub struct Table1Entry {
     pub channel_overhead_ms: u64,
     /// "Total overhead for meta-scheduler" (ms).
     pub total_ms: u64,
+}
+
+impl Table1Entry {
+    /// JSON-friendly view of the row.
+    pub fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::obj([
+            ("channel", crate::json::Json::from(self.channel.clone())),
+            ("app", crate::json::Json::from(self.app.clone())),
+            ("type_addition_ms", crate::json::Json::from(self.type_addition_ms)),
+            ("communication_ms", crate::json::Json::from(self.communication_ms)),
+            ("installation_ms", crate::json::Json::from(self.installation_ms)),
+            ("registration_ms", crate::json::Json::from(self.registration_ms)),
+            ("notification_ms", crate::json::Json::from(self.notification_ms)),
+            ("channel_overhead_ms", crate::json::Json::from(self.channel_overhead_ms)),
+            ("total_ms", crate::json::Json::from(self.total_ms)),
+        ])
+    }
 }
 
 /// The applications Table 1 measures, as (display name, activity type).

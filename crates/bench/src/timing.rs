@@ -1,0 +1,46 @@
+//! Minimal wall-clock timing loop used by the `benches/` binaries.
+//!
+//! Each bench under `benches/` is a plain `fn main()` (the manifest sets
+//! `harness = false`): it calls [`time_it`] per configuration and prints
+//! aligned `ns/iter` rows. No statistics machinery — a warmup, a timed
+//! loop bounded by a minimum duration, and the mean.
+
+use std::time::{Duration, Instant};
+
+/// Warmup iterations run before the timed loop.
+const WARMUP_ITERS: u32 = 3;
+
+/// Run `f` repeatedly for at least `min_duration`, print mean ns/iter.
+///
+/// Returns the measured mean so callers can assert on shape if useful.
+pub fn time_it<R>(label: &str, min_duration: Duration, mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..WARMUP_ITERS {
+        std::hint::black_box(f());
+    }
+    let mut iters: u64 = 0;
+    let start = Instant::now();
+    while start.elapsed() < min_duration {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    let elapsed = start.elapsed();
+    let per = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{label:<44} {per:>14.0} ns/iter   ({iters} iters)");
+    per
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_least_once_and_reports_positive_mean() {
+        let mut n = 0u64;
+        let per = time_it("test_loop", Duration::from_millis(5), || {
+            n += 1;
+            n
+        });
+        assert!(n > u64::from(WARMUP_ITERS));
+        assert!(per > 0.0);
+    }
+}

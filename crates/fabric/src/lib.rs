@@ -25,6 +25,7 @@ pub mod metrics;
 pub mod rng;
 pub mod sim;
 pub mod site;
+pub mod sync;
 pub mod time;
 pub mod topology;
 

@@ -8,12 +8,11 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::SimDuration;
 
 /// Identifier of a simulated Grid site (dense index into the topology).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SiteId(pub u32);
 
 impl SiteId {
@@ -30,7 +29,7 @@ impl std::fmt::Display for SiteId {
 }
 
 /// Hardware/OS platform triple used by deployment constraints.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Platform {
     /// Vendor platform, e.g. `"Intel"`.
     pub platform: String,
@@ -57,7 +56,7 @@ impl Platform {
 }
 
 /// Static attributes of one Grid site.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SiteSpec {
     /// Human-readable unique site name (e.g. `"altix1.uibk.ac.at"`).
     pub name: String,
@@ -112,7 +111,7 @@ impl SiteSpec {
 }
 
 /// Characteristics of a network path between two sites.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LinkSpec {
     /// One-way propagation latency.
     pub latency: SimDuration,

@@ -7,9 +7,16 @@
 //! be present in the type registry before registration of its
 //! deployments" (§3.1). Status updates from the Deployment Status Monitor
 //! bump the EPR's `LastUpdateTime`, which drives cache revival (§3.2).
+//!
+//! Like the type registry, every method takes `&self`: the resource home
+//! is sharded and the `type -> deployment keys` index sits behind an
+//! `RwLock`. The index stores keys in a `BTreeSet`, so a type can never
+//! accumulate duplicate entries and listings come out in deterministic
+//! order.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
+use glare_fabric::sync::RwLock;
 use glare_fabric::{SimDuration, SimTime};
 use glare_services::mds::REQUEST_BASE_COST;
 use glare_services::Transport;
@@ -32,7 +39,7 @@ pub struct ActivityDeploymentRegistry {
     home: ResourceHome<ActivityDeployment>,
     /// type name -> deployment keys (the "EPR registered in its type
     /// resource" index).
-    by_type: HashMap<String, Vec<String>>,
+    by_type: RwLock<HashMap<String, BTreeSet<String>>>,
 }
 
 impl ActivityDeploymentRegistry {
@@ -42,7 +49,7 @@ impl ActivityDeploymentRegistry {
             address: address.to_owned(),
             transport,
             home: ResourceHome::new(),
-            by_type: HashMap::new(),
+            by_type: RwLock::new(HashMap::new()),
         }
     }
 
@@ -51,7 +58,7 @@ impl ActivityDeploymentRegistry {
     /// [`GlareError::TypeNotRegistered`] and is expected to dynamically
     /// register the type first (§3.1).
     pub fn register(
-        &mut self,
+        &self,
         deployment: ActivityDeployment,
         atr: &ActivityTypeRegistry,
         now: SimTime,
@@ -63,18 +70,18 @@ impl ActivityDeploymentRegistry {
         }
         let key = deployment.key.clone();
         let type_name = deployment.type_name.clone();
+        // Hold the index write lock across replace + create + index so a
+        // concurrent re-registration of the same key cannot interleave.
+        let mut by_type = self.by_type.write();
         // Re-registration replaces any previous record under the key
         // (a re-install on the same site supersedes a failed/stale one).
-        if self.home.destroy(&key).is_ok() {
-            for keys in self.by_type.values_mut() {
-                keys.retain(|k| k != &key);
+        if let Ok(old) = self.home.destroy(&key) {
+            if let Some(keys) = by_type.get_mut(&old.payload.type_name) {
+                keys.remove(&key);
             }
         }
         self.home.create(key.clone(), deployment, now)?;
-        let keys = self.by_type.entry(type_name).or_default();
-        if !keys.contains(&key) {
-            keys.push(key);
-        }
+        by_type.entry(type_name).or_default().insert(key);
         Ok(REQUEST_BASE_COST + self.transport.overhead_cost(DEPLOYMENT_WIRE_BYTES))
     }
 
@@ -82,7 +89,7 @@ impl ActivityDeploymentRegistry {
     pub fn lookup(&self, key: &str, now: SimTime) -> Option<TypedResponse<ActivityDeployment>> {
         let cost = REQUEST_BASE_COST + self.transport.overhead_cost(512 + DEPLOYMENT_WIRE_BYTES);
         self.home.get(key, now).map(|r| TypedResponse {
-            value: r.payload.clone(),
+            value: r.payload,
             cost,
         })
     }
@@ -93,13 +100,16 @@ impl ActivityDeploymentRegistry {
         type_name: &str,
         now: SimTime,
     ) -> TypedResponse<Vec<ActivityDeployment>> {
-        let list: Vec<ActivityDeployment> = self
+        let keys: Vec<String> = self
             .by_type
+            .read()
             .get(type_name)
-            .into_iter()
-            .flatten()
+            .map(|ks| ks.iter().cloned().collect())
+            .unwrap_or_default();
+        let list: Vec<ActivityDeployment> = keys
+            .iter()
             .filter_map(|k| self.home.get(k, now))
-            .map(|r| r.payload.clone())
+            .map(|r| r.payload)
             .filter(ActivityDeployment::is_usable)
             .collect();
         let cost = REQUEST_BASE_COST
@@ -118,19 +128,18 @@ impl ActivityDeploymentRegistry {
     /// resource's modification stamp).
     pub fn epr_of(&self, key: &str, now: SimTime) -> Option<EndpointReference> {
         self.home
-            .get(key, now)
-            .map(|r| r.payload.epr(&self.address, r.modified_at))
+            .with_resource(key, now, |r| r.payload.epr(&self.address, r.modified_at))
     }
 
     /// Status-monitor heartbeat: bump the LUT without changing payload.
-    pub fn touch(&mut self, key: &str, now: SimTime) -> Result<(), GlareError> {
+    pub fn touch(&self, key: &str, now: SimTime) -> Result<(), GlareError> {
         self.home.touch(key, now)?;
         Ok(())
     }
 
     /// Update deployment status (bumps LUT).
     pub fn set_status(
-        &mut self,
+        &self,
         key: &str,
         status: DeploymentStatus,
         now: SimTime,
@@ -141,7 +150,7 @@ impl ActivityDeploymentRegistry {
 
     /// Record an invocation against a deployment (bumps LUT).
     pub fn record_invocation(
-        &mut self,
+        &self,
         key: &str,
         at: SimTime,
         runtime: SimDuration,
@@ -156,10 +165,12 @@ impl ActivityDeploymentRegistry {
     /// expiry, §3.3: "If an activity type expires, its deployments
     /// automatically expire"). Running instances finish: expiry is
     /// scheduled, not immediate destruction.
-    pub fn expire_type(&mut self, type_name: &str, when: SimTime, now: SimTime) -> usize {
+    pub fn expire_type(&self, type_name: &str, when: SimTime, now: SimTime) -> usize {
         let keys: Vec<String> = self
             .by_type
-            .get(type_name).cloned()
+            .read()
+            .get(type_name)
+            .map(|ks| ks.iter().cloned().collect())
             .unwrap_or_default();
         let mut n = 0;
         for k in keys {
@@ -171,20 +182,21 @@ impl ActivityDeploymentRegistry {
     }
 
     /// Remove a deployment permanently (e.g. after migration).
-    pub fn remove(&mut self, key: &str) -> Result<ActivityDeployment, GlareError> {
+    pub fn remove(&self, key: &str) -> Result<ActivityDeployment, GlareError> {
         let r = self.home.destroy(key)?;
-        if let Some(keys) = self.by_type.get_mut(&r.payload.type_name) {
-            keys.retain(|k| k != key);
+        if let Some(keys) = self.by_type.write().get_mut(&r.payload.type_name) {
+            keys.remove(key);
         }
         Ok(r.payload)
     }
 
     /// Sweep expired deployments, returning their keys.
-    pub fn sweep_expired(&mut self, now: SimTime) -> Vec<String> {
+    pub fn sweep_expired(&self, now: SimTime) -> Vec<String> {
         let dead = self.home.sweep_expired(now);
-        for key in &dead {
-            for keys in self.by_type.values_mut() {
-                keys.retain(|k| k != key);
+        if !dead.is_empty() {
+            let mut by_type = self.by_type.write();
+            for keys in by_type.values_mut() {
+                keys.retain(|k| !dead.contains(k));
             }
         }
         dead
@@ -202,7 +214,7 @@ impl ActivityDeploymentRegistry {
 
     /// Keys of all live deployments.
     pub fn keys(&self, now: SimTime) -> Vec<String> {
-        self.home.iter_live(now).map(|r| r.key.clone()).collect()
+        self.home.live_keys(now)
     }
 
     /// Aggregate document of all live deployments.
@@ -221,7 +233,7 @@ mod tests {
     }
 
     fn registries() -> (ActivityTypeRegistry, ActivityDeploymentRegistry) {
-        let mut atr = ActivityTypeRegistry::new("https://s0/ATR", Transport::Http);
+        let atr = ActivityTypeRegistry::new("https://s0/ATR", Transport::Http);
         for ty in example_hierarchy(SimTime::ZERO) {
             atr.register(ty, t(0)).unwrap();
         }
@@ -240,7 +252,7 @@ mod tests {
 
     #[test]
     fn register_requires_type() {
-        let (atr, mut adr) = registries();
+        let (atr, adr) = registries();
         let orphan = ActivityDeployment::executable("Ghost", "s1", "/x", "/x");
         assert!(matches!(
             adr.register(orphan, &atr, t(1)),
@@ -252,7 +264,7 @@ mod tests {
 
     #[test]
     fn deployments_by_type_and_multiple_sites() {
-        let (atr, mut adr) = registries();
+        let (atr, adr) = registries();
         adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
         adr.register(jpov_exec("s2"), &atr, t(0)).unwrap();
         adr.register(
@@ -268,8 +280,19 @@ mod tests {
     }
 
     #[test]
+    fn reregistration_does_not_duplicate_index() {
+        let (atr, adr) = registries();
+        adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
+        // Same key re-registered (re-install): index must stay at one
+        // entry, and the payload must be the newer record.
+        adr.register(jpov_exec("s1"), &atr, t(5)).unwrap();
+        assert_eq!(adr.count_of("JPOVray", t(6)), 1);
+        assert_eq!(adr.len(t(6)), 1);
+    }
+
+    #[test]
     fn status_gates_listing_and_bumps_lut() {
-        let (atr, mut adr) = registries();
+        let (atr, adr) = registries();
         adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
         let epr0 = adr.epr_of("jpovray@s1", t(1)).unwrap();
         adr.set_status("jpovray@s1", DeploymentStatus::Failed, t(5))
@@ -284,7 +307,7 @@ mod tests {
 
     #[test]
     fn touch_is_monitor_heartbeat() {
-        let (atr, mut adr) = registries();
+        let (atr, adr) = registries();
         adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
         let epr0 = adr.epr_of("jpovray@s1", t(1)).unwrap();
         adr.touch("jpovray@s1", t(30)).unwrap();
@@ -295,7 +318,7 @@ mod tests {
 
     #[test]
     fn expiry_cascade_from_type() {
-        let (atr, mut adr) = registries();
+        let (atr, adr) = registries();
         adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
         adr.register(jpov_exec("s2"), &atr, t(0)).unwrap();
         let n = adr.expire_type("JPOVray", t(100), t(1));
@@ -311,7 +334,7 @@ mod tests {
 
     #[test]
     fn invocation_metrics_via_registry() {
-        let (atr, mut adr) = registries();
+        let (atr, adr) = registries();
         adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
         adr.record_invocation("jpovray@s1", t(10), SimDuration::from_secs(3), 0)
             .unwrap();
@@ -322,7 +345,7 @@ mod tests {
 
     #[test]
     fn remove_cleans_index() {
-        let (atr, mut adr) = registries();
+        let (atr, adr) = registries();
         adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
         let removed = adr.remove("jpovray@s1").unwrap();
         assert_eq!(removed.site, "s1");
@@ -334,7 +357,7 @@ mod tests {
     fn type_registered_after_deployment_attempt() {
         // The §3.1 flow: deployment registration fails, the RDM registers
         // the type dynamically, then the deployment registers fine.
-        let (mut atr, mut adr) = registries();
+        let (atr, adr) = registries();
         let d = ActivityDeployment::executable("NewApp", "s1", "/x/bin/a", "/x");
         let err = adr.register(d.clone(), &atr, t(0)).unwrap_err();
         assert!(matches!(err, GlareError::TypeNotRegistered { .. }));

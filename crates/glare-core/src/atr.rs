@@ -11,11 +11,25 @@
 //!   resources and significantly improves the performance."
 //! * **XPath query** — the same aggregate-document scan the Index Service
 //!   performs, kept for non-named discovery (and for the ablation bench).
+//!
+//! ## Concurrency
+//!
+//! Every method takes `&self`: the resource home is internally sharded
+//! (see [`ResourceHome`]), the hierarchy index sits behind a single
+//! `RwLock` (reads dominate; writes only on register/update/remove), and
+//! the lookup counter is an atomic. A registry wrapped in `Arc` serves
+//! concurrent client threads with no outer lock — named lookups from
+//! different threads genuinely proceed in parallel, which is what the
+//! Fig. 10 throughput harness exercises.
 
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use glare_fabric::sync::RwLock;
 use glare_fabric::{SimDuration, SimTime};
 use glare_services::mds::{REQUEST_BASE_COST, SCAN_PER_ENTRY_COST};
 use glare_services::Transport;
-use glare_wsrf::{ResourceHome, WsrfError, XmlNode};
+use glare_wsrf::{ResourceHome, WsrfError, XPathMemo, XmlNode};
 
 use crate::error::GlareError;
 use crate::hierarchy::TypeHierarchy;
@@ -34,15 +48,39 @@ pub struct TypedResponse<T> {
 }
 
 /// The type registry of one GLARE site.
-#[derive(Clone, Debug)]
 pub struct ActivityTypeRegistry {
     /// Service address (forms EPRs).
     pub address: String,
     /// Transport security.
     pub transport: Transport,
     home: ResourceHome<ActivityType>,
-    hierarchy: TypeHierarchy,
-    lookups_served: u64,
+    hierarchy: RwLock<TypeHierarchy>,
+    xpath_memo: XPathMemo,
+    lookups_served: AtomicU64,
+}
+
+impl Clone for ActivityTypeRegistry {
+    fn clone(&self) -> Self {
+        ActivityTypeRegistry {
+            address: self.address.clone(),
+            transport: self.transport,
+            home: self.home.clone(),
+            hierarchy: self.hierarchy.clone(),
+            xpath_memo: self.xpath_memo.clone(),
+            lookups_served: AtomicU64::new(self.lookups_served()),
+        }
+    }
+}
+
+impl fmt::Debug for ActivityTypeRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActivityTypeRegistry")
+            .field("address", &self.address)
+            .field("transport", &self.transport)
+            .field("types", &self.home.len_total())
+            .field("lookups_served", &self.lookups_served())
+            .finish()
+    }
 }
 
 impl ActivityTypeRegistry {
@@ -52,57 +90,58 @@ impl ActivityTypeRegistry {
             address: address.to_owned(),
             transport,
             home: ResourceHome::new(),
-            hierarchy: TypeHierarchy::new(),
-            lookups_served: 0,
+            hierarchy: RwLock::new(TypeHierarchy::new()),
+            xpath_memo: XPathMemo::new(),
+            lookups_served: AtomicU64::new(0),
         }
     }
 
     /// Register a new activity type (dynamic registration, §3.1).
-    pub fn register(&mut self, t: ActivityType, now: SimTime) -> Result<SimDuration, GlareError> {
+    ///
+    /// The cycle check walks the would-be ancestor chain in place —
+    /// O(ancestors), not the O(registry) full-hierarchy clone the naive
+    /// trial-insert approach costs.
+    pub fn register(&self, t: ActivityType, now: SimTime) -> Result<SimDuration, GlareError> {
         if t.name.is_empty() {
             return Err(GlareError::InvalidType {
                 name: t.name.clone(),
                 reason: "empty name".into(),
             });
         }
-        // Reject types that would introduce an extension cycle.
-        let mut trial = self.hierarchy.clone();
-        trial.insert(&t);
-        if trial.has_cycle_from(&t.name) {
+        // Hold the hierarchy write lock across check + create + insert so
+        // two concurrent registrations cannot interleave into a cycle.
+        let mut hierarchy = self.hierarchy.write();
+        if hierarchy.would_cycle(&t.name, &t.base_types) {
             return Err(GlareError::InvalidType {
                 name: t.name.clone(),
                 reason: "extension cycle".into(),
             });
         }
         self.home.create(t.name.clone(), t.clone(), now)?;
-        self.hierarchy.insert(&t);
+        hierarchy.insert(&t);
         Ok(REQUEST_BASE_COST + self.transport.overhead_cost(TYPE_WIRE_BYTES))
     }
 
     /// Named lookup — the hashtable fast path. Cost does *not* depend on
-    /// registry size.
-    pub fn lookup(&mut self, name: &str, now: SimTime) -> Option<TypedResponse<ActivityType>> {
-        self.lookups_served += 1;
+    /// registry size, and concurrent callers do not serialize.
+    pub fn lookup(&self, name: &str, now: SimTime) -> Option<TypedResponse<ActivityType>> {
+        self.lookups_served.fetch_add(1, Ordering::Relaxed);
         let cost = REQUEST_BASE_COST + self.transport.overhead_cost(512 + TYPE_WIRE_BYTES);
         self.home.get(name, now).map(|r| TypedResponse {
-            value: r.payload.clone(),
+            value: r.payload,
             cost,
         })
     }
 
     /// Resolve a (possibly abstract) type to the deployable concrete types
     /// at or below it, skipping expired and revoked entries.
-    pub fn resolve_concrete(
-        &mut self,
-        name: &str,
-        now: SimTime,
-    ) -> TypedResponse<Vec<ActivityType>> {
-        self.lookups_served += 1;
-        let names = self.hierarchy.resolve_concrete(name);
+    pub fn resolve_concrete(&self, name: &str, now: SimTime) -> TypedResponse<Vec<ActivityType>> {
+        self.lookups_served.fetch_add(1, Ordering::Relaxed);
+        let names = self.hierarchy.read().resolve_concrete(name);
         let types: Vec<ActivityType> = names
             .iter()
             .filter_map(|n| self.home.get(n, now))
-            .map(|r| r.payload.clone())
+            .map(|r| r.payload)
             .filter(|t| !t.revoked)
             .collect();
         // One hash lookup per hierarchy hop — still size-independent.
@@ -117,14 +156,17 @@ impl ActivityTypeRegistry {
     /// XPath query over the aggregate document — the slow path, with the
     /// same per-entry scan cost as the Index Service (both sit on the same
     /// aggregation framework; §4 calls the comparison "logical").
+    ///
+    /// Compiled expressions are memoized by string; the per-entry document
+    /// walk (the modeled cost) is still paid on every call.
     pub fn query_xpath(
-        &mut self,
+        &self,
         expr: &str,
         now: SimTime,
     ) -> Result<TypedResponse<Vec<XmlNode>>, GlareError> {
         let scanned = self.home.len_live(now);
         let doc = self.home.aggregate_document(now);
-        let compiled = glare_wsrf::XPath::compile(expr).map_err(|e| {
+        let compiled = self.xpath_memo.get_or_compile(expr).map_err(|e| {
             GlareError::Wsrf(WsrfError::InvalidQuery {
                 message: e.to_string(),
             })
@@ -147,26 +189,24 @@ impl ActivityTypeRegistry {
     /// can be searched for based on a semantic description"). A linear
     /// scan (costed like the XPath path), since functions are not named
     /// resources.
-    pub fn find_by_function(
-        &mut self,
-        function: &str,
-        now: SimTime,
-    ) -> TypedResponse<Vec<ActivityType>> {
-        let scanned = self.home.len_live(now);
-        let hits: Vec<ActivityType> = self
-            .home
-            .iter_live(now)
-            .map(|r| &r.payload)
+    pub fn find_by_function(&self, function: &str, now: SimTime) -> TypedResponse<Vec<ActivityType>> {
+        let entries = self.home.snapshot_live(now);
+        let scanned = entries.len();
+        let hierarchy = self.hierarchy.read();
+        let hits: Vec<ActivityType> = entries
+            .into_iter()
+            .map(|r| r.payload)
             .filter(|t| {
                 // A type offers a function if it or any ancestor declares it.
                 t.functions.iter().any(|f| f.name == function)
-                    || self.hierarchy.ancestors(&t.name).iter().any(|a| {
+                    || hierarchy.ancestors(&t.name).iter().any(|a| {
                         self.home
-                            .get(a, now)
-                            .is_some_and(|b| b.payload.functions.iter().any(|f| f.name == function))
+                            .with_resource(a, now, |b| {
+                                b.payload.functions.iter().any(|f| f.name == function)
+                            })
+                            .unwrap_or(false)
                     })
             })
-            .cloned()
             .collect();
         let cost = REQUEST_BASE_COST
             + SCAN_PER_ENTRY_COST * scanned as u64
@@ -177,15 +217,15 @@ impl ActivityTypeRegistry {
     }
 
     /// Discover types by application domain (same scan cost model).
-    pub fn find_by_domain(&mut self, domain: &str, now: SimTime) -> TypedResponse<Vec<ActivityType>> {
-        let scanned = self.home.len_live(now);
-        let hits: Vec<ActivityType> = self
-            .home
-            .iter_live(now)
-            .map(|r| &r.payload)
-            .filter(|t| t.domain == domain)
-            .cloned()
-            .collect();
+    pub fn find_by_domain(&self, domain: &str, now: SimTime) -> TypedResponse<Vec<ActivityType>> {
+        let mut hits: Vec<ActivityType> = Vec::new();
+        let mut scanned = 0usize;
+        self.home.for_each_live(now, |r| {
+            scanned += 1;
+            if r.payload.domain == domain {
+                hits.push(r.payload.clone());
+            }
+        });
         let cost = REQUEST_BASE_COST
             + SCAN_PER_ENTRY_COST * scanned as u64
             + self
@@ -195,27 +235,26 @@ impl ActivityTypeRegistry {
     }
 
     /// Update a type in place (bumps its modification stamp).
-    pub fn update<F>(&mut self, name: &str, now: SimTime, f: F) -> Result<(), GlareError>
+    pub fn update<F>(&self, name: &str, now: SimTime, f: F) -> Result<(), GlareError>
     where
         F: FnOnce(&mut ActivityType),
     {
         self.home.update(name, now, f)?;
         // Rebuild hierarchy edges in case base types changed.
         if let Some(t) = self.home.get(name, now) {
-            let t = t.payload.clone();
-            self.hierarchy.insert(&t);
+            self.hierarchy.write().insert(&t.payload);
         }
         Ok(())
     }
 
     /// Revoke / un-revoke a type (§3.3: "revoking for certain time").
-    pub fn set_revoked(&mut self, name: &str, revoked: bool, now: SimTime) -> Result<(), GlareError> {
+    pub fn set_revoked(&self, name: &str, revoked: bool, now: SimTime) -> Result<(), GlareError> {
         self.update(name, now, |t| t.revoked = revoked)
     }
 
     /// Schedule (or clear) expiry of a type.
     pub fn set_expiry(
-        &mut self,
+        &self,
         name: &str,
         when: Option<SimTime>,
         now: SimTime,
@@ -225,18 +264,21 @@ impl ActivityTypeRegistry {
     }
 
     /// Remove a type permanently. Returns the removed entry.
-    pub fn remove(&mut self, name: &str) -> Result<ActivityType, GlareError> {
+    pub fn remove(&self, name: &str) -> Result<ActivityType, GlareError> {
         let r = self.home.destroy(name)?;
-        self.hierarchy.remove(name);
+        self.hierarchy.write().remove(name);
         Ok(r.payload)
     }
 
     /// Sweep expired types out of the hierarchy; returns their names (the
     /// RDM cascades expiry to their deployments).
-    pub fn sweep_expired(&mut self, now: SimTime) -> Vec<String> {
+    pub fn sweep_expired(&self, now: SimTime) -> Vec<String> {
         let dead = self.home.sweep_expired(now);
-        for name in &dead {
-            self.hierarchy.remove(name);
+        if !dead.is_empty() {
+            let mut hierarchy = self.hierarchy.write();
+            for name in &dead {
+                hierarchy.remove(name);
+            }
         }
         dead
     }
@@ -248,7 +290,7 @@ impl ActivityTypeRegistry {
 
     /// Kind of a registered type.
     pub fn kind_of(&self, name: &str) -> Option<TypeKind> {
-        self.hierarchy.kind(name)
+        self.hierarchy.read().kind(name)
     }
 
     /// Number of live types.
@@ -263,17 +305,17 @@ impl ActivityTypeRegistry {
 
     /// Names of all live types.
     pub fn names(&self, now: SimTime) -> Vec<String> {
-        self.home.iter_live(now).map(|r| r.key.clone()).collect()
+        self.home.live_keys(now)
     }
 
     /// Total lookups served (for experiment accounting).
     pub fn lookups_served(&self) -> u64 {
-        self.lookups_served
+        self.lookups_served.load(Ordering::Relaxed)
     }
 
-    /// The hierarchy index (read-only).
-    pub fn hierarchy(&self) -> &TypeHierarchy {
-        &self.hierarchy
+    /// Run `f` against the hierarchy index under its read lock.
+    pub fn with_hierarchy<R>(&self, f: impl FnOnce(&TypeHierarchy) -> R) -> R {
+        f(&self.hierarchy.read())
     }
 
     /// The full aggregate document (what super-peers exchange).
@@ -292,7 +334,7 @@ mod tests {
     }
 
     fn loaded() -> ActivityTypeRegistry {
-        let mut r = ActivityTypeRegistry::new("https://site0/ATR", Transport::Http);
+        let r = ActivityTypeRegistry::new("https://site0/ATR", Transport::Http);
         for ty in example_hierarchy(SimTime::ZERO) {
             r.register(ty, t(0)).unwrap();
         }
@@ -301,7 +343,7 @@ mod tests {
 
     #[test]
     fn register_and_lookup() {
-        let mut r = loaded();
+        let r = loaded();
         let resp = r.lookup("JPOVray", t(1)).unwrap();
         assert_eq!(resp.value.name, "JPOVray");
         assert!(r.lookup("Missing", t(1)).is_none());
@@ -310,7 +352,7 @@ mod tests {
 
     #[test]
     fn duplicate_registration_rejected() {
-        let mut r = loaded();
+        let r = loaded();
         let dup = ActivityType::concrete_type("JPOVray", "imaging", "jpovray");
         assert!(matches!(
             r.register(dup, t(1)),
@@ -320,11 +362,11 @@ mod tests {
 
     #[test]
     fn lookup_cost_is_size_independent() {
-        let mut small = ActivityTypeRegistry::new("a", Transport::Http);
+        let small = ActivityTypeRegistry::new("a", Transport::Http);
         small
             .register(ActivityType::concrete_type("X", "d", "x"), t(0))
             .unwrap();
-        let mut big = ActivityTypeRegistry::new("b", Transport::Http);
+        let big = ActivityTypeRegistry::new("b", Transport::Http);
         for i in 0..500 {
             big.register(
                 ActivityType::concrete_type(&format!("T{i}"), "d", "x"),
@@ -341,8 +383,9 @@ mod tests {
 
     #[test]
     fn xpath_cost_scales_with_size() {
-        let mut r = loaded();
-        let c_small = r.query_xpath("//ActivityTypeEntry[@name='Wien2k']", t(1))
+        let r = loaded();
+        let c_small = r
+            .query_xpath("//ActivityTypeEntry[@name='Wien2k']", t(1))
             .unwrap()
             .cost;
         for i in 0..200 {
@@ -361,7 +404,7 @@ mod tests {
 
     #[test]
     fn resolve_concrete_skips_revoked_and_expired() {
-        let mut r = loaded();
+        let r = loaded();
         assert_eq!(
             r.resolve_concrete("Imaging", t(1)).value[0].name,
             "JPOVray"
@@ -376,7 +419,7 @@ mod tests {
 
     #[test]
     fn cycle_rejected_at_registration() {
-        let mut r = ActivityTypeRegistry::new("a", Transport::Http);
+        let r = ActivityTypeRegistry::new("a", Transport::Http);
         r.register(ActivityType::abstract_type("A", "d").extends("B"), t(0))
             .unwrap();
         let err = r
@@ -387,8 +430,17 @@ mod tests {
     }
 
     #[test]
+    fn self_extension_rejected() {
+        let r = ActivityTypeRegistry::new("a", Transport::Http);
+        let err = r
+            .register(ActivityType::abstract_type("A", "d").extends("A"), t(0))
+            .unwrap_err();
+        assert!(matches!(err, GlareError::InvalidType { .. }));
+    }
+
+    #[test]
     fn sweep_cascade_names() {
-        let mut r = loaded();
+        let r = loaded();
         r.set_expiry("Wien2k", Some(t(5)), t(0)).unwrap();
         r.set_expiry("Invmod", Some(t(5)), t(0)).unwrap();
         let mut dead = r.sweep_expired(t(6));
@@ -400,8 +452,8 @@ mod tests {
 
     #[test]
     fn https_lookup_costs_more() {
-        let mut plain = loaded();
-        let mut secure = ActivityTypeRegistry::new("s", Transport::Https);
+        let plain = loaded();
+        let secure = ActivityTypeRegistry::new("s", Transport::Https);
         for ty in example_hierarchy(SimTime::ZERO) {
             secure.register(ty, t(0)).unwrap();
         }
@@ -412,7 +464,7 @@ mod tests {
 
     #[test]
     fn remove_and_names() {
-        let mut r = loaded();
+        let r = loaded();
         let n = r.len(t(1));
         let removed = r.remove("Counter").unwrap();
         assert_eq!(removed.name, "Counter");
@@ -423,7 +475,7 @@ mod tests {
 
     #[test]
     fn semantic_discovery_by_function_and_domain() {
-        let mut r = loaded();
+        let r = loaded();
         // 'render' is declared on the abstract Imaging type; JPOVray
         // inherits it through the hierarchy.
         let hits = r.find_by_function("render", t(1)).value;
@@ -447,7 +499,7 @@ mod tests {
 
     #[test]
     fn update_rebuilds_hierarchy() {
-        let mut r = loaded();
+        let r = loaded();
         r.update("Wien2k", t(1), |t| {
             t.base_types.push("Imaging".into());
         })
@@ -456,5 +508,29 @@ mod tests {
         let names: Vec<&str> = resolved.iter().map(|t| t.name.as_str()).collect();
         assert!(names.contains(&"Wien2k"));
         assert!(names.contains(&"JPOVray"));
+    }
+
+    #[test]
+    fn shared_reads_through_arc() {
+        use std::sync::Arc;
+        let r = Arc::new(loaded());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let mut found = 0;
+                    for _ in 0..500 {
+                        if r.lookup("JPOVray", t(1)).is_some() {
+                            found += 1;
+                        }
+                    }
+                    found
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 500);
+        }
+        assert_eq!(r.lookups_served(), 2000, "no lost counter updates");
     }
 }

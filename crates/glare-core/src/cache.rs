@@ -12,7 +12,7 @@
 //! Both cache levels are instances of [`RegistryCache`]; the super-peer
 //! simply holds one fed by inter-group traffic.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use glare_fabric::{SimDuration, SimTime};
 use glare_wsrf::EndpointReference;
@@ -47,8 +47,10 @@ pub struct RegistryCache {
     max_age: SimDuration,
     types: HashMap<String, CachedEntry<ActivityType>>,
     deployments: HashMap<String, CachedEntry<ActivityDeployment>>,
-    /// type name -> deployment keys known for it (possibly from many sites).
-    by_type: HashMap<String, Vec<String>>,
+    /// type name -> deployment keys known for it (possibly from many
+    /// sites). An indexed set: keys cannot duplicate and list out in
+    /// deterministic order.
+    by_type: HashMap<String, BTreeSet<String>>,
     hits: u64,
     misses: u64,
 }
@@ -97,7 +99,7 @@ impl RegistryCache {
     ) {
         let key = value.key.clone();
         let type_name = value.type_name.clone();
-        self.deployments.insert(
+        let previous = self.deployments.insert(
             key.clone(),
             CachedEntry {
                 value,
@@ -106,10 +108,20 @@ impl RegistryCache {
                 cached_at: now,
             },
         );
-        let keys = self.by_type.entry(type_name).or_default();
-        if !keys.contains(&key) {
-            keys.push(key);
+        // A re-cached deployment may have moved to another type (e.g. a
+        // re-install under a renamed concrete type); drop the old mapping
+        // so `deployments_of` never reports it under both.
+        if let Some(prev) = previous {
+            if prev.value.type_name != type_name {
+                if let Some(keys) = self.by_type.get_mut(&prev.value.type_name) {
+                    keys.remove(&key);
+                    if keys.is_empty() {
+                        self.by_type.remove(&prev.value.type_name);
+                    }
+                }
+            }
         }
+        self.by_type.entry(type_name).or_default().insert(key);
     }
 
     /// Cached type by name (counts hit/miss).
@@ -144,14 +156,14 @@ impl RegistryCache {
         }
     }
 
-    /// All non-aged cached deployments of a type.
+    /// All non-aged cached deployments of a type (deterministic key
+    /// order).
     pub fn deployments_of(&mut self, type_name: &str, now: SimTime) -> Vec<ActivityDeployment> {
-        let keys: Vec<String> = self
+        let out: Vec<ActivityDeployment> = self
             .by_type
-            .get(type_name).cloned()
-            .unwrap_or_default();
-        let out: Vec<ActivityDeployment> = keys
-            .iter()
+            .get(type_name)
+            .into_iter()
+            .flatten()
             .filter_map(|k| self.deployments.get(k))
             .filter(|e| now.saturating_since(e.cached_at) < self.max_age)
             .map(|e| e.value.clone())
@@ -211,7 +223,10 @@ impl RegistryCache {
     pub fn evict_deployment(&mut self, key: &str) {
         if let Some(e) = self.deployments.remove(key) {
             if let Some(keys) = self.by_type.get_mut(&e.value.type_name) {
-                keys.retain(|k| k != key);
+                keys.remove(key);
+                if keys.is_empty() {
+                    self.by_type.remove(&e.value.type_name);
+                }
             }
         }
     }
@@ -305,6 +320,29 @@ mod tests {
         c.put_deployment(d2, "s2", epr(0), t(0));
         assert_eq!(c.deployments_of("JPOVray", t(1)).len(), 2);
         assert!(c.deployments_of("Wien2k", t(1)).is_empty());
+    }
+
+    #[test]
+    fn recache_does_not_duplicate_index() {
+        let mut c = cache();
+        c.put_deployment(jpov(), "s1", epr(0), t(0));
+        c.put_deployment(jpov(), "s1", epr(5), t(5));
+        c.put_deployment(jpov(), "s1", epr(9), t(9));
+        assert_eq!(c.deployments_of("JPOVray", t(10)).len(), 1);
+    }
+
+    #[test]
+    fn recache_under_new_type_drops_old_mapping() {
+        let mut c = cache();
+        c.put_deployment(jpov(), "s1", epr(0), t(0));
+        let mut renamed = jpov();
+        renamed.type_name = "JPOVray2".into();
+        c.put_deployment(renamed, "s1", epr(5), t(5));
+        assert!(
+            c.deployments_of("JPOVray", t(6)).is_empty(),
+            "old type mapping must not survive re-cache"
+        );
+        assert_eq!(c.deployments_of("JPOVray2", t(6)).len(), 1);
     }
 
     #[test]

@@ -109,6 +109,30 @@ impl TypeHierarchy {
         sub == base || self.ancestors(sub).iter().any(|a| a == base)
     }
 
+    /// Would registering `name` with the given base types introduce an
+    /// extension cycle?
+    ///
+    /// Walks *up* the would-be ancestor chain looking for `name` instead of
+    /// cloning the whole hierarchy into a trial copy — O(ancestors of the
+    /// bases), not O(total types), so registration cost no longer grows
+    /// with registry size.
+    pub fn would_cycle(&self, name: &str, bases: &[String]) -> bool {
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut stack: Vec<&str> = bases.iter().map(String::as_str).collect();
+        while let Some(cur) = stack.pop() {
+            if cur == name {
+                return true;
+            }
+            if !seen.insert(cur) {
+                continue;
+            }
+            if let Some(ps) = self.parents.get(cur) {
+                stack.extend(ps.iter().map(String::as_str));
+            }
+        }
+        false
+    }
+
     /// Detect a cycle reachable from `name` (providers can upload junk).
     pub fn has_cycle_from(&self, name: &str) -> bool {
         // DFS with colors.
@@ -229,6 +253,22 @@ mod tests {
         assert!(h.has_cycle_from("B"));
         let h2 = fig2();
         assert!(!h2.has_cycle_from("JPOVray"));
+    }
+
+    #[test]
+    fn would_cycle_matches_trial_insert() {
+        let h = fig2();
+        // Extending an existing leaf from a new name: fine.
+        assert!(!h.would_cycle("NewType", &["JPOVray".to_owned()]));
+        // Self-extension: cycle.
+        assert!(h.would_cycle("X", &["X".to_owned()]));
+        // Existing ancestor extending its own descendant: cycle.
+        assert!(h.would_cycle("Imaging", &["JPOVray".to_owned()]));
+        assert!(h.would_cycle("Imaging", &["POVray".to_owned()]));
+        // Sibling edges are not cycles.
+        assert!(!h.would_cycle("Wien2k", &["Imaging".to_owned()]));
+        // Unknown bases are future-dangling edges, never cycles.
+        assert!(!h.would_cycle("A", &["NotYetRegistered".to_owned()]));
     }
 
     #[test]

@@ -14,10 +14,9 @@ use glare_fabric::SimTime;
 use glare_services::md5::Md5Digest;
 use glare_wsrf::resource::ResourceProperties;
 use glare_wsrf::XmlNode;
-use serde::{Deserialize, Serialize};
 
 /// Abstract vs concrete (only concrete types can have deployments).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TypeKind {
     /// Pure description; discovered through, never deployed.
     Abstract,
@@ -26,7 +25,7 @@ pub enum TypeKind {
 }
 
 /// One function the activity offers (e.g. `render(scene) -> image`).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ActivityFunction {
     /// Function name.
     pub name: String,
@@ -38,7 +37,7 @@ pub struct ActivityFunction {
 
 /// A per-platform benchmark figure attached to a type (used by schedulers
 /// for site selection).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TypeBenchmark {
     /// Platform the figure was measured on.
     pub platform: Platform,
@@ -47,7 +46,7 @@ pub struct TypeBenchmark {
 }
 
 /// When automatic installation may happen.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum InstallMode {
     /// Install automatically when a client demands the type somewhere.
     #[default]
@@ -58,7 +57,7 @@ pub enum InstallMode {
 
 /// Platform constraints that must hold before installation (Fig. 9's
 /// `<Constraints>` block).
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct InstallConstraints {
     /// Required vendor platform (`None` = any).
     pub platform: Option<String>,
@@ -87,7 +86,7 @@ impl InstallConstraints {
 }
 
 /// Installation description attached to a concrete type.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct InstallationSpec {
     /// On-demand or manual.
     pub mode: InstallMode,
@@ -112,7 +111,7 @@ impl InstallationSpec {
 
 /// Deployment-count limits a provider can impose (§3.3: "a provider can
 /// also specify minimum and maximum limits of deployments of an activity").
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct DeploymentLimits {
     /// GLARE keeps at least this many deployments alive.
     pub min: u32,
@@ -127,7 +126,7 @@ impl Default for DeploymentLimits {
 }
 
 /// An activity type entry.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ActivityType {
     /// Unique type name (e.g. `"JPOVray"`).
     pub name: String,

@@ -12,10 +12,9 @@
 use glare_fabric::{SimDuration, SimTime};
 use glare_wsrf::resource::ResourceProperties;
 use glare_wsrf::{EndpointReference, XmlNode};
-use serde::{Deserialize, Serialize};
 
 /// What kind of artifact the deployment is and how to reach it.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum DeploymentAccess {
     /// A legacy executable: invoke via GRAM.
     Executable {
@@ -42,7 +41,7 @@ impl DeploymentAccess {
 }
 
 /// Health of a deployment as maintained by the status monitor.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum DeploymentStatus {
     /// Installed and reachable.
     #[default]
@@ -54,7 +53,7 @@ pub enum DeploymentStatus {
 }
 
 /// Runtime metrics scraped from WS-GRAM for QoS-aware scheduling.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct DeploymentMetrics {
     /// Wall time of the last completed run.
     pub last_execution_time: Option<SimDuration>,
@@ -67,7 +66,7 @@ pub struct DeploymentMetrics {
 }
 
 /// One activity deployment record.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ActivityDeployment {
     /// Deployment key, unique within the VO (e.g. `"jpovray@site3"`).
     pub key: String,

@@ -345,10 +345,7 @@ impl GlareNode {
         // Resolve through the hierarchy, falling back to the raw name.
         let mut names: Vec<String> = self
             .atr
-            .hierarchy()
-            .resolve_concrete(activity)
-            .into_iter()
-            .collect();
+            .with_hierarchy(|h| h.resolve_concrete(activity));
         if names.is_empty() {
             names.push(activity.to_owned());
         }
@@ -365,10 +362,7 @@ impl GlareNode {
         }
         let mut names: Vec<String> = self
             .atr
-            .hierarchy()
-            .resolve_concrete(activity)
-            .into_iter()
-            .collect();
+            .with_hierarchy(|h| h.resolve_concrete(activity));
         if names.is_empty() {
             names.push(activity.to_owned());
         }

@@ -7,8 +7,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
+use glare_fabric::sync::Mutex;
 use glare_fabric::{
     Actor, ActorId, Ctx, Envelope, SimDuration, SimTime, Simulation, SiteId, TimerToken, Topology,
 };

@@ -11,10 +11,9 @@
 //! application is heaviest) matches the paper.
 
 use glare_fabric::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// How a package's payload gets turned into a runnable deployment.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BuildSystem {
     /// `./configure && make && make install` (paper: "installation with
     /// autoconf ... is supported").
@@ -30,7 +29,7 @@ pub enum BuildSystem {
 /// An interactive installer prompt and the answer the provider scripts
 /// into the deploy-file's send/expect dialog (§3.4: POVray "prompts for
 /// license acceptance, user type, and install path").
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct InstallPrompt {
     /// Substring the installer prints.
     pub prompt: String,
@@ -39,7 +38,7 @@ pub struct InstallPrompt {
 }
 
 /// Full description of a deployable application package.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PackageSpec {
     /// Package/activity name (e.g. `"povray"`).
     pub name: String,

@@ -9,14 +9,13 @@
 use std::collections::{HashMap, HashSet};
 
 use glare_fabric::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an activity within one workflow.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ActivityId(pub u32);
 
 /// One workflow activity: a typed computational task.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WorkflowActivity {
     /// Id within the workflow.
     pub id: ActivityId,
@@ -33,7 +32,7 @@ pub struct WorkflowActivity {
 
 /// A data/control dependency: `from` must finish (and its output be
 /// staged) before `to` starts.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Dependency {
     /// Producer activity.
     pub from: ActivityId,
@@ -42,7 +41,7 @@ pub struct Dependency {
 }
 
 /// A composed Grid workflow.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Workflow {
     /// Workflow name.
     pub name: String,

@@ -8,12 +8,11 @@
 //! lifetime, the LUT changes on every status update.
 
 use glare_fabric::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::xml::XmlNode;
 
 /// A WS-Addressing endpoint reference with GLARE's LUT extension.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct EndpointReference {
     /// Service address, e.g.
     /// `https://138.232.1.2:8084/wsrf/services/ActivityDeploymentRegistry`.

@@ -32,4 +32,4 @@ pub use notification::{SinkAddress, Subscription, SubscriptionId, SubscriptionMa
 pub use resource::{ResourceHome, ResourceProperties, WsResource};
 pub use service_group::{EntryId, GroupEntry, ServiceGroup};
 pub use xml::{parse as parse_xml, XmlError, XmlNode};
-pub use xpath::{XPath, XPathError};
+pub use xpath::{XPath, XPathError, XPathMemo};

@@ -9,13 +9,29 @@
 //! WSRF-style lifetime management: creation time, optional scheduled
 //! termination (expiry), explicit destruction, and a last-modified stamp
 //! that feeds GLARE's LUT-based cache refresh.
+//!
+//! ## Concurrency
+//!
+//! The home is internally sharded: keys hash onto [`SHARD_COUNT`]
+//! independent `RwLock`-protected hash tables, so every operation takes
+//! `&self` and named lookups from different client threads proceed in
+//! parallel (they serialize only when two keys land on the same shard
+//! *and* one of the operations is a write). This is what lets the
+//! registries expose a genuinely concurrent read path — the paper's
+//! hashtable named-lookup argument — instead of hiding behind one big
+//! service lock.
 
 use std::collections::HashMap;
+use std::fmt;
 
+use glare_fabric::sync::RwLock;
 use glare_fabric::SimTime;
 
 use crate::error::WsrfError;
 use crate::xml::XmlNode;
+
+/// Number of independent lock shards (power of two).
+pub const SHARD_COUNT: usize = 16;
 
 /// Payloads stored in a [`ResourceHome`] render themselves as a WSRF
 /// resource property document for XPath queries and aggregation.
@@ -52,17 +68,53 @@ impl<T> WsResource<T> {
     }
 }
 
-/// A keyed collection of WS-Resources with lifetime management.
-#[derive(Clone, Debug)]
+/// FNV-1a over the key bytes; stable across runs (unlike `RandomState`),
+/// so shard assignment is deterministic and replayable.
+fn shard_of(key: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    // Fold the high bits in: FNV's low bits are weak for short keys.
+    ((h ^ (h >> 32)) as usize) & (SHARD_COUNT - 1)
+}
+
+/// A keyed collection of WS-Resources with lifetime management and a
+/// sharded, interior-mutable concurrent access path.
 pub struct ResourceHome<T> {
-    resources: HashMap<String, WsResource<T>>,
+    shards: Vec<RwLock<HashMap<String, WsResource<T>>>>,
 }
 
 impl<T> Default for ResourceHome<T> {
     fn default() -> Self {
         ResourceHome {
-            resources: HashMap::new(),
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
         }
+    }
+}
+
+impl<T: Clone> Clone for ResourceHome<T> {
+    fn clone(&self) -> Self {
+        ResourceHome {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| RwLock::new(s.read().clone()))
+                .collect(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ResourceHome<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for shard in &self.shards {
+            for (k, r) in shard.read().iter() {
+                map.entry(k, r);
+            }
+        }
+        map.finish()
     }
 }
 
@@ -72,20 +124,25 @@ impl<T> ResourceHome<T> {
         Self::default()
     }
 
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, WsResource<T>>> {
+        &self.shards[shard_of(key)]
+    }
+
     /// Create a resource. Fails if the key exists and is not expired.
     pub fn create(
-        &mut self,
+        &self,
         key: impl Into<String>,
         payload: T,
         now: SimTime,
     ) -> Result<(), WsrfError> {
         let key = key.into();
-        if let Some(existing) = self.resources.get(&key) {
+        let mut shard = self.shard(&key).write();
+        if let Some(existing) = shard.get(&key) {
             if !existing.is_expired(now) {
                 return Err(WsrfError::AlreadyExists { key });
             }
         }
-        self.resources.insert(
+        shard.insert(
             key.clone(),
             WsResource {
                 key,
@@ -98,18 +155,25 @@ impl<T> ResourceHome<T> {
         Ok(())
     }
 
-    /// Immutable access (hiding expired resources).
-    pub fn get(&self, key: &str, now: SimTime) -> Option<&WsResource<T>> {
-        self.resources.get(key).filter(|r| !r.is_expired(now))
+    /// Read access to a live resource through a closure (no clone; the
+    /// shard read lock is held only for the closure's duration).
+    pub fn with_resource<R>(
+        &self,
+        key: &str,
+        now: SimTime,
+        f: impl FnOnce(&WsResource<T>) -> R,
+    ) -> Option<R> {
+        let shard = self.shard(key).read();
+        shard.get(key).filter(|r| !r.is_expired(now)).map(f)
     }
 
     /// Mutate a live resource's payload and bump its modification stamp.
-    pub fn update<F, R>(&mut self, key: &str, now: SimTime, f: F) -> Result<R, WsrfError>
+    pub fn update<F, R>(&self, key: &str, now: SimTime, f: F) -> Result<R, WsrfError>
     where
         F: FnOnce(&mut T) -> R,
     {
-        let r = self
-            .resources
+        let mut shard = self.shard(key).write();
+        let r = shard
             .get_mut(key)
             .filter(|r| !r.is_expired(now))
             .ok_or_else(|| WsrfError::NoSuchResource {
@@ -122,19 +186,19 @@ impl<T> ResourceHome<T> {
 
     /// Touch a resource: bump `modified_at` without changing the payload
     /// (the Deployment Status Monitor's heartbeat).
-    pub fn touch(&mut self, key: &str, now: SimTime) -> Result<(), WsrfError> {
+    pub fn touch(&self, key: &str, now: SimTime) -> Result<(), WsrfError> {
         self.update(key, now, |_| ()).map(|_| ())
     }
 
     /// Set or clear a resource's scheduled termination time.
     pub fn set_termination_time(
-        &mut self,
+        &self,
         key: &str,
         when: Option<SimTime>,
         now: SimTime,
     ) -> Result<(), WsrfError> {
-        let r = self
-            .resources
+        let mut shard = self.shard(key).write();
+        let r = shard
             .get_mut(key)
             .filter(|r| !r.is_expired(now))
             .ok_or_else(|| WsrfError::NoSuchResource {
@@ -145,8 +209,9 @@ impl<T> ResourceHome<T> {
     }
 
     /// Explicitly destroy a resource.
-    pub fn destroy(&mut self, key: &str) -> Result<WsResource<T>, WsrfError> {
-        self.resources
+    pub fn destroy(&self, key: &str) -> Result<WsResource<T>, WsrfError> {
+        self.shard(key)
+            .write()
             .remove(key)
             .ok_or_else(|| WsrfError::NoSuchResource {
                 key: key.to_owned(),
@@ -154,37 +219,71 @@ impl<T> ResourceHome<T> {
     }
 
     /// Remove every expired resource, returning their keys.
-    pub fn sweep_expired(&mut self, now: SimTime) -> Vec<String> {
-        let dead: Vec<String> = self
-            .resources
-            .values()
-            .filter(|r| r.is_expired(now))
-            .map(|r| r.key.clone())
-            .collect();
-        for k in &dead {
-            self.resources.remove(k);
+    pub fn sweep_expired(&self, now: SimTime) -> Vec<String> {
+        let mut dead = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            shard.retain(|k, r| {
+                let expired = r.is_expired(now);
+                if expired {
+                    dead.push(k.clone());
+                }
+                !expired
+            });
         }
         dead
     }
 
-    /// Iterate over live resources.
-    pub fn iter_live(&self, now: SimTime) -> impl Iterator<Item = &WsResource<T>> {
-        self.resources.values().filter(move |r| !r.is_expired(now))
+    /// Visit every live resource. Holds one shard read lock at a time;
+    /// concurrent writers may land between shards (the usual snapshot
+    /// semantics of concurrent maps).
+    pub fn for_each_live(&self, now: SimTime, mut f: impl FnMut(&WsResource<T>)) {
+        for shard in &self.shards {
+            let shard = shard.read();
+            for r in shard.values() {
+                if !r.is_expired(now) {
+                    f(r);
+                }
+            }
+        }
     }
 
     /// Number of live resources.
     pub fn len_live(&self, now: SimTime) -> usize {
-        self.iter_live(now).count()
+        let mut n = 0;
+        self.for_each_live(now, |_| n += 1);
+        n
     }
 
     /// Total stored (live + expired-but-unswept).
     pub fn len_total(&self) -> usize {
-        self.resources.len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Whether a live resource exists under `key`.
     pub fn contains(&self, key: &str, now: SimTime) -> bool {
-        self.get(key, now).is_some()
+        self.with_resource(key, now, |_| ()).is_some()
+    }
+
+    /// Keys of all live resources (unordered).
+    pub fn live_keys(&self, now: SimTime) -> Vec<String> {
+        let mut keys = Vec::new();
+        self.for_each_live(now, |r| keys.push(r.key.clone()));
+        keys
+    }
+}
+
+impl<T: Clone> ResourceHome<T> {
+    /// Owned copy of a live resource (hiding expired resources).
+    pub fn get(&self, key: &str, now: SimTime) -> Option<WsResource<T>> {
+        self.with_resource(key, now, |r| r.clone())
+    }
+
+    /// Owned copies of every live resource (unordered).
+    pub fn snapshot_live(&self, now: SimTime) -> Vec<WsResource<T>> {
+        let mut out = Vec::new();
+        self.for_each_live(now, |r| out.push(r.clone()));
+        out
     }
 }
 
@@ -193,17 +292,18 @@ impl<T: ResourceProperties> ResourceHome<T> {
     /// (`<Resources><Resource key="..">…</Resource>…</Resources>`), in
     /// deterministic key order.
     pub fn aggregate_document(&self, now: SimTime) -> XmlNode {
-        let mut live: Vec<&WsResource<T>> = self.iter_live(now).collect();
-        live.sort_by(|a, b| a.key.cmp(&b.key));
-        let mut root = XmlNode::new("Resources");
-        for r in live {
-            root.children.push(
+        let mut live: Vec<XmlNode> = Vec::new();
+        self.for_each_live(now, |r| {
+            live.push(
                 XmlNode::new("Resource")
                     .attr("key", &r.key)
                     .attr("modified", r.modified_at.as_nanos().to_string())
                     .child(r.payload.to_property_document()),
             );
-        }
+        });
+        live.sort_by(|a, b| a.attribute("key").cmp(&b.attribute("key")));
+        let mut root = XmlNode::new("Resources");
+        root.children = live;
         root
     }
 }
@@ -218,7 +318,7 @@ mod tests {
 
     #[test]
     fn create_get_destroy() {
-        let mut home: ResourceHome<u32> = ResourceHome::new();
+        let home: ResourceHome<u32> = ResourceHome::new();
         home.create("a", 1, t(0)).unwrap();
         assert_eq!(home.get("a", t(1)).unwrap().payload, 1);
         assert!(home.contains("a", t(1)));
@@ -232,7 +332,7 @@ mod tests {
 
     #[test]
     fn duplicate_keys_rejected_until_expiry() {
-        let mut home: ResourceHome<u32> = ResourceHome::new();
+        let home: ResourceHome<u32> = ResourceHome::new();
         home.create("a", 1, t(0)).unwrap();
         assert!(matches!(
             home.create("a", 2, t(1)),
@@ -246,7 +346,7 @@ mod tests {
 
     #[test]
     fn update_bumps_modified() {
-        let mut home: ResourceHome<u32> = ResourceHome::new();
+        let home: ResourceHome<u32> = ResourceHome::new();
         home.create("a", 1, t(0)).unwrap();
         home.update("a", t(7), |v| *v = 9).unwrap();
         let r = home.get("a", t(8)).unwrap();
@@ -257,7 +357,7 @@ mod tests {
 
     #[test]
     fn touch_is_heartbeat() {
-        let mut home: ResourceHome<u32> = ResourceHome::new();
+        let home: ResourceHome<u32> = ResourceHome::new();
         home.create("a", 1, t(0)).unwrap();
         home.touch("a", t(3)).unwrap();
         assert_eq!(home.get("a", t(3)).unwrap().modified_at, t(3));
@@ -266,7 +366,7 @@ mod tests {
 
     #[test]
     fn expiry_hides_then_sweep_removes() {
-        let mut home: ResourceHome<u32> = ResourceHome::new();
+        let home: ResourceHome<u32> = ResourceHome::new();
         home.create("a", 1, t(0)).unwrap();
         home.create("b", 2, t(0)).unwrap();
         home.set_termination_time("a", Some(t(10)), t(0)).unwrap();
@@ -281,7 +381,7 @@ mod tests {
 
     #[test]
     fn update_on_expired_fails() {
-        let mut home: ResourceHome<u32> = ResourceHome::new();
+        let home: ResourceHome<u32> = ResourceHome::new();
         home.create("a", 1, t(0)).unwrap();
         home.set_termination_time("a", Some(t(1)), t(0)).unwrap();
         assert!(home.update("a", t(2), |v| *v = 5).is_err());
@@ -289,14 +389,14 @@ mod tests {
 
     #[test]
     fn clearing_termination_revives() {
-        let mut home: ResourceHome<u32> = ResourceHome::new();
+        let home: ResourceHome<u32> = ResourceHome::new();
         home.create("a", 1, t(0)).unwrap();
         home.set_termination_time("a", Some(t(10)), t(0)).unwrap();
         home.set_termination_time("a", None, t(5)).unwrap();
         assert!(home.contains("a", t(100)));
     }
 
-    #[derive(Clone)]
+    #[derive(Clone, Debug)]
     struct Named(&'static str);
     impl ResourceProperties for Named {
         fn to_property_document(&self) -> XmlNode {
@@ -306,7 +406,7 @@ mod tests {
 
     #[test]
     fn aggregate_document_is_deterministic_and_live_only() {
-        let mut home: ResourceHome<Named> = ResourceHome::new();
+        let home: ResourceHome<Named> = ResourceHome::new();
         home.create("z", Named("zz"), t(0)).unwrap();
         home.create("a", Named("aa"), t(0)).unwrap();
         home.create("m", Named("mm"), t(0)).unwrap();
@@ -319,5 +419,59 @@ mod tests {
             .collect();
         assert_eq!(keys, vec!["a", "z"], "sorted, expired omitted");
         assert_eq!(doc.children[0].children[0].attribute("v"), Some("aa"));
+    }
+
+    #[test]
+    fn with_resource_does_not_clone() {
+        let home: ResourceHome<String> = ResourceHome::new();
+        home.create("k", "payload".to_owned(), t(0)).unwrap();
+        let len = home.with_resource("k", t(1), |r| r.payload.len());
+        assert_eq!(len, Some(7));
+        assert_eq!(home.with_resource("missing", t(1), |_| ()), None);
+    }
+
+    #[test]
+    fn concurrent_reads_while_writing() {
+        use std::sync::Arc;
+        let home: Arc<ResourceHome<u64>> = Arc::new(ResourceHome::new());
+        for i in 0..64 {
+            home.create(format!("k{i}"), i, t(0)).unwrap();
+        }
+        let mut handles = Vec::new();
+        for reader in 0..4 {
+            let home = home.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut seen = 0u64;
+                for round in 0..2_000u64 {
+                    let k = format!("k{}", (round + reader) % 64);
+                    if let Some(r) = home.get(&k, t(1)) {
+                        seen += r.payload;
+                    }
+                }
+                seen
+            }));
+        }
+        let writer = {
+            let home = home.clone();
+            std::thread::spawn(move || {
+                for i in 64..256u64 {
+                    home.create(format!("k{i}"), i, t(0)).unwrap();
+                }
+            })
+        };
+        for h in handles {
+            assert!(h.join().unwrap() > 0);
+        }
+        writer.join().unwrap();
+        assert_eq!(home.len_total(), 256);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable() {
+        assert_eq!(shard_of("JPOVray"), shard_of("JPOVray"));
+        // Keys must spread over more than one shard.
+        let distinct: std::collections::HashSet<usize> =
+            (0..64).map(|i| shard_of(&format!("Type{i}"))).collect();
+        assert!(distinct.len() > 4, "{distinct:?}");
     }
 }

@@ -132,6 +132,15 @@ impl ServiceGroup {
         self.iter_live(now).count()
     }
 
+    /// The earliest instant at which a currently-live entry lapses, if
+    /// any. A materialized aggregate built at `now` stays faithful until
+    /// this instant (or until a registration change).
+    pub fn next_lapse(&self, now: SimTime) -> Option<SimTime> {
+        self.iter_live(now)
+            .map(|e| e.refreshed_at + e.lifetime)
+            .min()
+    }
+
     /// Build the aggregate document
     /// (`<ServiceGroup name=".."><Entry member="..">…</Entry></ServiceGroup>`).
     ///
@@ -216,6 +225,18 @@ mod tests {
         g.refresh(keep, None, t(50)).unwrap();
         assert_eq!(g.sweep_stale(t(70)), 1);
         assert_eq!(g.len_live(t(70)), 1);
+    }
+
+    #[test]
+    fn next_lapse_tracks_earliest_lease() {
+        let mut g = group();
+        assert_eq!(g.next_lapse(t(0)), None);
+        g.add("site0", entry("A"), t(0));
+        let b = g.add("site1", entry("B"), t(0));
+        g.refresh(b, None, t(30)).unwrap();
+        assert_eq!(g.next_lapse(t(1)), Some(t(60)), "A lapses first");
+        // Once A has lapsed, only B's lease matters.
+        assert_eq!(g.next_lapse(t(60)), Some(t(90)));
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //! document-scan cost is exactly the phenomenon the paper's Fig. 10/11
 //! measures against the registry's hashtable fast path.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use glare_fabric::sync::RwLock;
 
 use crate::xml::XmlNode;
 
@@ -200,6 +205,113 @@ impl NodeTest {
             NodeTest::Any => true,
             NodeTest::Name(n) => node.name == *n,
         }
+    }
+}
+
+/// A concurrent compile cache for XPath expressions, keyed by the
+/// expression string.
+///
+/// Query hot paths hand the same expressions to the engine over and over
+/// (every Fig. 10 client issues the identical discovery query thousands of
+/// times); memoizing the *compiled* form skips re-parsing while leaving
+/// the per-query document walk — the cost the paper actually measures —
+/// untouched.
+///
+/// The cache is bounded: once `capacity` distinct expressions are cached,
+/// further misses compile without inserting (per-name generated
+/// expressions would otherwise grow it without limit). Lookups take a
+/// shared read lock, so concurrent queries do not serialize on the memo.
+pub struct XPathMemo {
+    cache: RwLock<HashMap<String, Arc<XPath>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Default number of distinct expressions an [`XPathMemo`] retains.
+pub const XPATH_MEMO_CAPACITY: usize = 1024;
+
+impl Default for XPathMemo {
+    fn default() -> Self {
+        XPathMemo::with_capacity(XPATH_MEMO_CAPACITY)
+    }
+}
+
+impl XPathMemo {
+    /// Empty memo with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty memo retaining at most `capacity` compiled expressions.
+    pub fn with_capacity(capacity: usize) -> Self {
+        XPathMemo {
+            cache: RwLock::new(HashMap::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Return the compiled form of `expr`, compiling on first sight.
+    pub fn get_or_compile(&self, expr: &str) -> Result<Arc<XPath>, XPathError> {
+        if let Some(hit) = self.cache.read().get(expr) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(XPath::compile(expr)?);
+        let mut cache = self.cache.write();
+        // Double-checked: another thread may have inserted meanwhile.
+        if let Some(hit) = cache.get(expr) {
+            return Ok(Arc::clone(hit));
+        }
+        if cache.len() < self.capacity {
+            cache.insert(expr.to_owned(), Arc::clone(&compiled));
+        }
+        Ok(compiled)
+    }
+
+    /// Memo hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Memo misses (compiles) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of expressions currently cached.
+    pub fn len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Clone for XPathMemo {
+    fn clone(&self) -> Self {
+        XPathMemo {
+            cache: RwLock::new(self.cache.read().clone()),
+            capacity: self.capacity,
+            hits: AtomicU64::new(self.hits()),
+            misses: AtomicU64::new(self.misses()),
+        }
+    }
+}
+
+impl fmt::Debug for XPathMemo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("XPathMemo")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
     }
 }
 
@@ -519,6 +631,51 @@ mod tests {
         assert!(XPath::compile("/a[0]").is_err(), "positions are 1-based");
         assert!(XPath::compile("/a[Type]").is_err(), "bare child test invalid");
         assert!(XPath::compile("/a bad").is_err());
+    }
+
+    #[test]
+    fn memo_caches_compiles() {
+        let memo = XPathMemo::new();
+        let a = memo.get_or_compile("//Entry[@name='X']").unwrap();
+        let b = memo.get_or_compile("//Entry[@name='X']").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second fetch reuses the compiled form");
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.hits(), 1);
+        assert!(memo.get_or_compile("/a[").is_err());
+        assert_eq!(memo.len(), 1, "errors are not cached");
+    }
+
+    #[test]
+    fn memo_capacity_bounds_growth() {
+        let memo = XPathMemo::with_capacity(2);
+        for i in 0..10 {
+            memo.get_or_compile(&format!("//E[@n='{i}']")).unwrap();
+        }
+        assert_eq!(memo.len(), 2, "overflow compiles are not inserted");
+        // Overflow expressions still compile and evaluate correctly.
+        let d = parse("<E n='7'/>").unwrap();
+        let p = memo.get_or_compile("//E[@n='7']").unwrap();
+        assert_eq!(p.select(&d).len(), 1);
+    }
+
+    #[test]
+    fn memo_is_shareable_across_threads() {
+        let memo = Arc::new(XPathMemo::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let memo = Arc::clone(&memo);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        memo.get_or_compile(&format!("//E[@n='{}']", i % 8)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(memo.len(), 8);
+        assert_eq!(memo.hits() + memo.misses(), 400);
     }
 
     #[test]

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything CI (and reviewers) require green.
+#   1. release build of the whole workspace, all targets
+#   2. the full test suite
+#   3. clippy with warnings promoted to errors
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace --all-targets"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -1,15 +1,78 @@
 //! Regenerate Fig. 12: response time per deployment request — cache on
 //! 1 site vs no cache on 1, 3, 7 sites (discrete-event simulation).
-//! Pass `--json` for machine-readable output.
+//!
+//! Pass `--json` for machine-readable output on stdout. Pass `--trace`
+//! to additionally export the causal trace of the richest configuration
+//! (7 sites, no cache) as Chrome `trace_event` JSON in
+//! `TRACE_fig12.json` and print a critical-path summary per
+//! configuration. Always writes `BENCH_overlay.json` with the series
+//! points plus trace-derived critical-path statistics per run.
 
+use glare_bench::fig12::{render, run_config_traced, Fig12Params, Fig12Point};
 use glare_bench::json::Json;
+use glare_bench::trace::{chrome_trace_json, critical_paths, render_summary, CriticalPathStats};
+use glare_fabric::TraceSink;
+
+fn config_label(sites: usize, cache: bool) -> String {
+    if cache {
+        format!("{sites} site, cache on")
+    } else {
+        format!("{sites} site(s), no cache")
+    }
+}
+
+fn overlay_entry(pt: &Fig12Point, sink: &TraceSink) -> Json {
+    let paths = critical_paths(sink, Some("client.query"));
+    Json::obj([
+        ("point", pt.to_json()),
+        ("critical_path", CriticalPathStats::of(&paths).to_json()),
+        ("dropped_spans", Json::from(sink.dropped())),
+    ])
+}
 
 fn main() {
-    let pts = glare_bench::fig12::run(glare_bench::fig12::Fig12Params::default());
-    if std::env::args().any(|a| a == "--json") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = args.iter().any(|a| a == "--json");
+    let export_trace = args.iter().any(|a| a == "--trace");
+
+    let p = Fig12Params::default();
+    let configs = [(1usize, true), (1, false), (3, false), (7, false)];
+    let mut pts: Vec<Fig12Point> = Vec::new();
+    let mut entries: Vec<Json> = Vec::new();
+    let mut exported: Option<TraceSink> = None;
+    for (sites, cache) in configs {
+        let (pt, sink) = run_config_traced(sites, cache, p);
+        entries.push(overlay_entry(&pt, &sink));
+        if export_trace {
+            let paths = critical_paths(&sink, Some("client.query"));
+            eprint!("{}", render_summary(&config_label(sites, cache), &paths));
+        }
+        if sites == 7 {
+            exported = Some(sink);
+        }
+        pts.push(pt);
+    }
+
+    let overlay = Json::obj([
+        ("experiment", Json::from("fig12")),
+        ("runs", Json::arr(entries)),
+    ]);
+    match std::fs::write("BENCH_overlay.json", overlay.to_string_pretty()) {
+        Ok(()) => eprintln!("wrote BENCH_overlay.json"),
+        Err(e) => eprintln!("could not write BENCH_overlay.json: {e}"),
+    }
+    if export_trace {
+        let sink = exported.expect("7-site configuration always runs");
+        match std::fs::write("TRACE_fig12.json", chrome_trace_json(&sink).to_string_pretty()) {
+            Ok(()) => eprintln!("wrote TRACE_fig12.json ({} spans)", sink.len()),
+            Err(e) => eprintln!("could not write TRACE_fig12.json: {e}"),
+        }
+    }
+
+    if json_out {
         let v = Json::arr(pts.iter().map(|p| p.to_json()));
         print!("{}", v.to_string_pretty());
     } else {
-        print!("{}", glare_bench::fig12::render(&pts));
+        print!("{}", render(&pts));
     }
 }

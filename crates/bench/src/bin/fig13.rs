@@ -1,15 +1,79 @@
 //! Regenerate Fig. 13: 1-minute load average under concurrent requesters
 //! and notification sinks (discrete-event simulation).
-//! Pass `--json` for machine-readable output.
+//!
+//! Pass `--json` for machine-readable output on stdout. Pass `--trace`
+//! to additionally export the causal trace of the heaviest requester run
+//! (250 clients) as Chrome `trace_event` JSON in `TRACE_fig13.json` and
+//! print critical-path summaries. Always writes `BENCH_overlay.json`
+//! with the series points plus trace-derived critical-path statistics
+//! per run — requester runs rooted at `client.query` request spans,
+//! sink runs at `notify.round` fan-out spans.
 
+use glare_bench::fig13::{
+    render, run_requesters_traced, run_sinks_traced, Fig13Params, LoadPoint,
+};
 use glare_bench::json::Json;
+use glare_bench::trace::{chrome_trace_json, critical_paths, render_summary, CriticalPathStats};
+use glare_fabric::{SimDuration, TraceSink};
+
+fn overlay_entry(pt: &LoadPoint, sink: &TraceSink, root: &str) -> Json {
+    let paths = critical_paths(sink, Some(root));
+    Json::obj([
+        ("point", pt.to_json()),
+        ("critical_path", CriticalPathStats::of(&paths).to_json()),
+        ("dropped_spans", Json::from(sink.dropped())),
+    ])
+}
 
 fn main() {
-    let pts = glare_bench::fig13::run(glare_bench::fig13::Fig13Params::default());
-    if std::env::args().any(|a| a == "--json") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = args.iter().any(|a| a == "--json");
+    let export_trace = args.iter().any(|a| a == "--trace");
+
+    let p = Fig13Params::default();
+    let mut pts: Vec<LoadPoint> = Vec::new();
+    let mut entries: Vec<Json> = Vec::new();
+    let mut exported: Option<TraceSink> = None;
+    for n in [10, 50, 100, 150, 200, 250] {
+        let (pt, sink) = run_requesters_traced(n, p);
+        entries.push(overlay_entry(&pt, &sink, "client.query"));
+        if export_trace {
+            let paths = critical_paths(&sink, Some("client.query"));
+            eprint!("{}", render_summary(&format!("requesters x{n}"), &paths));
+        }
+        if n == 250 {
+            exported = Some(sink);
+        }
+        pts.push(pt);
+    }
+    for rate_s in [1u64, 5, 10] {
+        for n in [30, 70, 140, 210] {
+            let (pt, sink) = run_sinks_traced(n, SimDuration::from_secs(rate_s), p);
+            entries.push(overlay_entry(&pt, &sink, "notify.round"));
+            pts.push(pt);
+        }
+    }
+
+    let overlay = Json::obj([
+        ("experiment", Json::from("fig13")),
+        ("runs", Json::arr(entries)),
+    ]);
+    match std::fs::write("BENCH_overlay.json", overlay.to_string_pretty()) {
+        Ok(()) => eprintln!("wrote BENCH_overlay.json"),
+        Err(e) => eprintln!("could not write BENCH_overlay.json: {e}"),
+    }
+    if export_trace {
+        let sink = exported.expect("250-requester run always executes");
+        match std::fs::write("TRACE_fig13.json", chrome_trace_json(&sink).to_string_pretty()) {
+            Ok(()) => eprintln!("wrote TRACE_fig13.json ({} spans)", sink.len()),
+            Err(e) => eprintln!("could not write TRACE_fig13.json: {e}"),
+        }
+    }
+
+    if json_out {
         let v = Json::arr(pts.iter().map(|p| p.to_json()));
         print!("{}", v.to_string_pretty());
     } else {
-        print!("{}", glare_bench::fig13::render(&pts));
+        print!("{}", render(&pts));
     }
 }

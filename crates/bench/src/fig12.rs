@@ -10,7 +10,7 @@
 
 use glare_core::model::{ActivityDeployment, ActivityType};
 use glare_core::overlay::{ClientStats, OverlayBuilder, QueryClient};
-use glare_fabric::{SimDuration, SimTime, SiteId, Topology};
+use glare_fabric::{SimDuration, SimTime, SiteId, Topology, TraceSink};
 
 /// One Fig. 12 series point.
 #[derive(Clone, Debug)]
@@ -69,6 +69,24 @@ impl Default for Fig12Params {
 
 /// Run one configuration.
 pub fn run_config(sites: usize, cache: bool, p: Fig12Params) -> Fig12Point {
+    run_config_impl(sites, cache, p, false).0
+}
+
+/// Like [`run_config`], but with kernel tracing enabled: every request's
+/// causal span tree is recorded and returned alongside the point.
+/// Tracing is observe-only, so the point is identical to the untraced
+/// run's.
+pub fn run_config_traced(sites: usize, cache: bool, p: Fig12Params) -> (Fig12Point, TraceSink) {
+    let (pt, trace) = run_config_impl(sites, cache, p, true);
+    (pt, trace.expect("tracing was enabled"))
+}
+
+fn run_config_impl(
+    sites: usize,
+    cache: bool,
+    p: Fig12Params,
+    traced: bool,
+) -> (Fig12Point, Option<TraceSink>) {
     // Constrained sites (2 cores) so a single site saturates under the
     // full client population, as the paper's single GT4 container did.
     let mut topo = Topology::new();
@@ -105,6 +123,9 @@ pub fn run_config(sites: usize, cache: bool, p: Fig12Params) -> Fig12Point {
         }
     });
     let (mut sim, ids) = builder.build();
+    if traced {
+        sim.enable_tracing(glare_fabric::trace::DEFAULT_MAX_SPANS);
+    }
     let stats = ClientStats::shared();
     for c in 0..p.clients {
         let site = c % sites;
@@ -119,6 +140,7 @@ pub fn run_config(sites: usize, cache: bool, p: Fig12Params) -> Fig12Point {
     }
     sim.start();
     sim.run_until(SimTime::from_secs(3_600));
+    let trace = sim.take_trace();
     let s = stats.lock();
     let mut lat_ms: Vec<f64> = s.latencies.iter().map(|d| d.as_millis_f64()).collect();
     lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -127,13 +149,16 @@ pub fn run_config(sites: usize, cache: bool, p: Fig12Params) -> Fig12Point {
         .get(((lat_ms.len() as f64 * 0.95) as usize).min(lat_ms.len().saturating_sub(1)))
         .copied()
         .unwrap_or(0.0);
-    Fig12Point {
-        sites,
-        cache,
-        mean_ms: mean,
-        p95_ms: p95,
-        requests: s.responses,
-    }
+    (
+        Fig12Point {
+            sites,
+            cache,
+            mean_ms: mean,
+            p95_ms: p95,
+            requests: s.responses,
+        },
+        trace,
+    )
 }
 
 /// The full Fig. 12 series: cache on 1 site; cache off on 1, 3, 7 sites.

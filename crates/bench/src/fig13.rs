@@ -12,7 +12,7 @@
 
 use glare_core::model::{ActivityDeployment, ActivityType};
 use glare_core::overlay::{ClientStats, NotificationSink, OverlayBuilder, QueryClient};
-use glare_fabric::{SimDuration, SimTime, SiteId, Topology};
+use glare_fabric::{SimDuration, SimTime, SiteId, Topology, TraceSink};
 
 /// One measured load point.
 #[derive(Clone, Debug)]
@@ -78,6 +78,18 @@ fn load_stats(sim: &glare_fabric::Simulation) -> (f64, f64) {
 
 /// Load under `n` closed-loop requesters (1 s think time).
 pub fn run_requesters(n: usize, p: Fig13Params) -> LoadPoint {
+    run_requesters_impl(n, p, false).0
+}
+
+/// Like [`run_requesters`], but with kernel tracing enabled; returns the
+/// recorded spans alongside the point. Tracing is observe-only, so the
+/// point is identical to the untraced run's.
+pub fn run_requesters_traced(n: usize, p: Fig13Params) -> (LoadPoint, TraceSink) {
+    let (pt, trace) = run_requesters_impl(n, p, true);
+    (pt, trace.expect("tracing was enabled"))
+}
+
+fn run_requesters_impl(n: usize, p: Fig13Params, traced: bool) -> (LoadPoint, Option<TraceSink>) {
     // 8-core registry host; ~18 ms CPU per request.
     let mut builder = OverlayBuilder::new(1, p.seed).with_topology(registry_topology(8));
     builder.configure(|_, cfg| {
@@ -99,6 +111,9 @@ pub fn run_requesters(n: usize, p: Fig13Params) -> LoadPoint {
         }
     });
     let (mut sim, ids) = builder.build();
+    if traced {
+        sim.enable_tracing(glare_fabric::trace::DEFAULT_MAX_SPANS);
+    }
     let stats = ClientStats::shared();
     for c in 0..n {
         let client = QueryClient::new(
@@ -113,17 +128,37 @@ pub fn run_requesters(n: usize, p: Fig13Params) -> LoadPoint {
     sim.enable_load_sampling(SimTime::ZERO + p.window);
     sim.start();
     sim.run_until(SimTime::ZERO + p.window);
+    let trace = sim.take_trace();
     let (peak, mean) = load_stats(&sim);
-    LoadPoint {
-        series: "requesters".into(),
-        count: n,
-        peak_load: peak,
-        mean_load: mean,
-    }
+    (
+        LoadPoint {
+            series: "requesters".into(),
+            count: n,
+            peak_load: peak,
+            mean_load: mean,
+        },
+        trace,
+    )
 }
 
 /// Load under `n` notification sinks at the given notification period.
 pub fn run_sinks(n: usize, rate: SimDuration, p: Fig13Params) -> LoadPoint {
+    run_sinks_impl(n, rate, p, false).0
+}
+
+/// Like [`run_sinks`], but with kernel tracing enabled; returns the
+/// recorded spans alongside the point.
+pub fn run_sinks_traced(n: usize, rate: SimDuration, p: Fig13Params) -> (LoadPoint, TraceSink) {
+    let (pt, trace) = run_sinks_impl(n, rate, p, true);
+    (pt, trace.expect("tracing was enabled"))
+}
+
+fn run_sinks_impl(
+    n: usize,
+    rate: SimDuration,
+    p: Fig13Params,
+    traced: bool,
+) -> (LoadPoint, Option<TraceSink>) {
     // Single-core registry host (the notification worker), ~4.6 ms per
     // delivery: 210 sinks at 1 s drives utilization to ~0.99.
     let mut builder = OverlayBuilder::new(1, p.seed).with_topology(registry_topology(1));
@@ -132,19 +167,26 @@ pub fn run_sinks(n: usize, rate: SimDuration, p: Fig13Params) -> LoadPoint {
         cfg.notify_cost = SimDuration::from_micros(4_742);
     });
     let (mut sim, ids) = builder.build();
+    if traced {
+        sim.enable_tracing(glare_fabric::trace::DEFAULT_MAX_SPANS);
+    }
     for _ in 0..n {
         sim.add_actor(SiteId(0), Box::new(NotificationSink::new(ids[0])));
     }
     sim.enable_load_sampling(SimTime::ZERO + p.window);
     sim.start();
     sim.run_until(SimTime::ZERO + p.window);
+    let trace = sim.take_trace();
     let (peak, mean) = load_stats(&sim);
-    LoadPoint {
-        series: format!("sinks@{}s", rate.as_millis() / 1000),
-        count: n,
-        peak_load: peak,
-        mean_load: mean,
-    }
+    (
+        LoadPoint {
+            series: format!("sinks@{}s", rate.as_millis() / 1000),
+            count: n,
+            peak_load: peak,
+            mean_load: mean,
+        },
+        trace,
+    )
 }
 
 /// The full Fig. 13 sweep.

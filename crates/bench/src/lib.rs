@@ -16,3 +16,4 @@ pub mod fig13;
 pub mod json;
 pub mod table1;
 pub mod timing;
+pub mod trace;

@@ -14,6 +14,8 @@
 //!   crashes, partitions.
 //! * [`fault`] — declarative failure scripts.
 //! * [`metrics`] — counters/histograms/series the bench harness reads.
+//! * [`trace`] — causal spans propagated through messages/timers/compute;
+//!   the input of the bench harness's critical-path analysis.
 //!
 //! Everything is deterministic given a seed; experiments replay
 //! bit-identically.
@@ -28,6 +30,7 @@ pub mod site;
 pub mod sync;
 pub mod time;
 pub mod topology;
+pub mod trace;
 
 pub use fault::{Fault, FaultPlan};
 pub use metrics::{Counter, Histogram, MetricsRegistry, TimeSeries};
@@ -36,3 +39,4 @@ pub use sim::{Actor, ActorId, Ctx, Envelope, Msg, NetworkConfig, Simulation, Tim
 pub use site::{SiteRuntime, WorkTicket};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkSpec, Platform, SiteId, SiteSpec, Topology};
+pub use trace::{SpanHandle, SpanId, SpanKind, SpanRecord, TraceContext, TraceId, TraceSink};

@@ -20,6 +20,7 @@ use crate::rng::SimRng;
 use crate::site::{SiteRuntime, WorkTicket, LOAD_SAMPLE_INTERVAL};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{SiteId, Topology};
+use crate::trace::{SpanHandle, SpanKind, TraceContext, TraceSink};
 
 /// Identifier of an actor registered with the kernel.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -46,15 +47,19 @@ pub struct Envelope {
     pub from: ActorId,
     /// Payload.
     pub msg: Msg,
+    /// Causal context the kernel attached when the message was sent
+    /// (`None` when tracing is disabled or the message was injected).
+    pub trace: Option<TraceContext>,
 }
 
 impl Envelope {
     /// Downcast the payload to a concrete message type.
     pub fn downcast<T: 'static>(self) -> Result<(ActorId, T), Envelope> {
         let from = self.from;
+        let trace = self.trace;
         match self.msg.downcast::<T>() {
             Ok(b) => Ok((from, *b)),
-            Err(msg) => Err(Envelope { from, msg }),
+            Err(msg) => Err(Envelope { from, msg, trace }),
         }
     }
 
@@ -113,11 +118,13 @@ enum EventKind {
         to: ActorId,
         from: ActorId,
         msg: Msg,
+        tctx: Option<TraceContext>,
     },
     Timer {
         actor: ActorId,
         token: TimerToken,
         tag: String,
+        tctx: Option<TraceContext>,
     },
     ComputeDone {
         actor: ActorId,
@@ -125,6 +132,7 @@ enum EventKind {
         ticket: WorkTicket,
         token: TimerToken,
         tag: String,
+        tctx: Option<TraceContext>,
     },
     SiteCrash(SiteId),
     SiteRestart(SiteId),
@@ -157,6 +165,14 @@ impl Ord for Scheduled {
     }
 }
 
+/// Tracing state: the sink plus the ambient context stack of the event
+/// currently being dispatched (index 0 = the event's own context; pushed
+/// entries are spans the actor opened with `Ctx::span`).
+struct TraceState {
+    sink: TraceSink,
+    stack: Vec<TraceContext>,
+}
+
 /// Kernel state shared with actors through [`Ctx`].
 pub struct Kernel {
     now: SimTime,
@@ -172,9 +188,28 @@ pub struct Kernel {
     net: NetworkConfig,
     partitions: HashSet<(SiteId, SiteId)>,
     stopped: bool,
+    trace: Option<Box<TraceState>>,
 }
 
 impl Kernel {
+    /// Innermost ambient trace context, if tracing is on and the current
+    /// event carried (or opened) one.
+    fn ambient(&self) -> Option<TraceContext> {
+        self.trace
+            .as_ref()
+            .and_then(|ts| ts.stack.last().copied())
+    }
+
+    /// Reset the ambient stack for a new event dispatch.
+    fn set_ambient(&mut self, tctx: Option<TraceContext>) {
+        if let Some(ts) = &mut self.trace {
+            ts.stack.clear();
+            if let Some(c) = tctx {
+                ts.stack.push(c);
+            }
+        }
+    }
+
     fn schedule(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
@@ -214,7 +249,26 @@ impl Kernel {
             base
         };
         let at = self.now + delay;
-        self.schedule(at, EventKind::Deliver { to, from, msg });
+        // Record the wire time as a Network span; its context rides on the
+        // delivery so the receiver's spans chain under it.
+        let tctx = if let Some(ts) = &mut self.trace {
+            let parent = ts.stack.last().copied();
+            let ctx = ts.sink.open(
+                parent,
+                "net.send",
+                SpanKind::Network,
+                Some(from_site),
+                Some(from),
+                self.now,
+            );
+            ts.sink.attr(ctx.span_id, "bytes", &bytes.to_string());
+            ts.sink.attr(ctx.span_id, "to", &to.to_string());
+            ts.sink.close(ctx.span_id, at);
+            Some(ctx)
+        } else {
+            None
+        };
+        self.schedule(at, EventKind::Deliver { to, from, msg, tctx });
     }
 }
 
@@ -246,17 +300,22 @@ impl<'a> Ctx<'a> {
     }
 
     /// Arm a one-shot timer; `tag` is echoed to [`Actor::on_timer`].
+    ///
+    /// The ambient trace context (if any) is captured and restored when
+    /// the timer fires, so causality survives self-scheduled delays.
     pub fn timer_after(&mut self, after: SimDuration, tag: &str) -> TimerToken {
         let token = TimerToken(self.kernel.next_token);
         self.kernel.next_token += 1;
         let at = self.kernel.now + after;
         let actor = self.self_id;
+        let tctx = self.kernel.ambient();
         self.kernel.schedule(
             at,
             EventKind::Timer {
                 actor,
                 token,
                 tag: tag.to_owned(),
+                tctx,
             },
         );
         token
@@ -277,6 +336,38 @@ impl<'a> Ctx<'a> {
         let token = TimerToken(self.kernel.next_token);
         self.kernel.next_token += 1;
         let actor = self.self_id;
+        // Record run-queue wait (Queue) and execution (Compute) as chained
+        // spans; the Compute context rides on the completion event so work
+        // done in `on_compute_done` chains under it.
+        let tctx = if let Some(ts) = &mut self.kernel.trace {
+            let ambient = ts.stack.last().copied();
+            let parent = if ticket.started_at > now {
+                let q = ts.sink.open(
+                    ambient,
+                    "cpu.queue",
+                    SpanKind::Queue,
+                    Some(site),
+                    Some(actor),
+                    now,
+                );
+                ts.sink.close(q.span_id, ticket.started_at);
+                Some(q)
+            } else {
+                ambient
+            };
+            let c = ts.sink.open(
+                parent,
+                &format!("cpu.{tag}"),
+                SpanKind::Compute,
+                Some(site),
+                Some(actor),
+                ticket.started_at,
+            );
+            ts.sink.close(c.span_id, ticket.completes_at);
+            Some(c)
+        } else {
+            None
+        };
         self.kernel.schedule(
             ticket.completes_at,
             EventKind::ComputeDone {
@@ -285,6 +376,7 @@ impl<'a> Ctx<'a> {
                 ticket,
                 token,
                 tag: tag.to_owned(),
+                tctx,
             },
         );
         Some(token)
@@ -324,6 +416,88 @@ impl<'a> Ctx<'a> {
     pub fn stop(&mut self) {
         self.kernel.stopped = true;
     }
+
+    /// Whether tracing is enabled on this simulation.
+    pub fn trace_enabled(&self) -> bool {
+        self.kernel.trace.is_some()
+    }
+
+    /// The innermost ambient trace context (the current event's causal
+    /// coordinates, or the most recently opened span).
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        self.kernel.ambient()
+    }
+
+    /// Open a span under the ambient context. With tracing disabled this
+    /// returns the inert [`SpanHandle::NONE`] and records nothing.
+    ///
+    /// The span becomes the ambient context until [`Ctx::end_span`]: sends,
+    /// timers and compute submitted meanwhile chain under it. Spans left
+    /// open across events are closed by whoever holds the handle (or at
+    /// `Simulation::take_trace` time).
+    pub fn span(&mut self, name: &str, kind: SpanKind) -> SpanHandle {
+        let (site, actor, now) = (self.self_site, self.self_id, self.kernel.now);
+        let Some(ts) = &mut self.kernel.trace else {
+            return SpanHandle::NONE;
+        };
+        let parent = ts.stack.last().copied();
+        let ctx = ts
+            .sink
+            .open(parent, name, kind, Some(site), Some(actor), now);
+        ts.stack.push(ctx);
+        SpanHandle::from_context(ctx)
+    }
+
+    /// Open a *root* span: parentless, starting a fresh trace regardless
+    /// of the ambient context. Use this for the first span of a logical
+    /// request — e.g. a client firing a new query from inside the handler
+    /// of the previous response, where [`Ctx::span`] would wrongly chain
+    /// the new request into the old trace. The root becomes the ambient
+    /// context until [`Ctx::end_span`], exactly like [`Ctx::span`].
+    pub fn root_span(&mut self, name: &str, kind: SpanKind) -> SpanHandle {
+        let (site, actor, now) = (self.self_site, self.self_id, self.kernel.now);
+        let Some(ts) = &mut self.kernel.trace else {
+            return SpanHandle::NONE;
+        };
+        let ctx = ts.sink.open(None, name, kind, Some(site), Some(actor), now);
+        ts.stack.push(ctx);
+        SpanHandle::from_context(ctx)
+    }
+
+    /// Attach a key/value attribute to a span opened with [`Ctx::span`].
+    pub fn span_attr(&mut self, span: SpanHandle, key: &str, value: &str) {
+        if let (Some(c), Some(ts)) = (span.context(), &mut self.kernel.trace) {
+            ts.sink.attr(c.span_id, key, value);
+        }
+    }
+
+    /// Close a span at the current simulated time. Inert handles and
+    /// double closes are no-ops, so this is always safe to call.
+    pub fn end_span(&mut self, span: SpanHandle) {
+        let now = self.kernel.now;
+        let (Some(c), Some(ts)) = (span.context(), &mut self.kernel.trace) else {
+            return;
+        };
+        ts.sink.close(c.span_id, now);
+        if let Some(pos) = ts.stack.iter().position(|s| s.span_id == c.span_id) {
+            ts.stack.truncate(pos);
+        }
+    }
+
+    /// Run `f` inside a span: open, call, close. The span covers whatever
+    /// simulated cost `f` schedules synchronously (sends/timers chain
+    /// under it) but, being same-event, has zero own duration.
+    pub fn with_span<R>(
+        &mut self,
+        name: &str,
+        kind: SpanKind,
+        f: impl FnOnce(&mut Ctx<'_>) -> R,
+    ) -> R {
+        let span = self.span(name, kind);
+        let r = f(self);
+        self.end_span(span);
+        r
+    }
 }
 
 /// The complete simulation: kernel plus actors.
@@ -355,6 +529,7 @@ impl Simulation {
                 net: NetworkConfig::default(),
                 partitions: HashSet::new(),
                 stopped: false,
+                trace: None,
             },
             actors: Vec::new(),
             started: false,
@@ -364,6 +539,32 @@ impl Simulation {
     /// Override network-wide behaviour.
     pub fn set_network_config(&mut self, net: NetworkConfig) {
         self.kernel.net = net;
+    }
+
+    /// Turn on causal tracing, buffering at most `max_spans` spans.
+    ///
+    /// Tracing is observe-only: it draws no randomness and changes no
+    /// event timing, so results are identical with tracing on or off.
+    pub fn enable_tracing(&mut self, max_spans: usize) {
+        self.kernel.trace = Some(Box::new(TraceState {
+            sink: TraceSink::new(max_spans),
+            stack: Vec::new(),
+        }));
+    }
+
+    /// The trace sink, when tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.kernel.trace.as_ref().map(|ts| &ts.sink)
+    }
+
+    /// Detach the trace sink (closing any still-open spans at the current
+    /// time) and disable tracing. `None` when tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        let now = self.kernel.now;
+        self.kernel.trace.take().map(|mut ts| {
+            ts.sink.finish(now);
+            ts.sink
+        })
     }
 
     /// Register an actor on a site, returning its id.
@@ -454,6 +655,7 @@ impl Simulation {
                 to,
                 from,
                 msg: Box::new(msg),
+                tctx: None,
             },
         );
     }
@@ -514,17 +716,35 @@ impl Simulation {
         debug_assert!(ev.at >= self.kernel.now, "time went backwards");
         self.kernel.now = ev.at;
         match ev.kind {
-            EventKind::Deliver { to, from, msg } => {
+            EventKind::Deliver {
+                to,
+                from,
+                msg,
+                tctx,
+            } => {
                 let site = self.kernel.actor_sites[to.index()];
                 if !self.kernel.sites[site.index()].is_up() {
                     self.kernel.metrics.counter("net.msgs_dropped.site_down").inc();
                     return true;
                 }
+                self.kernel.set_ambient(tctx);
                 self.with_actor(to, |actor, ctx| {
-                    actor.on_message(ctx, Envelope { from, msg });
+                    actor.on_message(
+                        ctx,
+                        Envelope {
+                            from,
+                            msg,
+                            trace: tctx,
+                        },
+                    );
                 });
             }
-            EventKind::Timer { actor, token, tag } => {
+            EventKind::Timer {
+                actor,
+                token,
+                tag,
+                tctx,
+            } => {
                 if self.kernel.cancelled.remove(&token.0) {
                     return true;
                 }
@@ -532,6 +752,7 @@ impl Simulation {
                 if !self.kernel.sites[site.index()].is_up() {
                     return true;
                 }
+                self.kernel.set_ambient(tctx);
                 self.with_actor(actor, |a, ctx| a.on_timer(ctx, token, &tag));
             }
             EventKind::ComputeDone {
@@ -540,10 +761,12 @@ impl Simulation {
                 ticket,
                 token,
                 tag,
+                tctx,
             } => {
                 if !self.kernel.sites[site.index()].complete(ticket) {
                     return true; // site crashed since submission
                 }
+                self.kernel.set_ambient(tctx);
                 self.with_actor(actor, |a, ctx| a.on_compute_done(ctx, token, &tag));
             }
             EventKind::SiteCrash(site) => {
@@ -604,6 +827,8 @@ impl Simulation {
             f(actor.as_mut(), &mut ctx);
         }
         self.actors[id.index()] = Some(actor);
+        // Drop any ambient context so it cannot leak into the next event.
+        self.kernel.set_ambient(None);
     }
 }
 
@@ -813,6 +1038,7 @@ mod tests {
         let env = Envelope {
             from: ActorId(3),
             msg: Box::new(Tick),
+            trace: None,
         };
         assert!(env.is::<Tick>());
         assert!(!env.is::<String>());
@@ -822,6 +1048,7 @@ mod tests {
         let env = Envelope {
             from: ActorId(4),
             msg: Box::new(Tick),
+            trace: None,
         };
         let env = env.downcast::<String>().unwrap_err();
         assert_eq!(env.from, ActorId(4));
@@ -933,6 +1160,118 @@ mod tests {
         sim.run_to_quiescence(100);
         assert_eq!(sim.metrics().counter_value("called"), 1);
         assert!(sim.now() >= SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn tracing_chains_network_and_compute_spans() {
+        use crate::trace::SpanKind;
+
+        struct Worker;
+        impl Actor for Worker {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+                assert!(env.trace.is_some(), "delivery carries the net context");
+                let span = ctx.span("work", SpanKind::Request);
+                ctx.span_attr(span, "k", "v");
+                ctx.compute(SimDuration::from_millis(10), "crunch");
+                ctx.compute(SimDuration::from_millis(10), "crunch");
+                ctx.end_span(span);
+            }
+        }
+        struct Starter {
+            peer: ActorId,
+        }
+        impl Actor for Starter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(self.peer, Tick);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _env: Envelope) {}
+        }
+
+        // One core per site so the second compute item waits in the queue.
+        let mut topo = Topology::new();
+        for name in ["starter", "worker"] {
+            let mut spec = crate::topology::SiteSpec::reference(name);
+            spec.cores = 1;
+            topo.add_site(spec);
+        }
+        topo.set_default_link(LinkSpec {
+            latency: SimDuration::from_millis(10),
+            bandwidth_bps: 1_000_000_000,
+            jitter: 0.0,
+        });
+        let mut sim = Simulation::new(topo, 11);
+        let w = sim.add_actor(SiteId(1), Box::new(Worker));
+        sim.add_actor(SiteId(0), Box::new(Starter { peer: w }));
+        sim.enable_tracing(1024);
+        sim.start();
+        sim.run_to_quiescence(100);
+        let sink = sim.take_trace().expect("tracing enabled");
+        let find = |name: &str| {
+            sink.spans()
+                .iter()
+                .filter(|s| s.name == name)
+                .collect::<Vec<_>>()
+        };
+        let net = find("net.send");
+        assert_eq!(net.len(), 1);
+        assert_eq!(net[0].kind, SpanKind::Network);
+        assert!(net[0].parent.is_none(), "net span roots the trace");
+        let work = find("work");
+        assert_eq!(work.len(), 1);
+        assert_eq!(work[0].parent, Some(net[0].span_id));
+        assert_eq!(work[0].attrs, vec![("k".to_owned(), "v".to_owned())]);
+        let cpu = find("cpu.crunch");
+        assert_eq!(cpu.len(), 2);
+        assert!(cpu.iter().all(|s| s.trace_id == net[0].trace_id));
+        assert_eq!(cpu[0].parent, Some(work[0].span_id), "first runs at once");
+        let queue = find("cpu.queue");
+        assert_eq!(queue.len(), 1, "second compute item waited for the core");
+        assert_eq!(queue[0].parent, Some(work[0].span_id));
+        assert_eq!(
+            cpu[1].parent,
+            Some(queue[0].span_id),
+            "queued compute chains under its wait"
+        );
+        assert_eq!(
+            queue[0].duration(),
+            SimDuration::from_millis(10),
+            "waited exactly one 10ms slot"
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_change_results_and_replays_identically() {
+        let run = |traced: bool| {
+            let (mut sim, _a, _b) = two_site_sim();
+            if traced {
+                sim.enable_tracing(1 << 12);
+            }
+            sim.start();
+            sim.run_to_quiescence(1_000);
+            let summary: Vec<(String, u64, u64, u64)> = sim
+                .take_trace()
+                .map(|t| {
+                    t.spans()
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.name.clone(),
+                                s.span_id.0,
+                                s.start.as_nanos(),
+                                s.end.as_nanos(),
+                            )
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            (sim.now(), sim.metrics().counter_value("net.msgs_sent"), summary)
+        };
+        let plain = run(false);
+        let traced = run(true);
+        assert_eq!(plain.0, traced.0, "tracing must not perturb timing");
+        assert_eq!(plain.1, traced.1);
+        assert!(!traced.2.is_empty());
+        assert_eq!(traced.2, run(true).2, "same seed, same spans");
     }
 
     #[test]

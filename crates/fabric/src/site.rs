@@ -22,6 +22,9 @@ const LOAD_DECAY_1M: f64 = 0.920_044_414_629_323_1;
 /// Outcome of submitting work to a site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WorkTicket {
+    /// When the work item actually starts executing on a core (equals the
+    /// submission instant when a core was free; later under queueing).
+    pub started_at: SimTime,
     /// When the work item will complete.
     pub completes_at: SimTime,
     /// Site epoch at submission; a crash bumps the epoch and invalidates
@@ -120,6 +123,7 @@ impl SiteRuntime {
         self.run_queue += 1;
         self.busy_time += scaled;
         Some(WorkTicket {
+            started_at: start,
             completes_at: end,
             epoch: self.epoch,
         })

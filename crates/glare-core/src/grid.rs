@@ -8,7 +8,7 @@
 //! in [`crate::node`], which host the same per-site state.
 
 use glare_fabric::topology::{LinkSpec, Platform};
-use glare_fabric::{SimDuration, SimTime};
+use glare_fabric::{SimDuration, SimTime, TraceSink};
 use glare_services::gridftp::Repository;
 use glare_services::{GramService, SiteHost, Transport};
 
@@ -92,6 +92,12 @@ pub struct Grid {
     pub link: LinkSpec,
     /// Administrator notifications sent so far.
     pub notifications: Vec<AdminNotification>,
+    /// Causal spans recorded by the synchronous RDM path (discovery
+    /// ladder stages, per-step deployment work, service calls). Spans are
+    /// laid out on the same virtual clock the cost model charges, so the
+    /// bench harness can run the identical critical-path analysis over
+    /// them. Call [`TraceSink::finish`] before exporting.
+    pub trace: TraceSink,
 }
 
 impl Grid {
@@ -112,6 +118,7 @@ impl Grid {
             repo: Repository::with_catalog(),
             link: LinkSpec::wan_default(),
             notifications: Vec::new(),
+            trace: TraceSink::default(),
         }
     }
 

@@ -28,7 +28,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use glare_fabric::{Actor, ActorId, Ctx, Envelope, SimDuration, SimTime, TimerToken};
+use glare_fabric::{
+    Actor, ActorId, Ctx, Envelope, SimDuration, SimTime, SpanHandle, SpanKind, TimerToken,
+};
 use glare_services::mds::REQUEST_BASE_COST;
 use glare_services::Transport;
 
@@ -53,6 +55,16 @@ pub enum QueryScope {
     /// The full ladder: local → cache → group → super-peer → other
     /// super-peers (a client request).
     Full,
+}
+
+/// Stable label of a [`QueryScope`] for span attributes.
+fn scope_label(scope: QueryScope) -> &'static str {
+    match scope {
+        QueryScope::LocalOnly => "local-only",
+        QueryScope::GroupProbe => "group-probe",
+        QueryScope::SpForwarded => "sp-forwarded",
+        QueryScope::Full => "full",
+    }
 }
 
 /// Messages exchanged between nodes, clients and sinks.
@@ -218,6 +230,9 @@ struct PendingQuery {
     stage: Stage,
     scope: QueryScope,
     deadline: TimerToken,
+    /// The `node.query` span covering the whole ladder (inert when
+    /// tracing is off).
+    span: SpanHandle,
 }
 
 enum Deferred {
@@ -226,11 +241,13 @@ enum Deferred {
         req_id: u64,
         reply_to: ActorId,
         scope: QueryScope,
+        span: SpanHandle,
     },
     ReplyAfterRegistry {
         req_id: u64,
         reply_to: ActorId,
         deployments: Vec<ActivityDeployment>,
+        span: SpanHandle,
     },
     DeliverNotification {
         sink: ActorId,
@@ -373,13 +390,46 @@ impl GlareNode {
         out
     }
 
+    /// [`GlareNode::resolve_cache`], mirroring the cache's own hit/miss
+    /// tallies into the simulation metrics under the stable names
+    /// `site{N}.cache.hits` / `site{N}.cache.misses`.
+    fn resolve_cache_counted(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        activity: &str,
+        now: SimTime,
+    ) -> Vec<ActivityDeployment> {
+        let (h0, m0) = (self.cache.hits(), self.cache.misses());
+        let out = self.resolve_cache(activity, now);
+        let (h1, m1) = (self.cache.hits(), self.cache.misses());
+        let site = ctx.self_site.0;
+        if h1 > h0 {
+            ctx.metrics()
+                .counter(&format!("site{site}.cache.hits"))
+                .add(h1 - h0);
+        }
+        if m1 > m0 {
+            ctx.metrics()
+                .counter(&format!("site{site}.cache.misses"))
+                .add(m1 - m0);
+        }
+        out
+    }
+
+    /// Send the answer and close the request's `node.query` span, tagging
+    /// it with the resolution source and result count.
+    #[allow(clippy::too_many_arguments)]
     fn reply(
         &mut self,
         ctx: &mut Ctx<'_>,
         reply_to: ActorId,
         req_id: u64,
         deployments: Vec<ActivityDeployment>,
+        span: SpanHandle,
+        source: &str,
     ) {
+        ctx.span_attr(span, "source", source);
+        ctx.span_attr(span, "results", &deployments.len().to_string());
         ctx.send_sized(
             reply_to,
             NodeMsg::QueryResponse {
@@ -388,6 +438,7 @@ impl GlareNode {
             },
             2_048,
         );
+        ctx.end_span(span);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -401,6 +452,7 @@ impl GlareNode {
         stage: Stage,
         scope: QueryScope,
         probe_scope: QueryScope,
+        span: SpanHandle,
     ) {
         let local_id = self.next_req;
         self.next_req += 1;
@@ -430,6 +482,7 @@ impl GlareNode {
                 stage,
                 scope,
                 deadline,
+                span,
             },
         );
     }
@@ -451,14 +504,19 @@ impl GlareNode {
                 }
             }
             let deployments = p.collected.clone();
-            self.reply(ctx, p.reply_to, p.orig_req_id, deployments);
+            let source = match p.stage {
+                Stage::PeerProbe => "probe.group",
+                Stage::SpEscalate => "probe.superpeer",
+                Stage::SpForward => "probe.forwarded",
+            };
+            self.reply(ctx, p.reply_to, p.orig_req_id, deployments, p.span, source);
             return;
         }
         // Miss: escalate or give up.
         match (p.stage, p.scope) {
             (Stage::PeerProbe, QueryScope::Full) if self.cfg.flood_mode => {
                 // Everyone was already asked; a miss is final.
-                self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new());
+                self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new(), p.span, "miss");
             }
             (Stage::PeerProbe, QueryScope::Full) => {
                 if let Some(sp) = self.super_peer.filter(|&sp| sp != self.me) {
@@ -471,6 +529,7 @@ impl GlareNode {
                         Stage::SpEscalate,
                         QueryScope::Full,
                         QueryScope::GroupProbe,
+                        p.span,
                     );
                 } else if !self.other_super_peers.is_empty() && self.role == Role::SuperPeer {
                     let sps = self.other_super_peers.clone();
@@ -483,9 +542,10 @@ impl GlareNode {
                         Stage::SpForward,
                         QueryScope::Full,
                         QueryScope::SpForwarded,
+                        p.span,
                     );
                 } else {
-                    self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new());
+                    self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new(), p.span, "miss");
                 }
             }
             (Stage::PeerProbe, QueryScope::GroupProbe) if self.role == Role::SuperPeer => {
@@ -493,7 +553,7 @@ impl GlareNode {
                 // forward to the other super-peers, whose handling is
                 // terminal (they probe their groups but don't re-forward).
                 if self.other_super_peers.is_empty() {
-                    self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new());
+                    self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new(), p.span, "miss");
                 } else {
                     let sps = self.other_super_peers.clone();
                     self.start_probe(
@@ -505,15 +565,17 @@ impl GlareNode {
                         Stage::SpForward,
                         QueryScope::GroupProbe,
                         QueryScope::SpForwarded,
+                        p.span,
                     );
                 }
             }
             _ => {
-                self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new());
+                self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new(), p.span, "miss");
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_query(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -521,13 +583,14 @@ impl GlareNode {
         req_id: u64,
         reply_to: ActorId,
         scope: QueryScope,
+        span: SpanHandle,
     ) {
         let now = ctx.now();
         // Cache fast path: answers without the registry resolution stage.
-        let cached = self.resolve_cache(&activity, now);
+        let cached = self.resolve_cache_counted(ctx, &activity, now);
         if !cached.is_empty() {
             ctx.metrics().counter("glare.cache_answers").inc();
-            self.reply(ctx, reply_to, req_id, cached);
+            self.reply(ctx, reply_to, req_id, cached, span, "cache");
             return;
         }
         let local = self.resolve_local(&activity, now);
@@ -548,6 +611,7 @@ impl GlareNode {
                         req_id,
                         reply_to,
                         deployments: local,
+                        span,
                     },
                 );
             }
@@ -555,7 +619,7 @@ impl GlareNode {
         }
         match scope {
             QueryScope::LocalOnly => {
-                self.reply(ctx, reply_to, req_id, Vec::new());
+                self.reply(ctx, reply_to, req_id, Vec::new(), span, "miss");
             }
             QueryScope::GroupProbe | QueryScope::SpForwarded | QueryScope::Full => {
                 let peers = if self.cfg.flood_mode && scope == QueryScope::Full {
@@ -586,6 +650,7 @@ impl GlareNode {
                             stage: Stage::PeerProbe,
                             scope,
                             deadline,
+                            span,
                         },
                     );
                     self.conclude_stage(ctx, local_id);
@@ -599,6 +664,7 @@ impl GlareNode {
                         Stage::PeerProbe,
                         scope,
                         QueryScope::LocalOnly,
+                        span,
                     );
                 }
             }
@@ -607,8 +673,14 @@ impl GlareNode {
 
     /// Coordinator: broadcast the first election notice and arm the
     /// second-notice and close timers.
+    ///
+    /// The whole round runs inside an `election.round` span; the
+    /// second-notice and close timers inherit its context, so one round's
+    /// broadcasts, acks and appointments form one trace.
     fn start_election(&mut self, ctx: &mut Ctx<'_>) {
         self.election_acks.clear();
+        let span = ctx.span("election.round", SpanKind::Internal);
+        ctx.span_attr(span, "community", &self.roster.len().to_string());
         let size = self.roster.len() as u32;
         for &(id, _) in &self.roster {
             ctx.send(
@@ -622,6 +694,7 @@ impl GlareNode {
         }
         ctx.timer_after(SimDuration::from_millis(300), "election-second");
         ctx.timer_after(SimDuration::from_millis(900), "election-close");
+        ctx.end_span(span);
     }
 
     fn become_super_peer(&mut self, ctx: &mut Ctx<'_>) {
@@ -632,6 +705,7 @@ impl GlareNode {
             // Arm the heartbeat loop exactly once per office term.
             ctx.timer_after(self.cfg.heartbeat_interval, "heartbeat");
             ctx.metrics().counter("glare.superpeer_takeovers").inc();
+            ctx.with_span("election.takeover", SpanKind::Internal, |_| {});
         }
     }
 
@@ -855,6 +929,11 @@ impl Actor for GlareNode {
             } => {
                 // Charge the request's CPU cost; handle when it completes.
                 ctx.metrics().counter("glare.requests").inc();
+                // The query span covers arrival → reply; opened before the
+                // compute so the CPU stage chains under it.
+                let span = ctx.span("node.query", SpanKind::Internal);
+                ctx.span_attr(span, "activity", &activity);
+                ctx.span_attr(span, "scope", scope_label(scope));
                 match ctx.compute(self.cfg.request_cost, "req") {
                     Some(token) => {
                         self.deferred.insert(
@@ -864,10 +943,14 @@ impl Actor for GlareNode {
                                 req_id,
                                 reply_to,
                                 scope,
+                                span,
                             },
                         );
                     }
-                    None => { /* site down; request lost */ }
+                    None => {
+                        // Site down; request lost.
+                        ctx.end_span(span);
+                    }
                 }
             }
             NodeMsg::QueryResponse {
@@ -925,6 +1008,9 @@ impl Actor for GlareNode {
             }
             "election-close" => {
                 let groups = partition_groups(&self.election_acks, self.cfg.max_group_size);
+                let span = ctx.span("election.close", SpanKind::Internal);
+                ctx.span_attr(span, "groups", &groups.len().to_string());
+                ctx.span_attr(span, "acks", &self.election_acks.len().to_string());
                 let sps: Vec<ActorId> = groups.iter().map(|g| g.super_peer).collect();
                 for g in &groups {
                     let others: Vec<ActorId> = sps
@@ -944,6 +1030,7 @@ impl Actor for GlareNode {
                     }
                 }
                 self.election_acks.clear();
+                ctx.end_span(span);
                 if let Some(iv) = self.cfg.election_interval {
                     ctx.timer_after(iv, "election-reopen");
                 }
@@ -981,11 +1068,15 @@ impl Actor for GlareNode {
                 let seq = self.notify_seq;
                 let sinks = self.sinks.clone();
                 let interval = self.cfg.notify_interval.unwrap_or(SimDuration::from_secs(1));
+                let span = ctx.span("notify.round", SpanKind::Internal);
+                ctx.span_attr(span, "sinks", &sinks.len().to_string());
+                ctx.span_attr(span, "seq", &seq.to_string());
                 for sink in sinks {
                     let offset_ns = ctx.rng().range(0, interval.as_nanos().max(1));
                     let t = ctx.timer_after(SimDuration::from_nanos(offset_ns), "notify-stagger");
                     self.deferred.insert(t, Deferred::NotifyStagger { sink, seq });
                 }
+                ctx.end_span(span);
                 if let Some(interval) = self.cfg.notify_interval {
                     ctx.timer_after(interval, "notify");
                 }
@@ -1001,15 +1092,17 @@ impl Actor for GlareNode {
                 req_id,
                 reply_to,
                 scope,
+                span,
             }) => {
-                self.handle_query(ctx, activity, req_id, reply_to, scope);
+                self.handle_query(ctx, activity, req_id, reply_to, scope, span);
             }
             Some(Deferred::ReplyAfterRegistry {
                 req_id,
                 reply_to,
                 deployments,
+                span,
             }) => {
-                self.reply(ctx, reply_to, req_id, deployments);
+                self.reply(ctx, reply_to, req_id, deployments, span, "registry");
             }
             Some(Deferred::DeliverNotification { sink, seq }) => {
                 ctx.send(sink, NodeMsg::Notification { seq });

@@ -9,7 +9,8 @@ use std::sync::Arc;
 
 use glare_fabric::sync::Mutex;
 use glare_fabric::{
-    Actor, ActorId, Ctx, Envelope, SimDuration, SimTime, Simulation, SiteId, TimerToken, Topology,
+    Actor, ActorId, Ctx, Envelope, SimDuration, SimTime, Simulation, SiteId, SpanHandle, SpanKind,
+    TimerToken, Topology,
 };
 
 use crate::node::{GlareNode, NodeConfig, NodeMsg, QueryScope};
@@ -133,7 +134,7 @@ pub struct QueryClient {
     interval: SimDuration,
     remaining: u64,
     stats: Arc<Mutex<ClientStats>>,
-    in_flight: Option<(u64, SimTime)>,
+    in_flight: Option<(u64, SimTime, SpanHandle)>,
     next_req: u64,
 }
 
@@ -164,7 +165,12 @@ impl QueryClient {
         self.remaining -= 1;
         let req_id = self.next_req;
         self.next_req += 1;
-        self.in_flight = Some((req_id, ctx.now()));
+        // Root span of the whole request's trace: everything downstream
+        // (wire time, CPU stages, probes) chains under it causally.
+        let span = ctx.root_span("client.query", SpanKind::Request);
+        ctx.span_attr(span, "activity", &self.activity);
+        ctx.span_attr(span, "req_id", &req_id.to_string());
+        self.in_flight = Some((req_id, ctx.now(), span));
         self.stats.lock().sent += 1;
         ctx.send(
             self.node,
@@ -187,9 +193,11 @@ impl Actor for QueryClient {
         if let Ok((_, NodeMsg::QueryResponse { req_id, deployments })) =
             env.downcast::<NodeMsg>()
         {
-            if let Some((expected, sent_at)) = self.in_flight {
+            if let Some((expected, sent_at, span)) = self.in_flight {
                 if expected == req_id {
                     self.in_flight = None;
+                    ctx.span_attr(span, "hit", if deployments.is_empty() { "0" } else { "1" });
+                    ctx.end_span(span);
                     let mut s = self.stats.lock();
                     s.responses += 1;
                     if !deployments.is_empty() {

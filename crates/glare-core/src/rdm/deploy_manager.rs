@@ -18,11 +18,11 @@
 
 use std::collections::HashSet;
 
-use glare_fabric::{SimDuration, SimTime};
+use glare_fabric::{SimDuration, SimTime, SiteId, SpanKind, TraceContext, TraceSink};
 use glare_services::gridftp;
 use glare_services::vfs::VPath;
 use glare_services::ChannelKind;
-use glare_services::{run_expect, ExpectError};
+use glare_services::{run_expect_traced, ExpectError};
 
 use crate::deployfile::{DeployFile, PlannedAction};
 use crate::error::GlareError;
@@ -111,10 +111,46 @@ pub struct ProvisionOutcome {
 }
 
 /// Provision an activity: discover, and deploy on demand if needed.
+///
+/// The whole request becomes one trace in `grid.trace`: an
+/// `rdm.provision` root span with one `deploy.install` child per package
+/// installed, each carrying one child span per deploy-file step plus the
+/// service calls (GridFTP transfers, Expect dialogs) those steps make.
 pub fn provision(
     grid: &mut Grid,
     req: &ProvisionRequest,
     now: SimTime,
+) -> Result<ProvisionOutcome, GlareError> {
+    let root = grid.trace.open(
+        None,
+        "rdm.provision",
+        SpanKind::Request,
+        Some(SiteId(req.from_site as u32)),
+        None,
+        now,
+    );
+    grid.trace.attr(root.span_id, "activity", &req.activity);
+    grid.trace.attr(root.span_id, "client", &req.client);
+    let out = provision_inner(grid, req, now, root);
+    match &out {
+        Ok(o) => {
+            grid.trace
+                .attr(root.span_id, "installs", &o.installs.len().to_string());
+            grid.trace.close(root.span_id, now + o.total_cost);
+        }
+        Err(e) => {
+            grid.trace.attr(root.span_id, "error", &e.to_string());
+            grid.trace.close(root.span_id, now);
+        }
+    }
+    out
+}
+
+fn provision_inner(
+    grid: &mut Grid,
+    req: &ProvisionRequest,
+    now: SimTime,
+    root: TraceContext,
 ) -> Result<ProvisionOutcome, GlareError> {
     let (candidates, lookup_cost) = grid.resolve_concrete(req.from_site, &req.activity, now);
     let mut total_cost = lookup_cost;
@@ -166,6 +202,7 @@ pub fn provision(
         now,
         &mut visiting,
         &mut installs,
+        Some(root),
     )?;
     total_cost += installs.iter().map(|r| r.breakdown.total()).sum();
 
@@ -204,6 +241,9 @@ pub(crate) fn cache_remote(
 }
 
 /// Depth-first dependency-closure installation onto one target site.
+/// `parent` is the trace span the per-package `deploy.install` spans
+/// chain under (`None` starts a fresh trace per package).
+#[allow(clippy::too_many_arguments)]
 pub fn install_with_dependencies(
     grid: &mut Grid,
     t: &ActivityType,
@@ -212,6 +252,7 @@ pub fn install_with_dependencies(
     now: SimTime,
     visiting: &mut HashSet<String>,
     reports: &mut Vec<InstallReport>,
+    parent: Option<TraceContext>,
 ) -> Result<(), GlareError> {
     if !visiting.insert(t.name.clone()) {
         let mut path: Vec<String> = visiting.iter().cloned().collect();
@@ -261,23 +302,44 @@ pub fn install_with_dependencies(
         if grid.site(site).host.is_installed(&dep_pkg) {
             continue;
         }
-        install_with_dependencies(grid, &dep_type, site, channel, now, visiting, reports)?;
+        install_with_dependencies(grid, &dep_type, site, channel, now, visiting, reports, parent)?;
     }
 
-    let report = install_package(grid, t, site, channel, now)?;
+    let report = install_package(grid, t, site, channel, now, parent)?;
     reports.push(report);
     visiting.remove(&t.name);
     Ok(())
 }
 
 /// Install one package on one site through a channel, producing the
-/// Table 1 cost rows.
+/// Table 1 cost rows. Records a `deploy.install` span (one child per
+/// deploy-file step) into `grid.trace`, parented under `parent`; spans
+/// left open by early error returns are closed by [`TraceSink::finish`].
 pub fn install_package(
     grid: &mut Grid,
     t: &ActivityType,
     site: usize,
     channel: ChannelKind,
     now: SimTime,
+    parent: Option<TraceContext>,
+) -> Result<InstallReport, GlareError> {
+    // The sink is moved out for the duration of the install so service
+    // calls can borrow `grid` (sites, repo) and the sink simultaneously.
+    let mut trace = std::mem::take(&mut grid.trace);
+    let out = install_package_traced(grid, t, site, channel, now, parent, &mut trace);
+    grid.trace = trace;
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn install_package_traced(
+    grid: &mut Grid,
+    t: &ActivityType,
+    site: usize,
+    channel: ChannelKind,
+    now: SimTime,
+    parent: Option<TraceContext>,
+    trace: &mut TraceSink,
 ) -> Result<InstallReport, GlareError> {
     let inst = t.installation.as_ref().expect("checked by caller");
     let spec = glare_services::packages::by_name(&inst.package).ok_or_else(|| {
@@ -292,6 +354,14 @@ pub fn install_package(
         ..CostBreakdown::default()
     };
 
+    let site_id = Some(SiteId(site as u32));
+    let ispan = trace.open(parent, "deploy.install", SpanKind::Service, site_id, None, now);
+    trace.attr(ispan.span_id, "type", &t.name);
+    trace.attr(ispan.span_id, "package", &spec.name);
+    // Virtual-clock cursor: each charged cost row advances it, laying the
+    // step spans out sequentially the way the cost model charges them.
+    let mut at = now + channel.fixed_overhead();
+
     // Dynamic type registration at the target site (+ deploy-file fetch
     // and validation).
     let site_name = grid.site(site).name.clone();
@@ -299,6 +369,17 @@ pub fn install_package(
         grid.site_mut(site).atr.register(t.clone(), now)?;
     }
     breakdown.type_addition += TYPE_ADDITION_COST;
+    trace.record(
+        Some(ispan),
+        "type.register",
+        SpanKind::Service,
+        site_id,
+        None,
+        at,
+        at + TYPE_ADDITION_COST,
+        &[],
+    );
+    at += TYPE_ADDITION_COST;
 
     // Plan the deploy-file.
     let archive_md5 = grid.repo.md5_of(&spec.archive_url);
@@ -319,14 +400,21 @@ pub fn install_package(
                 md5,
                 timeout_secs,
             } => {
+                let sspan =
+                    trace.open(Some(ispan), "deploy.step", SpanKind::Service, site_id, None, at);
+                trace.attr(sspan.span_id, "step", step);
+                trace.attr(sspan.span_id, "action", "transfer");
                 let repo = grid.repo.clone();
-                let receipt = gridftp::download(
+                let receipt = gridftp::download_traced(
                     &repo,
                     url,
                     &mut grid.site_mut(site).host,
                     &VPath::new(destination),
                     link,
                     *md5,
+                    trace,
+                    Some(sspan),
+                    at,
                 )?;
                 let cost = receipt
                     .cost
@@ -334,6 +422,8 @@ pub fn install_package(
                     + channel.transfer_extra_setup();
                 check_timeout(t, &site_name, step, cost, *timeout_secs)?;
                 breakdown.communication += cost;
+                at += cost;
+                trace.close(sspan.span_id, at);
             }
             PlannedAction::Shell {
                 step,
@@ -341,6 +431,10 @@ pub fn install_package(
                 workdir,
                 timeout_secs,
             } => {
+                let sspan =
+                    trace.open(Some(ispan), "deploy.step", SpanKind::Service, site_id, None, at);
+                trace.attr(sspan.span_id, "step", step);
+                trace.attr(sspan.span_id, "action", "shell");
                 let host = &mut grid.site_mut(site).host;
                 // Enter the step's working directory (create it if the
                 // deploy-file expects it, as Fig. 9's Init step does).
@@ -349,19 +443,27 @@ pub fn install_package(
                     .exec(&mut session, &format!("cd {workdir}"))
                     .expect_done("cd");
                 if !cd.success() {
+                    trace.attr(sspan.span_id, "error", "1");
+                    trace.close(sspan.span_id, at);
                     return Err(GlareError::InstallFailed {
                         type_name: t.name.clone(),
                         site: site_name,
                         detail: format!("step {step}: cannot enter {workdir}"),
                     });
                 }
-                match run_expect(host, &mut session, command, &dialog) {
+                match run_expect_traced(host, &mut session, command, &dialog, trace, Some(sspan), at)
+                {
                     Ok(out) => {
                         check_timeout(t, &site_name, step, out.result.cost, *timeout_secs)?;
                         breakdown.installation += out.result.cost;
-                        breakdown.channel_overhead += channel.step_overhead(out.result.cost);
+                        let step_over = channel.step_overhead(out.result.cost);
+                        breakdown.channel_overhead += step_over;
+                        at += out.result.cost + step_over;
+                        trace.close(sspan.span_id, at);
                     }
                     Err(e) => {
+                        trace.attr(sspan.span_id, "error", "1");
+                        trace.close(sspan.span_id, at);
                         // §3.4: failure notifies the target administrator.
                         grid.notify_admin(
                             site,
@@ -435,14 +537,38 @@ pub fn install_package(
             let _ = site_ref.adr.register(d, &site_ref.atr, now);
         }
     }
-    breakdown.deployment_registration +=
-        DEPLOYMENT_REGISTRATION_COST + SimDuration::from_millis(2) * keys.len() as u64;
-    breakdown.notification += grid.notify_admin(
+    let reg_cost = DEPLOYMENT_REGISTRATION_COST + SimDuration::from_millis(2) * keys.len() as u64;
+    breakdown.deployment_registration += reg_cost;
+    trace.record(
+        Some(ispan),
+        "adr.register",
+        SpanKind::Service,
+        site_id,
+        None,
+        at,
+        at + reg_cost,
+        &[("keys", keys.len().to_string())],
+    );
+    at += reg_cost;
+    let notify_cost = grid.notify_admin(
         site,
         &t.name,
         "activity deployed",
         &t.provider_contact,
     );
+    breakdown.notification += notify_cost;
+    trace.record(
+        Some(ispan),
+        "notify.admin",
+        SpanKind::Service,
+        site_id,
+        None,
+        at,
+        at + notify_cost,
+        &[],
+    );
+    at += notify_cost;
+    trace.close(ispan.span_id, at);
 
     Ok(InstallReport {
         type_name: t.name.clone(),

@@ -239,6 +239,7 @@ pub fn enforce_min_deployments(
                 now,
                 &mut visiting,
                 &mut installs,
+                None,
             )?;
         }
     }
@@ -343,6 +344,7 @@ mod tests {
             t(3),
             &mut visiting,
             &mut reports,
+            None,
         )
         .unwrap();
         assert_eq!(g.deployments_anywhere("Wien2k", t(4)).len(), 6);

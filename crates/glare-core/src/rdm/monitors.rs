@@ -175,7 +175,7 @@ impl DeploymentStatusMonitor {
                 continue; // nowhere to go; keep the failed record visible
             };
             let mut visiting = std::collections::HashSet::new();
-            install_with_dependencies(grid, &t, target, channel, now, &mut visiting, &mut installs)?;
+            install_with_dependencies(grid, &t, target, channel, now, &mut visiting, &mut installs, None)?;
             let _ = grid.site_mut(site).adr.remove(&key);
         }
         Ok(installs)

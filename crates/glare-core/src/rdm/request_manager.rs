@@ -7,7 +7,7 @@
 //! answers from its own registry, then its cache, then the rest of the
 //! VO — caching whatever it learns.
 
-use glare_fabric::{SimDuration, SimTime};
+use glare_fabric::{SimDuration, SimTime, SiteId, SpanKind, TraceContext};
 
 use crate::error::GlareError;
 use crate::grid::Grid;
@@ -60,6 +60,11 @@ impl RequestManager {
 
     /// Answer "give me the deployments able to provide `activity`"
     /// (Example 3's `Get ImageConversion deployments using local GLARE`).
+    ///
+    /// The whole ladder is recorded into `grid.trace` as one trace: a
+    /// `rdm.request` root span with one child per stage tried (hierarchy
+    /// resolution, local registry, cache, remote probes), laid out on the
+    /// same virtual clock the returned cost charges.
     pub fn list_deployments(
         &self,
         grid: &mut Grid,
@@ -67,6 +72,37 @@ impl RequestManager {
         activity: &str,
         now: SimTime,
     ) -> Result<ResolveOutcome, GlareError> {
+        let site = Some(SiteId(from_site as u32));
+        let root = grid
+            .trace
+            .open(None, "rdm.request", SpanKind::Request, site, None, now);
+        grid.trace.attr(root.span_id, "activity", activity);
+        let (out, end) = self.run_ladder(grid, from_site, activity, now, root);
+        let label = match &out {
+            Ok(o) => match o.source {
+                DiscoverySource::LocalRegistry => "registry",
+                DiscoverySource::LocalCache => "cache",
+                DiscoverySource::RemoteSite(_) => "remote",
+            },
+            Err(_) => "not-found",
+        };
+        grid.trace.attr(root.span_id, "source", label);
+        grid.trace.close(root.span_id, end);
+        out
+    }
+
+    /// The discovery ladder proper. Returns the outcome plus the virtual
+    /// instant the request finished (`now` + accumulated cost), which the
+    /// caller uses to close the root span even on the error path.
+    fn run_ladder(
+        &self,
+        grid: &mut Grid,
+        from_site: usize,
+        activity: &str,
+        now: SimTime,
+        root: TraceContext,
+    ) -> (Result<ResolveOutcome, GlareError>, SimTime) {
+        let site = Some(SiteId(from_site as u32));
         // Resolve the (possibly abstract) activity to concrete type names,
         // preferring purely local hierarchy knowledge.
         let local = grid.site_mut(from_site).atr.resolve_concrete(activity, now);
@@ -77,68 +113,139 @@ impl RequestManager {
             cost += c;
             concrete = types.into_iter().map(|t| t.name).collect();
         }
+        grid.trace.record(
+            Some(root),
+            "resolve.types",
+            SpanKind::Compute,
+            site,
+            None,
+            now,
+            now + cost,
+            &[("concrete", concrete.len().to_string())],
+        );
         if concrete.is_empty() {
-            return Err(GlareError::NotFound {
+            let err = Err(GlareError::NotFound {
                 what: format!("concrete type for {activity}"),
             });
+            return (err, now + cost);
         }
 
         // 1. Local registry.
+        let registry_start = now + cost;
         for name in &concrete {
             let resp = grid.site(from_site).adr.deployments_of(name, now);
+            cost += resp.cost;
             if !resp.value.is_empty() {
-                return Ok(ResolveOutcome {
+                grid.trace.record(
+                    Some(root),
+                    "registry.local",
+                    SpanKind::Service,
+                    site,
+                    None,
+                    registry_start,
+                    now + cost,
+                    &[("hit", "1".to_owned())],
+                );
+                let out = Ok(ResolveOutcome {
                     deployments: resp.value,
                     source: DiscoverySource::LocalRegistry,
-                    cost: cost + resp.cost,
+                    cost,
                 });
+                return (out, now + cost);
             }
-            cost += resp.cost;
         }
+        grid.trace.record(
+            Some(root),
+            "registry.local",
+            SpanKind::Service,
+            site,
+            None,
+            registry_start,
+            now + cost,
+            &[("hit", "0".to_owned())],
+        );
 
         // 2. Local cache.
         if self.use_cache {
+            let cache_start = now + cost;
+            cost += CACHE_HIT_COST;
+            let mut cache_hits = Vec::new();
             for name in &concrete {
-                let hits = grid.site_mut(from_site).cache.deployments_of(name, now);
-                if !hits.is_empty() {
-                    return Ok(ResolveOutcome {
-                        deployments: hits,
-                        source: DiscoverySource::LocalCache,
-                        cost: cost + CACHE_HIT_COST,
-                    });
+                cache_hits = grid.site_mut(from_site).cache.deployments_of(name, now);
+                if !cache_hits.is_empty() {
+                    break;
                 }
             }
-            cost += CACHE_HIT_COST;
+            let hit = !cache_hits.is_empty();
+            grid.trace.record(
+                Some(root),
+                "cache.lookup",
+                SpanKind::Service,
+                site,
+                None,
+                cache_start,
+                now + cost,
+                &[("hit", if hit { "1" } else { "0" }.to_owned())],
+            );
+            if hit {
+                let out = Ok(ResolveOutcome {
+                    deployments: cache_hits,
+                    source: DiscoverySource::LocalCache,
+                    cost,
+                });
+                return (out, now + cost);
+            }
         }
 
         // 3. The rest of the VO (one round-trip per probed site).
         let rtt = grid.link.transfer_time(1024) * 2;
         let site_count = grid.len();
         for i in (0..site_count).filter(|&i| i != from_site) {
+            let probe_start = now + cost;
             cost += rtt;
+            let mut hit: Vec<ActivityDeployment> = Vec::new();
             for name in &concrete {
                 let resp = grid.site(i).adr.deployments_of(name, now);
                 cost += resp.cost;
                 if !resp.value.is_empty() {
-                    // Cache what we learned (§3.1: "a resource discovered
-                    // from a remote registry is optionally cached locally").
-                    if self.use_cache {
-                        let found: Vec<(usize, ActivityDeployment)> =
-                            resp.value.iter().map(|d| (i, d.clone())).collect();
-                        super::deploy_manager::cache_remote(grid, from_site, &found, now);
-                    }
-                    return Ok(ResolveOutcome {
-                        deployments: resp.value,
-                        source: DiscoverySource::RemoteSite(i),
-                        cost,
-                    });
+                    hit = resp.value;
+                    break;
                 }
+            }
+            grid.trace.record(
+                Some(root),
+                "probe.remote",
+                SpanKind::Network,
+                Some(SiteId(i as u32)),
+                None,
+                probe_start,
+                now + cost,
+                &[
+                    ("peer", i.to_string()),
+                    ("hit", if hit.is_empty() { "0" } else { "1" }.to_owned()),
+                ],
+            );
+            if !hit.is_empty() {
+                // Cache what we learned (§3.1: "a resource discovered
+                // from a remote registry is optionally cached locally").
+                if self.use_cache {
+                    let found: Vec<(usize, ActivityDeployment)> =
+                        hit.iter().map(|d| (i, d.clone())).collect();
+                    super::deploy_manager::cache_remote(grid, from_site, &found, now);
+                }
+                let out = Ok(ResolveOutcome {
+                    deployments: hit,
+                    source: DiscoverySource::RemoteSite(i),
+                    cost,
+                });
+                return (out, now + cost);
             }
         }
 
-        Err(GlareError::NotFound {
+        let err = Err(GlareError::NotFound {
             what: format!("deployments of {activity}"),
-        })
+        });
+        (err, now + cost)
     }
 }
 

@@ -14,7 +14,7 @@
 //! an unattended `expect` run hits when an installer asks something the
 //! script didn't anticipate.
 
-use glare_fabric::SimDuration;
+use glare_fabric::{SimDuration, SimTime, SpanKind, TraceContext, TraceSink};
 
 use crate::host::SiteHost;
 use crate::shell::{CmdResult, ExecOutcome, ShellSession};
@@ -150,6 +150,37 @@ pub fn run_expect(
             }
         }
     }
+}
+
+/// Like [`run_expect`], but records the command as an `expect.run`
+/// service span into `trace`, laid out over `[at, at + cost]` on the
+/// virtual clock and parented under `parent`. Failed commands record
+/// nothing (the caller annotates its own step span instead).
+#[allow(clippy::too_many_arguments)]
+pub fn run_expect_traced(
+    host: &mut SiteHost,
+    session: &mut ShellSession,
+    command: &str,
+    script: &ExpectScript,
+    trace: &mut TraceSink,
+    parent: Option<TraceContext>,
+    at: SimTime,
+) -> Result<ExpectOutcome, ExpectError> {
+    let out = run_expect(host, session, command, script)?;
+    trace.record(
+        parent,
+        "expect.run",
+        SpanKind::Service,
+        None,
+        None,
+        at,
+        at + out.result.cost,
+        &[
+            ("command", command.to_owned()),
+            ("interactions", out.interactions.to_string()),
+        ],
+    );
+    Ok(out)
 }
 
 /// Run a whole sequence of commands under one script (rule consumption

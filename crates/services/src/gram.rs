@@ -7,7 +7,7 @@
 //! and validation against the target host (the executable must exist and
 //! be executable).
 
-use glare_fabric::SimDuration;
+use glare_fabric::{SimDuration, SimTime, SpanKind, TraceContext, TraceSink};
 
 use crate::host::SiteHost;
 use crate::vfs::VPath;
@@ -114,6 +114,33 @@ impl GramService {
             diagnostics: String::new(),
         });
         Ok((id, SUBMIT_OVERHEAD))
+    }
+
+    /// Like [`GramService::submit`], but records the submission round-trip
+    /// as a `gram.submit` service span into `trace`, laid out over
+    /// `[at, at + overhead]` and parented under `parent`. Rejected
+    /// submissions record nothing.
+    pub fn submit_traced(
+        &mut self,
+        host: &SiteHost,
+        spec: JobSpec,
+        trace: &mut TraceSink,
+        parent: Option<TraceContext>,
+        at: SimTime,
+    ) -> Result<(u64, SimDuration), GramError> {
+        let executable = spec.executable.to_string();
+        let (id, overhead) = self.submit(host, spec)?;
+        trace.record(
+            parent,
+            "gram.submit",
+            SpanKind::Service,
+            None,
+            None,
+            at,
+            at + overhead,
+            &[("job", id.to_string()), ("executable", executable)],
+        );
+        Ok((id, overhead))
     }
 
     /// Move a pending job to active (the site started executing it).

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use glare_fabric::topology::LinkSpec;
-use glare_fabric::SimDuration;
+use glare_fabric::{SimDuration, SimTime, SpanKind, TraceContext, TraceSink};
 
 use crate::host::SiteHost;
 use crate::md5::Md5Digest;
@@ -184,6 +184,38 @@ pub fn download(
         cost,
         verified: expected_md5.is_some(),
     })
+}
+
+/// Like [`download`], but records the transfer as a `gridftp.get` network
+/// span into `trace`, laid out over `[at, at + cost]` on the virtual
+/// clock and parented under `parent`. Failed transfers record nothing.
+#[allow(clippy::too_many_arguments)]
+pub fn download_traced(
+    repo: &Repository,
+    url: &str,
+    host: &mut SiteHost,
+    dst: &VPath,
+    link: LinkSpec,
+    expected_md5: Option<Md5Digest>,
+    trace: &mut TraceSink,
+    parent: Option<TraceContext>,
+    at: SimTime,
+) -> Result<TransferReceipt, TransferError> {
+    let receipt = download(repo, url, host, dst, link, expected_md5)?;
+    trace.record(
+        parent,
+        "gridftp.get",
+        SpanKind::Network,
+        None,
+        None,
+        at,
+        at + receipt.cost,
+        &[
+            ("url", url.to_owned()),
+            ("bytes", receipt.bytes.to_string()),
+        ],
+    );
+    Ok(receipt)
 }
 
 /// Third-party copy between two site hosts (e.g. retrieving a rendered

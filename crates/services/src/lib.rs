@@ -33,9 +33,9 @@ pub mod shell;
 pub mod vfs;
 
 pub use channels::{run_channel, ChannelKind, ChannelReport};
-pub use expect::{run_expect, ExpectError, ExpectScript};
+pub use expect::{run_expect, run_expect_traced, ExpectError, ExpectScript};
 pub use gram::{GramError, GramJob, GramService, JobSpec, JobState};
-pub use gridftp::{download, Repository, TransferError, TransferReceipt};
+pub use gridftp::{download, download_traced, Repository, TransferError, TransferReceipt};
 pub use host::{InstallRecord, SiteHost};
 pub use md5::{Md5, Md5Digest};
 pub use mds::{IndexKind, IndexService, QueryResponse};

@@ -187,7 +187,7 @@ impl EnactmentEngine {
         _finish: &HashMap<ActivityId, SimDuration>,
         outputs: &HashMap<ActivityId, (usize, VPath)>,
         workflow: &Workflow,
-        _now: SimTime,
+        now: SimTime,
     ) -> Result<(SimDuration, SimDuration, VPath), GlareError> {
         let site = assignment.site;
         let site_name = grid.site(site).name.clone();
@@ -219,14 +219,20 @@ impl EnactmentEngine {
                     cpu_cost: activity.cpu_cost,
                 };
                 let mut gram = std::mem::take(&mut grid.site_mut(site).gram);
-                let submit = gram.submit(&grid.site(site).host, spec).map_err(|e| {
-                    grid.site_mut(site).gram = gram.clone();
-                    GlareError::InstallFailed {
-                        type_name: activity.activity_type.clone(),
-                        site: site_name.clone(),
-                        detail: e.to_string(),
-                    }
-                });
+                // The sink is moved out so the submission span can be
+                // recorded while the site's host is borrowed.
+                let mut trace = std::mem::take(&mut grid.trace);
+                let submit = gram
+                    .submit_traced(&grid.site(site).host, spec, &mut trace, None, now)
+                    .map_err(|e| {
+                        grid.site_mut(site).gram = gram.clone();
+                        GlareError::InstallFailed {
+                            type_name: activity.activity_type.clone(),
+                            site: site_name.clone(),
+                            detail: e.to_string(),
+                        }
+                    });
+                grid.trace = trace;
                 let (job, _overhead) = submit?;
                 gram.mark_active(job).expect("fresh job");
                 gram.mark_done(job).expect("active job");
@@ -255,7 +261,7 @@ impl EnactmentEngine {
         // Record the invocation in the site's deployment registry.
         let _ = grid.site_mut(site).adr.record_invocation(
             &assignment.deployment.key,
-            _now,
+            now,
             runtime,
             0,
         );

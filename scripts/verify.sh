@@ -3,6 +3,8 @@
 #   1. release build of the whole workspace, all targets
 #   2. the full test suite
 #   3. clippy with warnings promoted to errors
+#   4. rustdoc with warnings promoted to errors
+#   5. smoke runs of the ablation and traced fig12 binaries
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,5 +16,20 @@ cargo test -q --workspace
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> smoke: ablation"
+cargo run --release -q -p glare-bench --bin ablation >/dev/null
+
+echo "==> smoke: fig12 --trace (writes BENCH_overlay.json + TRACE_fig12.json)"
+smoke_dir=$(mktemp -d)
+(cd "$smoke_dir" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin fig12 -- --trace >/dev/null)
+for artifact in BENCH_overlay.json TRACE_fig12.json; do
+    test -s "$smoke_dir/$artifact" || { echo "missing $artifact"; exit 1; }
+done
+rm -rf "$smoke_dir"
 
 echo "verify: OK"

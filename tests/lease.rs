@@ -1,0 +1,132 @@
+//! Integration coverage for deployment leasing (§3.2): exclusive vs
+//! shared conflict windows, the shared concurrency cap, and reclamation
+//! of expired tickets, exercised as scenarios over simulated time.
+
+use glare::core::lease::{LeaseKind, LeaseManager, DEFAULT_SHARED_CAPACITY};
+use glare::fabric::SimTime;
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+/// An exclusive lease owns its whole window: shared and exclusive
+/// requests are denied anywhere inside it, in any overlap shape, and
+/// granted the instant the window closes.
+#[test]
+fn exclusive_window_conflicts() {
+    let mut m = LeaseManager::new();
+    m.acquire("povray@s1", "alice", LeaseKind::Exclusive, t(100), t(200))
+        .unwrap();
+
+    // Every overlap shape against [100, 200): leading, trailing,
+    // contained, containing, exact.
+    for (from, until) in [
+        (t(50), t(101)),
+        (t(199), t(300)),
+        (t(120), t(180)),
+        (t(50), t(300)),
+        (t(100), t(200)),
+    ] {
+        assert!(
+            m.acquire("povray@s1", "bob", LeaseKind::Shared, from, until)
+                .is_err(),
+            "shared [{from:?}, {until:?}) must be denied inside an exclusive window"
+        );
+        assert!(
+            m.acquire("povray@s1", "bob", LeaseKind::Exclusive, from, until)
+                .is_err(),
+            "exclusive [{from:?}, {until:?}) must be denied inside an exclusive window"
+        );
+    }
+
+    // The boundaries are half-open: [_, 100) and [200, _) do not touch it.
+    assert!(m
+        .acquire("povray@s1", "bob", LeaseKind::Shared, t(0), t(100))
+        .is_ok());
+    assert!(m
+        .acquire("povray@s1", "carol", LeaseKind::Exclusive, t(200), t(250))
+        .is_ok());
+
+    // Authorization follows the tickets: only the holder may
+    // instantiate inside the window.
+    assert!(m.authorized("povray@s1", "alice", t(150)));
+    assert!(!m.authorized("povray@s1", "bob", t(150)));
+    assert!(m.blocked_for("povray@s1", "bob", t(150)));
+    assert!(!m.blocked_for("povray@s1", "alice", t(150)));
+}
+
+/// Shared leases admit concurrent clients up to the per-deployment
+/// capacity; an exclusive request is blocked while any shared lease is
+/// live, and other deployments are unaffected.
+#[test]
+fn shared_cap_and_exclusive_interplay() {
+    let mut m = LeaseManager::new();
+    m.set_capacity("wien2k@s2", 3);
+
+    for client in ["a", "b", "c"] {
+        m.acquire("wien2k@s2", client, LeaseKind::Shared, t(0), t(60))
+            .unwrap();
+    }
+    // Capacity 3 exhausted anywhere in the window...
+    assert!(m
+        .acquire("wien2k@s2", "d", LeaseKind::Shared, t(30), t(40))
+        .is_err());
+    // ...and an exclusive request cannot evict the sharers.
+    assert!(m
+        .acquire("wien2k@s2", "d", LeaseKind::Exclusive, t(30), t(40))
+        .is_err());
+    // A different deployment on the same manager still has the default cap.
+    for i in 0..DEFAULT_SHARED_CAPACITY {
+        m.acquire("invmod@s3", &format!("u{i}"), LeaseKind::Shared, t(0), t(60))
+            .unwrap();
+    }
+    assert!(m
+        .acquire("invmod@s3", "overflow", LeaseKind::Shared, t(0), t(60))
+        .is_err());
+
+    // Releasing one sharer frees a slot immediately.
+    let freed = m
+        .acquire("wien2k@s2", "e", LeaseKind::Shared, t(60), t(90))
+        .unwrap();
+    m.release(freed.id).unwrap();
+    assert!(m
+        .acquire("wien2k@s2", "f", LeaseKind::Shared, t(60), t(90))
+        .is_ok());
+}
+
+/// Expired tickets are reclaimed by the sweep: capacity and exclusivity
+/// are computed over live tickets only, and a periodic sweep keeps the
+/// manager's footprint bounded.
+#[test]
+fn expiry_reclamation() {
+    let mut m = LeaseManager::new();
+    m.set_capacity("d", 2);
+
+    // A rolling workload: each epoch, two sharers take the deployment
+    // for 10 s; the sweep at the end of each epoch reclaims them.
+    for epoch in 0..5u64 {
+        let from = t(epoch * 10);
+        let until = t(epoch * 10 + 10);
+        m.acquire("d", "a", LeaseKind::Shared, from, until).unwrap();
+        m.acquire("d", "b", LeaseKind::Shared, from, until).unwrap();
+        assert!(
+            m.acquire("d", "c", LeaseKind::Shared, from, until).is_err(),
+            "cap 2 holds within epoch {epoch}"
+        );
+        assert_eq!(m.sweep_expired(until), 2, "both epoch leases reclaimed");
+        assert!(m.is_empty(), "nothing outlives its epoch");
+    }
+
+    // Sweeping mid-window keeps live tickets: until > now survives.
+    m.acquire("d", "a", LeaseKind::Exclusive, t(100), t(110))
+        .unwrap();
+    assert_eq!(m.sweep_expired(t(105)), 0);
+    assert!(m.authorized("d", "a", t(105)));
+    assert_eq!(m.sweep_expired(t(110)), 1);
+    assert!(!m.authorized("d", "a", t(105)), "ticket gone after reclaim");
+
+    // After reclamation the window is free for a new exclusive holder.
+    assert!(m
+        .acquire("d", "b", LeaseKind::Exclusive, t(100), t(110))
+        .is_ok());
+}

@@ -46,6 +46,14 @@ fn main() {
         if export_trace {
             let paths = critical_paths(&sink, Some("client.query"));
             eprint!("{}", render_summary(&config_label(sites, cache), &paths));
+            if sink.dropped() > 0 {
+                eprintln!(
+                    "warning: {}: {} span(s) dropped at the sink bound — \
+                     critical paths may be incomplete",
+                    config_label(sites, cache),
+                    sink.dropped()
+                );
+            }
         }
         if sites == 7 {
             exported = Some(sink);

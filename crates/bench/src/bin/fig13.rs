@@ -40,6 +40,13 @@ fn main() {
         if export_trace {
             let paths = critical_paths(&sink, Some("client.query"));
             eprint!("{}", render_summary(&format!("requesters x{n}"), &paths));
+            if sink.dropped() > 0 {
+                eprintln!(
+                    "warning: requesters x{n}: {} span(s) dropped at the sink bound — \
+                     critical paths may be incomplete",
+                    sink.dropped()
+                );
+            }
         }
         if n == 250 {
             exported = Some(sink);
@@ -50,6 +57,13 @@ fn main() {
         for n in [30, 70, 140, 210] {
             let (pt, sink) = run_sinks_traced(n, SimDuration::from_secs(rate_s), p);
             entries.push(overlay_entry(&pt, &sink, "notify.round"));
+            if export_trace && sink.dropped() > 0 {
+                eprintln!(
+                    "warning: sinks x{n} @{rate_s}s: {} span(s) dropped at the sink bound — \
+                     critical paths may be incomplete",
+                    sink.dropped()
+                );
+            }
             pts.push(pt);
         }
     }

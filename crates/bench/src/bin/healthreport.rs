@@ -1,0 +1,91 @@
+//! Live monitoring report for the RDM monitors: runs the health-telemetry
+//! scenario (overlay under load with a super-peer crash, then a
+//! provisioned Grid driven through monitor ticks) and renders per-site /
+//! per-group health tables.
+//!
+//! Flags:
+//! * `--json`    — machine-readable report on stdout instead of tables.
+//! * `--watch`   — additionally print windowed-gauge samples over
+//!   sim-time (the "live" view of `glare_site_load1m` and
+//!   `glare_cache_hit_ratio`).
+//! * `--sites N` / `--clients N` / `--queries N` / `--seed N` — scenario
+//!   overrides (defaults: 5 sites, 15 clients, 12 queries, seed 4711).
+//! * `--smoke`   — small fixed configuration for CI.
+//!
+//! Always writes three artifacts to the working directory:
+//! * `BENCH_health.json`    — the report (sites, groups, watch samples).
+//! * `HEALTH_events.jsonl`  — both phases' structured event logs.
+//! * `HEALTH_metrics.prom`  — both registries' text exposition.
+
+use glare_bench::health::{render, render_watch, run, HealthParams};
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = args.iter().any(|a| a == "--json");
+    let watch = args.iter().any(|a| a == "--watch");
+
+    let mut p = if args.iter().any(|a| a == "--smoke") {
+        HealthParams::smoke()
+    } else {
+        HealthParams::default()
+    };
+    if let Some(n) = flag_value(&args, "--sites") {
+        p.sites = n as usize;
+    }
+    if let Some(n) = flag_value(&args, "--clients") {
+        p.clients = n as usize;
+    }
+    if let Some(n) = flag_value(&args, "--queries") {
+        p.queries_per_client = n;
+    }
+    if let Some(n) = flag_value(&args, "--seed") {
+        p.seed = n;
+    }
+
+    let r = run(p);
+
+    match std::fs::write("BENCH_health.json", r.to_json().to_string_pretty()) {
+        Ok(()) => eprintln!("wrote BENCH_health.json"),
+        Err(e) => eprintln!("could not write BENCH_health.json: {e}"),
+    }
+    let events = format!("{}{}", r.overlay_events_jsonl, r.grid_events_jsonl);
+    match std::fs::write("HEALTH_events.jsonl", &events) {
+        Ok(()) => eprintln!("wrote HEALTH_events.jsonl ({} records)", events.lines().count()),
+        Err(e) => eprintln!("could not write HEALTH_events.jsonl: {e}"),
+    }
+    let prom = format!(
+        "# overlay registry\n{}# grid registry\n{}",
+        r.overlay_exposition, r.grid_exposition
+    );
+    match std::fs::write("HEALTH_metrics.prom", &prom) {
+        Ok(()) => eprintln!("wrote HEALTH_metrics.prom"),
+        Err(e) => eprintln!("could not write HEALTH_metrics.prom: {e}"),
+    }
+
+    if r.events_dropped > 0 {
+        eprintln!(
+            "warning: {} event record(s) dropped — raise the event-log bound for a complete log",
+            r.events_dropped
+        );
+    }
+    for v in &r.lint {
+        eprintln!("warning: metric-name lint: {v}");
+    }
+
+    if json_out {
+        print!("{}", r.to_json().to_string_pretty());
+    } else {
+        print!("{}", render(&r));
+        if watch {
+            println!();
+            print!("{}", render_watch(&r));
+        }
+    }
+}

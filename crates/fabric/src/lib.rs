@@ -13,7 +13,10 @@
 //! * [`sim`] — the event kernel: actors, messages, timers, CPU work,
 //!   crashes, partitions.
 //! * [`fault`] — declarative failure scripts.
-//! * [`metrics`] — counters/histograms/series the bench harness reads.
+//! * [`metrics`] — counters/histograms/series the bench harness reads,
+//!   plus the labeled families/windowed gauges behind the health report.
+//! * [`events`] — bounded structured event log (JSONL) of notable state
+//!   transitions, byte-identical across same-seed runs.
 //! * [`trace`] — causal spans propagated through messages/timers/compute;
 //!   the input of the bench harness's critical-path analysis.
 //!
@@ -22,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod fault;
 pub mod metrics;
 pub mod rng;
@@ -32,8 +36,12 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use events::{EventLog, EventRecord, DEFAULT_MAX_EVENTS};
 pub use fault::{Fault, FaultPlan};
-pub use metrics::{Counter, Histogram, MetricsRegistry, TimeSeries};
+pub use metrics::{
+    Counter, GaugeBucket, Histogram, Labels, MetricsRegistry, TimeSeries, WindowedGauge,
+    DEFAULT_GAUGE_WINDOW,
+};
 pub use rng::SimRng;
 pub use sim::{Actor, ActorId, Ctx, Envelope, Msg, NetworkConfig, Simulation, TimerToken};
 pub use site::{SiteRuntime, WorkTicket};

@@ -5,10 +5,30 @@
 //! rows/series of the paper's tables and figures, so the registry keeps
 //! everything addressable by a flat string name (e.g.
 //! `"site3.deployments.installed"`).
+//!
+//! On top of the flat namespace the registry offers a *labeled* metric
+//! model for the health-telemetry subsystem: a metric family has a
+//! Prometheus-style name (`glare_cache_hits_total`) and each instrument in
+//! the family is addressed by a sorted `(key=value)` label set
+//! ([`Labels`]) — site, activity type, peer group, component. Labeled
+//! families render deterministically to a Prometheus-style text exposition
+//! ([`MetricsRegistry::expose_prometheus`]) and a JSON snapshot
+//! ([`MetricsRegistry::snapshot_json`]); both are byte-identical across
+//! same-seed runs because every map involved is a `BTreeMap` and all
+//! values derive from deterministic simulation state.
+//!
+//! [`WindowedGauge`] aggregates a sampled value over fixed sim-time
+//! buckets (last/min/max/mean per bucket) so a monitoring client can
+//! replay "gauge over time" without the registry storing every sample.
 
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 use crate::time::{SimDuration, SimTime};
+
+/// Default bucket width for windowed gauges published by the fabric.
+pub const DEFAULT_GAUGE_WINDOW: SimDuration = SimDuration::from_secs(60);
 
 /// A monotonically increasing event count.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -35,59 +55,79 @@ impl Counter {
 
 /// Reservoir of duration samples with quantile queries.
 ///
-/// Samples are kept exactly (experiments are bounded), sorted lazily on
-/// query. This favours exactness over constant-memory, which is the right
-/// trade for a reproducibility harness.
+/// Samples are kept exactly (experiments are bounded) and sorted lazily on
+/// query. The sort state lives behind `RefCell`/`Cell` so quantile reads
+/// work through `&self` — read paths like
+/// [`MetricsRegistry::histogram_ref`] can compute `p50`/`p95` without
+/// mutable access to the registry. The interior mutability costs `Sync`
+/// (the simulation is single-threaded, the harness reads after the run)
+/// but keeps queries exact, which is the right trade for a
+/// reproducibility harness.
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
-    samples: Vec<SimDuration>,
-    sorted: bool,
+    samples: RefCell<Vec<SimDuration>>,
+    sorted: Cell<bool>,
 }
 
 impl Histogram {
     /// Record one duration sample.
     pub fn record(&mut self, d: SimDuration) {
-        self.samples.push(d);
-        self.sorted = false;
+        self.samples.get_mut().push(d);
+        self.sorted.set(false);
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.samples.borrow().len()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> SimDuration {
+        let total: u128 = self
+            .samples
+            .borrow()
+            .iter()
+            .map(|d| d.as_nanos() as u128)
+            .sum();
+        SimDuration::from_nanos(total.min(u64::MAX as u128) as u64)
     }
 
     /// Arithmetic mean, or `None` when empty.
     pub fn mean(&self) -> Option<SimDuration> {
-        if self.samples.is_empty() {
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             return None;
         }
-        let total: u128 = self.samples.iter().map(|d| d.as_nanos() as u128).sum();
-        Some(SimDuration::from_nanos(
-            (total / self.samples.len() as u128) as u64,
-        ))
+        let total: u128 = samples.iter().map(|d| d.as_nanos() as u128).sum();
+        Some(SimDuration::from_nanos((total / samples.len() as u128) as u64))
+    }
+
+    fn ensure_sorted(&self) {
+        if !self.sorted.get() {
+            self.samples.borrow_mut().sort_unstable();
+            self.sorted.set(true);
+        }
     }
 
     /// Quantile in `[0, 1]` using the nearest-rank method; `None` when empty.
-    pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
-        if self.samples.is_empty() {
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        self.ensure_sorted();
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             return None;
         }
-        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
-        Some(self.samples[rank.min(self.samples.len() - 1)])
+        let rank = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
+        Some(samples[rank.min(samples.len() - 1)])
     }
 
     /// Smallest sample, or `None` when empty.
-    pub fn min(&mut self) -> Option<SimDuration> {
+    pub fn min(&self) -> Option<SimDuration> {
         self.quantile(0.0)
     }
 
     /// Largest sample, or `None` when empty.
-    pub fn max(&mut self) -> Option<SimDuration> {
+    pub fn max(&self) -> Option<SimDuration> {
         self.quantile(1.0)
     }
 }
@@ -138,12 +178,189 @@ impl TimeSeries {
     }
 }
 
-/// Flat, name-addressed registry of all instruments in one simulation run.
+/// A sorted, immutable `(key=value)` label set addressing one instrument
+/// inside a metric family.
+///
+/// Keys are sorted at construction and duplicates rejected, so two label
+/// sets built from the same pairs in any order compare equal and render
+/// identically — the backbone of deterministic exposition.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Labels(Vec<(String, String)>);
+
+impl Labels {
+    /// Build from `(key, value)` pairs; order-insensitive.
+    ///
+    /// Panics on duplicate keys or empty key names.
+    pub fn of(pairs: &[(&str, &str)]) -> Labels {
+        let mut v: Vec<(String, String)> = pairs
+            .iter()
+            .map(|(k, val)| {
+                assert!(!k.is_empty(), "empty label key");
+                ((*k).to_owned(), (*val).to_owned())
+            })
+            .collect();
+        v.sort();
+        for w in v.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate label key: {}", w[0].0);
+        }
+        Labels(v)
+    }
+
+    /// The empty label set.
+    pub fn empty() -> Labels {
+        Labels::default()
+    }
+
+    /// True when no labels are present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Value for `key` if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Iterate `(key, value)` pairs in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Render as `{k="v",k2="v2"}`, or `""` when empty.
+    pub fn render(&self) -> String {
+        self.render_with(&[])
+    }
+
+    /// Render with extra trailing pairs appended (e.g. `quantile="0.5"`).
+    pub fn render_with(&self, extra: &[(&str, &str)]) -> String {
+        if self.0.is_empty() && extra.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("{");
+        let mut first = true;
+        for (k, v) in self.iter().chain(extra.iter().copied()) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One sim-time bucket of a [`WindowedGauge`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaugeBucket {
+    /// Bucket start time (a multiple of the gauge window).
+    pub start: SimTime,
+    /// Last value set in the bucket.
+    pub last: f64,
+    /// Smallest value set in the bucket.
+    pub min: f64,
+    /// Largest value set in the bucket.
+    pub max: f64,
+    /// Sum of values set in the bucket.
+    pub sum: f64,
+    /// Number of values set in the bucket.
+    pub count: u64,
+}
+
+impl GaugeBucket {
+    /// Mean of values set in the bucket.
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+/// A gauge whose samples are aggregated over fixed sim-time buckets.
+///
+/// Each `set(now, v)` lands in the bucket `now / window`; the gauge keeps
+/// one [`GaugeBucket`] per touched window in time order. This gives
+/// monitoring clients a bounded "value over time" view (`--watch` mode of
+/// the health report) without retaining every sample.
+#[derive(Clone, Debug)]
+pub struct WindowedGauge {
+    window: SimDuration,
+    buckets: Vec<GaugeBucket>,
+}
+
+impl WindowedGauge {
+    /// New gauge bucketing over `window`-wide sim-time intervals.
+    pub fn new(window: SimDuration) -> WindowedGauge {
+        assert!(window.as_nanos() > 0, "gauge window must be positive");
+        WindowedGauge {
+            window,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Bucket width.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Record the gauge value `v` observed at `now`.
+    ///
+    /// Samples must arrive in non-decreasing time order (the simulation
+    /// clock guarantees this for fabric-published gauges).
+    pub fn set(&mut self, now: SimTime, v: f64) {
+        let idx = now.as_nanos() / self.window.as_nanos();
+        let start = SimTime::from_nanos(idx * self.window.as_nanos());
+        if let Some(b) = self.buckets.last_mut() {
+            assert!(start >= b.start, "WindowedGauge::set: time went backwards");
+            if b.start == start {
+                b.last = v;
+                b.min = b.min.min(v);
+                b.max = b.max.max(v);
+                b.sum += v;
+                b.count += 1;
+                return;
+            }
+        }
+        self.buckets.push(GaugeBucket {
+            start,
+            last: v,
+            min: v,
+            max: v,
+            sum: v,
+            count: 1,
+        });
+    }
+
+    /// All touched buckets in time order.
+    pub fn buckets(&self) -> &[GaugeBucket] {
+        &self.buckets
+    }
+
+    /// Last value set, or `None` before any sample.
+    pub fn latest(&self) -> Option<f64> {
+        self.buckets.last().map(|b| b.last)
+    }
+
+    /// Last value of the latest bucket starting at or before `t`.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.buckets.partition_point(|b| b.start <= t) {
+            0 => None,
+            i => Some(self.buckets[i - 1].last),
+        }
+    }
+}
+
+/// Flat and labeled, name-addressed registry of all instruments in one
+/// simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, Counter>,
     histograms: BTreeMap<String, Histogram>,
     series: BTreeMap<String, TimeSeries>,
+    labeled_counters: BTreeMap<String, BTreeMap<Labels, Counter>>,
+    labeled_histograms: BTreeMap<String, BTreeMap<Labels, Histogram>>,
+    gauges: BTreeMap<String, BTreeMap<Labels, WindowedGauge>>,
 }
 
 impl MetricsRegistry {
@@ -191,6 +408,397 @@ impl MetricsRegistry {
     pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
         self.histograms.keys().map(String::as_str)
     }
+
+    /// Get or create the counter `labels` inside family `family`.
+    pub fn counter_labeled(&mut self, family: &str, labels: &Labels) -> &mut Counter {
+        self.labeled_counters
+            .entry(family.to_owned())
+            .or_default()
+            .entry(labels.clone())
+            .or_default()
+    }
+
+    /// Read a labeled counter without creating it (zero if absent).
+    pub fn counter_labeled_value(&self, family: &str, labels: &Labels) -> u64 {
+        self.labeled_counters
+            .get(family)
+            .and_then(|m| m.get(labels))
+            .map_or(0, Counter::get)
+    }
+
+    /// All `(labels, value)` entries of a counter family, in label order.
+    pub fn labeled_counters_of(&self, family: &str) -> impl Iterator<Item = (&Labels, u64)> {
+        self.labeled_counters
+            .get(family)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(l, c)| (l, c.get())))
+    }
+
+    /// Get or create the histogram `labels` inside family `family`.
+    pub fn histogram_labeled(&mut self, family: &str, labels: &Labels) -> &mut Histogram {
+        self.labeled_histograms
+            .entry(family.to_owned())
+            .or_default()
+            .entry(labels.clone())
+            .or_default()
+    }
+
+    /// Read-only view of a labeled histogram if it exists.
+    pub fn histogram_labeled_ref(&self, family: &str, labels: &Labels) -> Option<&Histogram> {
+        self.labeled_histograms.get(family).and_then(|m| m.get(labels))
+    }
+
+    /// All `(labels, histogram)` entries of a family, in label order.
+    pub fn labeled_histograms_of(
+        &self,
+        family: &str,
+    ) -> impl Iterator<Item = (&Labels, &Histogram)> {
+        self.labeled_histograms
+            .get(family)
+            .into_iter()
+            .flat_map(|m| m.iter())
+    }
+
+    /// Get or create the windowed gauge `labels` inside family `family`.
+    ///
+    /// The first call fixes the bucket window for that instrument; later
+    /// calls must pass the same window.
+    pub fn gauge(&mut self, family: &str, labels: &Labels, window: SimDuration) -> &mut WindowedGauge {
+        let g = self
+            .gauges
+            .entry(family.to_owned())
+            .or_default()
+            .entry(labels.clone())
+            .or_insert_with(|| WindowedGauge::new(window));
+        assert_eq!(g.window(), window, "gauge window changed for {family}");
+        g
+    }
+
+    /// Read-only view of a windowed gauge if it exists.
+    pub fn gauge_ref(&self, family: &str, labels: &Labels) -> Option<&WindowedGauge> {
+        self.gauges.get(family).and_then(|m| m.get(labels))
+    }
+
+    /// All `(labels, gauge)` entries of a family, in label order.
+    pub fn gauges_of(&self, family: &str) -> impl Iterator<Item = (&Labels, &WindowedGauge)> {
+        self.gauges.get(family).into_iter().flat_map(|m| m.iter())
+    }
+
+    /// Names of all labeled counter families, in sorted order.
+    pub fn labeled_counter_families(&self) -> impl Iterator<Item = &str> {
+        self.labeled_counters.keys().map(String::as_str)
+    }
+
+    /// Names of all labeled histogram families, in sorted order.
+    pub fn labeled_histogram_families(&self) -> impl Iterator<Item = &str> {
+        self.labeled_histograms.keys().map(String::as_str)
+    }
+
+    /// Names of all gauge families, in sorted order.
+    pub fn gauge_families(&self) -> impl Iterator<Item = &str> {
+        self.gauges.keys().map(String::as_str)
+    }
+
+    /// Deterministic Prometheus-style text exposition.
+    ///
+    /// Labeled families render under their own names; flat metrics render
+    /// under a sanitized name (dots become underscores). Durations are in
+    /// milliseconds. Output ordering is fully determined by the sorted
+    /// maps, so same-seed runs are byte-identical.
+    pub fn expose_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (family, entries) in &self.labeled_counters {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            for (labels, c) in entries {
+                let _ = writeln!(out, "{family}{} {}", labels.render(), c.get());
+            }
+        }
+        for (name, c) in &self.counters {
+            let family = sanitize_name(name);
+            let _ = writeln!(out, "# TYPE {family} counter");
+            let _ = writeln!(out, "{family} {}", c.get());
+        }
+        for (family, entries) in &self.labeled_histograms {
+            let _ = writeln!(out, "# TYPE {family} summary");
+            for (labels, h) in entries {
+                expose_histogram(&mut out, family, labels, h);
+            }
+        }
+        for (name, h) in &self.histograms {
+            let family = sanitize_name(name);
+            let _ = writeln!(out, "# TYPE {family} summary");
+            expose_histogram(&mut out, &family, &Labels::empty(), h);
+        }
+        for (family, entries) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            for (labels, g) in entries {
+                if let Some(v) = g.latest() {
+                    let _ = writeln!(out, "{family}{} {v}", labels.render());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic JSON snapshot of every instrument in the registry.
+    ///
+    /// Self-contained (no serializer dependency); durations are reported
+    /// in milliseconds. Ordering follows the sorted maps, so the string
+    /// is byte-identical across same-seed runs.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"counters\":{{");
+        push_entries(&mut out, self.counters.iter(), |out, (name, c)| {
+            let _ = write!(out, "\"{}\":{}", json_escape(name), c.get());
+        });
+        let _ = write!(out, "}},\"labeled_counters\":{{");
+        push_entries(&mut out, self.labeled_counters.iter(), |out, (family, m)| {
+            let _ = write!(out, "\"{}\":[", json_escape(family));
+            push_entries(out, m.iter(), |out, (labels, c)| {
+                let _ = write!(out, "{{\"labels\":{},\"value\":{}}}", labels_json(labels), c.get());
+            });
+            let _ = write!(out, "]");
+        });
+        let _ = write!(out, "}},\"histograms\":{{");
+        push_entries(&mut out, self.histograms.iter(), |out, (name, h)| {
+            let _ = write!(out, "\"{}\":{}", json_escape(name), histogram_json(h));
+        });
+        let _ = write!(out, "}},\"labeled_histograms\":{{");
+        push_entries(&mut out, self.labeled_histograms.iter(), |out, (family, m)| {
+            let _ = write!(out, "\"{}\":[", json_escape(family));
+            push_entries(out, m.iter(), |out, (labels, h)| {
+                let _ = write!(
+                    out,
+                    "{{\"labels\":{},\"stats\":{}}}",
+                    labels_json(labels),
+                    histogram_json(h)
+                );
+            });
+            let _ = write!(out, "]");
+        });
+        let _ = write!(out, "}},\"gauges\":{{");
+        push_entries(&mut out, self.gauges.iter(), |out, (family, m)| {
+            let _ = write!(out, "\"{}\":[", json_escape(family));
+            push_entries(out, m.iter(), |out, (labels, g)| {
+                let _ = write!(
+                    out,
+                    "{{\"labels\":{},\"window_ms\":{},\"buckets\":[",
+                    labels_json(labels),
+                    g.window().as_nanos() as f64 / 1e6
+                );
+                push_entries(out, g.buckets().iter(), |out, b| {
+                    let _ = write!(
+                        out,
+                        "{{\"start_ms\":{},\"last\":{},\"min\":{},\"max\":{},\"mean\":{},\"count\":{}}}",
+                        b.start.as_nanos() as f64 / 1e6,
+                        b.last,
+                        b.min,
+                        b.max,
+                        b.mean(),
+                        b.count
+                    );
+                });
+                let _ = write!(out, "]}}");
+            });
+            let _ = write!(out, "]");
+        });
+        let _ = write!(out, "}},\"series\":{{");
+        push_entries(&mut out, self.series.iter(), |out, (name, s)| {
+            let _ = write!(
+                out,
+                "\"{}\":{{\"points\":{},\"mean\":{},\"max\":{},\"last\":{}}}",
+                json_escape(name),
+                s.points().len(),
+                opt_f64(s.mean_value()),
+                opt_f64(s.max_value()),
+                opt_f64(s.points().last().map(|&(_, v)| v))
+            );
+        });
+        out.push_str("}}");
+        out
+    }
+
+    /// Lint metric names registered at runtime; returns violation
+    /// messages (empty = clean).
+    ///
+    /// Rules:
+    /// 1. Labeled family names must follow the telemetry naming scheme
+    ///    `^[a-z][a-z0-9_]*$` — no ad-hoc dotted or mixed-case names.
+    /// 2. Every instrument in a labeled family must carry at least one
+    ///    label (otherwise it belongs in the flat namespace).
+    /// 3. A family name must be registered under exactly one metric type
+    ///    (counter vs histogram vs gauge).
+    /// 4. A flat name, once sanitized for exposition, must not collide
+    ///    with a labeled family name.
+    pub fn lint_metric_names(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let all_families: Vec<(&String, &'static str)> = self
+            .labeled_counters
+            .keys()
+            .map(|k| (k, "counter"))
+            .chain(self.labeled_histograms.keys().map(|k| (k, "histogram")))
+            .chain(self.gauges.keys().map(|k| (k, "gauge")))
+            .collect();
+        for (family, _) in &all_families {
+            if !is_valid_family_name(family) {
+                violations.push(format!(
+                    "ad-hoc family name {family:?}: must match ^[a-z][a-z0-9_]*$"
+                ));
+            }
+        }
+        let mut seen: BTreeMap<&String, &'static str> = BTreeMap::new();
+        for (family, kind) in &all_families {
+            if let Some(prev) = seen.insert(family, kind) {
+                violations.push(format!(
+                    "duplicate family {family:?}: registered as both {prev} and {kind}"
+                ));
+            }
+        }
+        for (family, entries) in &self.labeled_counters {
+            for labels in entries.keys() {
+                if labels.is_empty() {
+                    violations.push(format!("unlabeled instrument in counter family {family:?}"));
+                }
+            }
+        }
+        for (family, entries) in &self.labeled_histograms {
+            for labels in entries.keys() {
+                if labels.is_empty() {
+                    violations
+                        .push(format!("unlabeled instrument in histogram family {family:?}"));
+                }
+            }
+        }
+        for (family, entries) in &self.gauges {
+            for labels in entries.keys() {
+                if labels.is_empty() {
+                    violations.push(format!("unlabeled instrument in gauge family {family:?}"));
+                }
+            }
+        }
+        for name in self
+            .counters
+            .keys()
+            .chain(self.histograms.keys())
+            .chain(self.series.keys())
+        {
+            let sanitized = sanitize_name(name);
+            if seen.keys().any(|f| ***f == sanitized) {
+                violations.push(format!(
+                    "flat metric {name:?} collides with labeled family {sanitized:?} in exposition"
+                ));
+            }
+        }
+        violations
+    }
+}
+
+/// `true` when `name` follows the labeled-family naming scheme.
+fn is_valid_family_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Map a flat metric name onto the exposition charset.
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn expose_histogram(out: &mut String, family: &str, labels: &Labels, h: &Histogram) {
+    for (q, qs) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+        if let Some(v) = h.quantile(q) {
+            let _ = writeln!(
+                out,
+                "{family}{} {}",
+                labels.render_with(&[("quantile", qs)]),
+                v.as_nanos() as f64 / 1e6
+            );
+        }
+    }
+    let _ = writeln!(out, "{family}_count{} {}", labels.render(), h.count());
+    let _ = writeln!(
+        out,
+        "{family}_sum{} {}",
+        labels.render(),
+        h.sum().as_nanos() as f64 / 1e6
+    );
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\":{},\"mean_ms\":{},\"p50_ms\":{},\"p95_ms\":{},\"max_ms\":{}}}",
+        h.count(),
+        opt_ms(h.mean()),
+        opt_ms(h.quantile(0.5)),
+        opt_ms(h.quantile(0.95)),
+        opt_ms(h.max())
+    )
+}
+
+fn labels_json(labels: &Labels) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push('}');
+    out
+}
+
+fn opt_ms(d: Option<SimDuration>) -> String {
+    match d {
+        Some(d) => format!("{}", d.as_nanos() as f64 / 1e6),
+        None => "null".to_owned(),
+    }
+}
+
+fn opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v}"),
+        None => "null".to_owned(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_entries<I, T>(out: &mut String, iter: I, mut f: impl FnMut(&mut String, T))
+where
+    I: Iterator<Item = T>,
+{
+    let mut first = true;
+    for item in iter {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        f(out, item);
+    }
 }
 
 #[cfg(test)]
@@ -222,7 +830,7 @@ mod tests {
 
     #[test]
     fn histogram_empty() {
-        let mut h = Histogram::default();
+        let h = Histogram::default();
         assert_eq!(h.mean(), None);
         assert_eq!(h.quantile(0.5), None);
     }
@@ -234,6 +842,19 @@ mod tests {
         assert_eq!(h.quantile(1.0), Some(SimDuration::from_millis(10)));
         h.record(SimDuration::from_millis(5));
         assert_eq!(h.min(), Some(SimDuration::from_millis(5)));
+    }
+
+    #[test]
+    fn histogram_quantiles_through_shared_ref() {
+        // The read path (`histogram_ref`) must answer quantiles with no
+        // mutable access to the registry.
+        let mut m = MetricsRegistry::new();
+        m.histogram("lat").record(SimDuration::from_millis(3));
+        m.histogram("lat").record(SimDuration::from_millis(1));
+        let view: &MetricsRegistry = &m;
+        let h = view.histogram_ref("lat").unwrap();
+        assert_eq!(h.quantile(0.5), Some(SimDuration::from_millis(1)));
+        assert_eq!(h.max(), Some(SimDuration::from_millis(3)));
     }
 
     #[test]
@@ -267,5 +888,131 @@ mod tests {
         assert_eq!(m.histogram_ref("x").unwrap().count(), 1);
         assert_eq!(m.time_series_ref("x").unwrap().points().len(), 1);
         assert_eq!(m.counter_names().collect::<Vec<_>>(), vec!["x"]);
+    }
+
+    #[test]
+    fn labels_sort_and_compare() {
+        let a = Labels::of(&[("site", "site0"), ("group", "sp1")]);
+        let b = Labels::of(&[("group", "sp1"), ("site", "site0")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "{group=\"sp1\",site=\"site0\"}");
+        assert_eq!(a.get("site"), Some("site0"));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(Labels::empty().render(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label key")]
+    fn labels_reject_duplicate_keys() {
+        Labels::of(&[("site", "a"), ("site", "b")]);
+    }
+
+    #[test]
+    fn labeled_counters_accumulate_per_label_set() {
+        let mut m = MetricsRegistry::new();
+        let s0 = Labels::of(&[("site", "site0")]);
+        let s1 = Labels::of(&[("site", "site1")]);
+        m.counter_labeled("glare_cache_hits_total", &s0).add(3);
+        m.counter_labeled("glare_cache_hits_total", &s1).inc();
+        assert_eq!(m.counter_labeled_value("glare_cache_hits_total", &s0), 3);
+        assert_eq!(m.counter_labeled_value("glare_cache_hits_total", &s1), 1);
+        assert_eq!(m.counter_labeled_value("glare_cache_hits_total", &Labels::empty()), 0);
+        let entries: Vec<_> = m.labeled_counters_of("glare_cache_hits_total").collect();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].1, 3);
+    }
+
+    #[test]
+    fn windowed_gauge_buckets_by_window() {
+        let mut g = WindowedGauge::new(SimDuration::from_secs(60));
+        g.set(SimTime::from_secs(10), 1.0);
+        g.set(SimTime::from_secs(50), 3.0);
+        g.set(SimTime::from_secs(70), 2.0);
+        assert_eq!(g.buckets().len(), 2);
+        let b0 = g.buckets()[0];
+        assert_eq!(b0.start, SimTime::ZERO);
+        assert_eq!(b0.last, 3.0);
+        assert_eq!(b0.min, 1.0);
+        assert_eq!(b0.max, 3.0);
+        assert_eq!(b0.mean(), 2.0);
+        assert_eq!(g.latest(), Some(2.0));
+        assert_eq!(g.value_at(SimTime::from_secs(59)), Some(3.0));
+        assert_eq!(g.value_at(SimTime::from_secs(61)), Some(2.0));
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_sorted() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            m.counter("net.msgs_sent").add(7);
+            m.counter_labeled("glare_requests_total", &Labels::of(&[("site", "site1")]))
+                .add(2);
+            m.counter_labeled("glare_requests_total", &Labels::of(&[("site", "site0")]))
+                .inc();
+            m.histogram_labeled("glare_probe_latency_ms", &Labels::of(&[("site", "site0")]))
+                .record(SimDuration::from_millis(12));
+            m.gauge(
+                "glare_site_load1m",
+                &Labels::of(&[("site", "site0")]),
+                SimDuration::from_secs(60),
+            )
+            .set(SimTime::from_secs(30), 0.5);
+            m
+        };
+        let a = build().expose_prometheus();
+        let b = build().expose_prometheus();
+        assert_eq!(a, b, "exposition must be byte-identical");
+        assert!(a.contains("# TYPE glare_requests_total counter"));
+        // site0 sorts before site1.
+        let i0 = a.find("site=\"site0\"").unwrap();
+        let i1 = a.find("site=\"site1\"").unwrap();
+        assert!(i0 < i1);
+        assert!(a.contains("net_msgs_sent 7"));
+        assert!(a.contains("glare_probe_latency_ms{quantile=\"0.5\",site=\"site0\"}") || a.contains("glare_probe_latency_ms{site=\"site0\",quantile=\"0.5\"}"));
+        assert!(a.contains("glare_site_load1m{site=\"site0\"} 0.5"));
+        let snap_a = build().snapshot_json();
+        let snap_b = build().snapshot_json();
+        assert_eq!(snap_a, snap_b, "snapshot must be byte-identical");
+        assert!(snap_a.starts_with('{') && snap_a.ends_with('}'));
+    }
+
+    #[test]
+    fn lint_accepts_scheme_conformant_names() {
+        let mut m = MetricsRegistry::new();
+        m.counter("net.msgs_sent").inc();
+        m.counter_labeled("glare_cache_hits_total", &Labels::of(&[("site", "site0")]))
+            .inc();
+        m.histogram_labeled("glare_probe_latency_ms", &Labels::of(&[("site", "site0")]))
+            .record(SimDuration::from_millis(1));
+        m.gauge(
+            "glare_deployment_availability",
+            &Labels::of(&[("site", "site0")]),
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(m.lint_metric_names(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lint_rejects_adhoc_and_unlabeled_names() {
+        let mut m = MetricsRegistry::new();
+        m.counter_labeled("Bad.Name", &Labels::of(&[("site", "site0")])).inc();
+        m.counter_labeled("glare_ok_total", &Labels::empty()).inc();
+        let v = m.lint_metric_names();
+        assert_eq!(v.len(), 2, "violations: {v:?}");
+        assert!(v.iter().any(|s| s.contains("ad-hoc family name")));
+        assert!(v.iter().any(|s| s.contains("unlabeled instrument")));
+    }
+
+    #[test]
+    fn lint_rejects_duplicates_across_types_and_namespaces() {
+        let mut m = MetricsRegistry::new();
+        let l = Labels::of(&[("site", "site0")]);
+        m.counter_labeled("glare_probe_latency_ms", &l).inc();
+        m.histogram_labeled("glare_probe_latency_ms", &l)
+            .record(SimDuration::from_millis(1));
+        m.counter("glare.probe.latency_ms").inc();
+        let v = m.lint_metric_names();
+        assert!(v.iter().any(|s| s.contains("duplicate family")), "{v:?}");
+        assert!(v.iter().any(|s| s.contains("collides with labeled family")), "{v:?}");
     }
 }

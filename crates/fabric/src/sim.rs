@@ -15,7 +15,8 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
-use crate::metrics::MetricsRegistry;
+use crate::events::EventLog;
+use crate::metrics::{Labels, MetricsRegistry, DEFAULT_GAUGE_WINDOW};
 use crate::rng::SimRng;
 use crate::site::{SiteRuntime, WorkTicket, LOAD_SAMPLE_INTERVAL};
 use crate::time::{SimDuration, SimTime};
@@ -189,6 +190,7 @@ pub struct Kernel {
     partitions: HashSet<(SiteId, SiteId)>,
     stopped: bool,
     trace: Option<Box<TraceState>>,
+    events: Option<EventLog>,
 }
 
 impl Kernel {
@@ -484,6 +486,23 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// Whether the structured event log is enabled on this simulation.
+    pub fn events_enabled(&self) -> bool {
+        self.kernel.events.is_some()
+    }
+
+    /// Emit a structured event attributed to this actor and its site.
+    ///
+    /// No-op when the event log is disabled; like tracing, emission is
+    /// observe-only (no RNG draw, no scheduled work), so instrumented and
+    /// plain runs stay event-for-event identical.
+    pub fn emit_event(&mut self, kind: &str, component: &str, fields: &[(&str, &str)]) {
+        let (site, now) = (self.self_site, self.kernel.now);
+        if let Some(log) = &mut self.kernel.events {
+            log.emit(now, kind, Some(site), component, fields);
+        }
+    }
+
     /// Run `f` inside a span: open, call, close. The span covers whatever
     /// simulated cost `f` schedules synchronously (sends/timers chain
     /// under it) but, being same-event, has zero own duration.
@@ -530,6 +549,7 @@ impl Simulation {
                 partitions: HashSet::new(),
                 stopped: false,
                 trace: None,
+                events: None,
             },
             actors: Vec::new(),
             started: false,
@@ -559,12 +579,45 @@ impl Simulation {
 
     /// Detach the trace sink (closing any still-open spans at the current
     /// time) and disable tracing. `None` when tracing was never enabled.
+    ///
+    /// Spans discarded at the sink bound are surfaced as the
+    /// `"trace.spans_dropped"` counter so harnesses can warn instead of
+    /// losing them silently.
     pub fn take_trace(&mut self) -> Option<TraceSink> {
         let now = self.kernel.now;
-        self.kernel.trace.take().map(|mut ts| {
+        let sink = self.kernel.trace.take().map(|mut ts| {
             ts.sink.finish(now);
             ts.sink
-        })
+        });
+        if let Some(s) = &sink {
+            if s.dropped() > 0 {
+                self.kernel
+                    .metrics
+                    .counter("trace.spans_dropped")
+                    .add(s.dropped());
+            }
+        }
+        sink
+    }
+
+    /// Turn on the structured event log, retaining at most `max_events`
+    /// records.
+    ///
+    /// Like tracing, the log is observe-only: emitting draws no
+    /// randomness and changes no event timing.
+    pub fn enable_events(&mut self, max_events: usize) {
+        self.kernel.events = Some(EventLog::new(max_events));
+    }
+
+    /// The event log, when enabled.
+    pub fn events(&self) -> Option<&EventLog> {
+        self.kernel.events.as_ref()
+    }
+
+    /// Detach the event log and disable event emission. `None` when the
+    /// log was never enabled.
+    pub fn take_events(&mut self) -> Option<EventLog> {
+        self.kernel.events.take()
     }
 
     /// Register an actor on a site, returning its id.
@@ -799,6 +852,11 @@ impl Simulation {
                         .metrics
                         .time_series(&format!("site{i}.load1m"))
                         .push(now, load);
+                    let labels = Labels::of(&[("site", &format!("site{i}"))]);
+                    self.kernel
+                        .metrics
+                        .gauge("glare_site_load1m", &labels, DEFAULT_GAUGE_WINDOW)
+                        .set(now, load);
                 }
                 if now + LOAD_SAMPLE_INTERVAL <= until {
                     self.kernel

@@ -205,18 +205,45 @@ impl RegistryCache {
     /// Drop entries older than `max_age` ("outdated resources are
     /// discarded automatically"). Returns how many were discarded.
     pub fn discard_outdated(&mut self, now: SimTime) -> usize {
+        self.discard_outdated_keys(now).len()
+    }
+
+    /// Like [`RegistryCache::discard_outdated`], but returns the discarded
+    /// entry names (type names and deployment keys) in sorted order so the
+    /// Cache Refresher can emit one deterministic event per discard.
+    pub fn discard_outdated_keys(&mut self, now: SimTime) -> Vec<String> {
         let max_age = self.max_age;
-        let before = self.types.len() + self.deployments.len();
-        self.types
-            .retain(|_, e| now.saturating_since(e.cached_at) < max_age);
-        self.deployments
-            .retain(|_, e| now.saturating_since(e.cached_at) < max_age);
+        let mut discarded = Vec::new();
+        self.types.retain(|name, e| {
+            let keep = now.saturating_since(e.cached_at) < max_age;
+            if !keep {
+                discarded.push(name.clone());
+            }
+            keep
+        });
+        self.deployments.retain(|key, e| {
+            let keep = now.saturating_since(e.cached_at) < max_age;
+            if !keep {
+                discarded.push(key.clone());
+            }
+            keep
+        });
         let deployments = &self.deployments;
         for keys in self.by_type.values_mut() {
             keys.retain(|k| deployments.contains_key(k));
         }
         self.by_type.retain(|_, v| !v.is_empty());
-        before - (self.types.len() + self.deployments.len())
+        discarded.sort();
+        discarded
+    }
+
+    /// Age of a cached deployment copy at `now` (how long since the copy
+    /// was taken or last revived) — the Cache Refresher's LUT-staleness
+    /// sample.
+    pub fn age_of(&self, key: &str, now: SimTime) -> Option<SimDuration> {
+        self.deployments
+            .get(key)
+            .map(|e| now.saturating_since(e.cached_at))
     }
 
     /// Drop a specific deployment (e.g. origin reported it destroyed).

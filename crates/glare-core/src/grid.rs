@@ -7,8 +7,10 @@
 //! super-peer elections under failures) run on the discrete-event actors
 //! in [`crate::node`], which host the same per-site state.
 
-use glare_fabric::topology::{LinkSpec, Platform};
-use glare_fabric::{SimDuration, SimTime, TraceSink};
+use glare_fabric::topology::{LinkSpec, Platform, SiteId};
+use glare_fabric::{
+    EventLog, Labels, MetricsRegistry, SimDuration, SimTime, TraceSink,
+};
 use glare_services::gridftp::Repository;
 use glare_services::{GramService, SiteHost, Transport};
 
@@ -16,7 +18,7 @@ use crate::adr::ActivityDeploymentRegistry;
 use crate::atr::ActivityTypeRegistry;
 use crate::cache::RegistryCache;
 use crate::error::GlareError;
-use crate::lease::LeaseManager;
+use crate::lease::{LeaseKind, LeaseManager, LeaseTicket};
 use crate::model::{ActivityType, TypeKind};
 
 /// Default age limit for cached registry entries.
@@ -98,6 +100,12 @@ pub struct Grid {
     /// bench harness can run the identical critical-path analysis over
     /// them. Call [`TraceSink::finish`] before exporting.
     pub trace: TraceSink,
+    /// Health-telemetry instruments published by the RDM monitors and the
+    /// lease path (labeled counter/histogram/gauge families).
+    pub metrics: MetricsRegistry,
+    /// Structured event log of notable state transitions (cache discards,
+    /// deploy-step failures, lease grants/rejections, ...).
+    pub events: EventLog,
 }
 
 impl Grid {
@@ -119,7 +127,15 @@ impl Grid {
             link: LinkSpec::wan_default(),
             notifications: Vec::new(),
             trace: TraceSink::default(),
+            metrics: MetricsRegistry::new(),
+            events: EventLog::default(),
         }
+    }
+
+    /// Short label for a site (`site{i}`), the `site` label value of
+    /// every telemetry family the Grid publishes.
+    pub fn site_label(i: usize) -> String {
+        format!("site{i}")
     }
 
     /// Number of sites.
@@ -265,6 +281,69 @@ impl Grid {
         out
     }
 
+    /// Acquire a lease over `window` on a site's deployment, publishing
+    /// the outcome to the Grid telemetry: `glare_leases_total{site,outcome}`
+    /// counters and a `lease.granted` / `lease.rejected` event.
+    pub fn acquire_lease(
+        &mut self,
+        site: usize,
+        deployment: &str,
+        client: &str,
+        kind: LeaseKind,
+        window: std::ops::Range<SimTime>,
+        now: SimTime,
+    ) -> Result<LeaseTicket, GlareError> {
+        let result = self.sites[site]
+            .leases
+            .acquire(deployment, client, kind, window.start, window.end);
+        let site_label = Grid::site_label(site);
+        let kind_label = match kind {
+            LeaseKind::Exclusive => "exclusive",
+            LeaseKind::Shared => "shared",
+        };
+        let outcome = if result.is_ok() { "granted" } else { "rejected" };
+        self.metrics
+            .counter_labeled(
+                "glare_leases_total",
+                &Labels::of(&[("site", &site_label), ("outcome", outcome)]),
+            )
+            .inc();
+        let site_id = Some(SiteId(site as u32));
+        match &result {
+            Ok(ticket) => {
+                self.events.emit(
+                    now,
+                    "lease.granted",
+                    site_id,
+                    "lease",
+                    &[
+                        ("site", &site_label),
+                        ("deployment", deployment),
+                        ("client", client),
+                        ("kind", kind_label),
+                        ("ticket", &ticket.id.to_string()),
+                    ],
+                );
+            }
+            Err(e) => {
+                self.events.emit(
+                    now,
+                    "lease.rejected",
+                    site_id,
+                    "lease",
+                    &[
+                        ("site", &site_label),
+                        ("deployment", deployment),
+                        ("client", client),
+                        ("kind", kind_label),
+                        ("reason", &e.to_string()),
+                    ],
+                );
+            }
+        }
+        result
+    }
+
     /// Send an admin notification (recorded; costs
     /// [`NOTIFICATION_COST`]).
     pub fn notify_admin(
@@ -299,6 +378,36 @@ mod tests {
             g.register_type(0, ty, t(0)).unwrap();
         }
         g
+    }
+
+    #[test]
+    fn acquire_lease_publishes_outcome_telemetry() {
+        let mut g = grid_with_types();
+        g.acquire_lease(1, "jpovray@site1", "alice", LeaseKind::Exclusive, t(10)..t(100), t(5))
+            .expect("uncontended exclusive lease");
+        let err = g
+            .acquire_lease(1, "jpovray@site1", "bob", LeaseKind::Shared, t(20)..t(30), t(6))
+            .expect_err("overlapping an exclusive lease is rejected");
+        assert!(matches!(err, GlareError::LeaseDenied { .. }));
+        for (outcome, n) in [("granted", 1), ("rejected", 1)] {
+            assert_eq!(
+                g.metrics.counter_labeled_value(
+                    "glare_leases_total",
+                    &Labels::of(&[("site", "site1"), ("outcome", outcome)]),
+                ),
+                n
+            );
+        }
+        let granted: Vec<_> = g.events.of_kind("lease.granted").collect();
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].site, Some(SiteId(1)));
+        let rejected: Vec<_> = g.events.of_kind("lease.rejected").collect();
+        assert_eq!(rejected.len(), 1);
+        assert!(rejected[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "reason" && v.contains("exclusive")));
+        assert_eq!(g.metrics.lint_metric_names(), Vec::<String>::new());
     }
 
     #[test]

@@ -29,7 +29,8 @@
 use std::collections::{HashMap, HashSet};
 
 use glare_fabric::{
-    Actor, ActorId, Ctx, Envelope, SimDuration, SimTime, SpanHandle, SpanKind, TimerToken,
+    Actor, ActorId, Ctx, Envelope, Labels, SimDuration, SimTime, SpanHandle, SpanKind,
+    TimerToken, DEFAULT_GAUGE_WINDOW,
 };
 use glare_services::mds::REQUEST_BASE_COST;
 use glare_services::Transport;
@@ -390,9 +391,25 @@ impl GlareNode {
         out
     }
 
+    /// Label value for the node's current peer group: the super-peer's
+    /// actor id (`g{N}`), or `ungrouped` before the first appointment.
+    ///
+    /// Group membership changes over time (elections, takeovers); labeled
+    /// tallies are attributed to the group at access time, which is what
+    /// the paper's two-level cache question — "how effective is this
+    /// super-peer's cache domain" — needs.
+    fn group_label(&self) -> String {
+        match self.super_peer {
+            Some(sp) => format!("g{}", sp.0),
+            None => "ungrouped".to_owned(),
+        }
+    }
+
     /// [`GlareNode::resolve_cache`], mirroring the cache's own hit/miss
     /// tallies into the simulation metrics under the stable names
-    /// `site{N}.cache.hits` / `site{N}.cache.misses`.
+    /// `site{N}.cache.hits` / `site{N}.cache.misses`, plus the labeled
+    /// families `glare_cache_{hits,misses}_total{site,peer_group}` and the
+    /// windowed `glare_cache_hit_ratio{site}` gauge.
     fn resolve_cache_counted(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -403,15 +420,32 @@ impl GlareNode {
         let out = self.resolve_cache(activity, now);
         let (h1, m1) = (self.cache.hits(), self.cache.misses());
         let site = ctx.self_site.0;
+        let site_label = format!("site{site}");
+        let labels = Labels::of(&[("site", &site_label), ("peer_group", &self.group_label())]);
         if h1 > h0 {
             ctx.metrics()
                 .counter(&format!("site{site}.cache.hits"))
+                .add(h1 - h0);
+            ctx.metrics()
+                .counter_labeled("glare_cache_hits_total", &labels)
                 .add(h1 - h0);
         }
         if m1 > m0 {
             ctx.metrics()
                 .counter(&format!("site{site}.cache.misses"))
                 .add(m1 - m0);
+            ctx.metrics()
+                .counter_labeled("glare_cache_misses_total", &labels)
+                .add(m1 - m0);
+        }
+        if let Some(ratio) = self.cache.hit_ratio() {
+            ctx.metrics()
+                .gauge(
+                    "glare_cache_hit_ratio",
+                    &Labels::of(&[("site", &site_label)]),
+                    DEFAULT_GAUGE_WINDOW,
+                )
+                .set(now, ratio);
         }
         out
     }
@@ -679,6 +713,18 @@ impl GlareNode {
     /// broadcasts, acks and appointments form one trace.
     fn start_election(&mut self, ctx: &mut Ctx<'_>) {
         self.election_acks.clear();
+        let site_label = format!("site{}", ctx.self_site.0);
+        ctx.metrics()
+            .counter_labeled(
+                "glare_election_rounds_total",
+                &Labels::of(&[("site", &site_label)]),
+            )
+            .inc();
+        ctx.emit_event(
+            "election.round",
+            "node",
+            &[("community", &self.roster.len().to_string())],
+        );
         let span = ctx.span("election.round", SpanKind::Internal);
         ctx.span_attr(span, "community", &self.roster.len().to_string());
         let size = self.roster.len() as u32;
@@ -714,9 +760,18 @@ impl GlareNode {
         if sp == self.me {
             return;
         }
+        let site_label = format!("site{}", ctx.self_site.0);
+        ctx.metrics()
+            .counter_labeled(
+                "glare_failures_suspected_total",
+                &Labels::of(&[("site", &site_label)]),
+            )
+            .inc();
+        ctx.emit_event("failure.suspected", "node", &[("suspect", &sp.to_string())]);
         if self.cfg.naive_takeover {
             // Ablation: no verification, no majority — just grab office.
             // Under a partial partition this splits the brain.
+            self.record_failure_confirmed(ctx, sp, "naive");
             self.group.retain(|&id| id != sp);
             self.become_super_peer(ctx);
             for &m in &self.group {
@@ -775,6 +830,29 @@ impl GlareNode {
         self.maybe_takeover(ctx);
     }
 
+    /// Publish a confirmed super-peer failure: the detection latency
+    /// (silence since the last heartbeat of the dead super-peer) into
+    /// `glare_failure_detection_ms{site}` and a `failure.confirmed` event.
+    fn record_failure_confirmed(&mut self, ctx: &mut Ctx<'_>, suspect: ActorId, method: &str) {
+        let latency = ctx.now().saturating_since(self.last_heartbeat);
+        let site_label = format!("site{}", ctx.self_site.0);
+        ctx.metrics()
+            .histogram_labeled(
+                "glare_failure_detection_ms",
+                &Labels::of(&[("site", &site_label)]),
+            )
+            .record(latency);
+        ctx.emit_event(
+            "failure.confirmed",
+            "node",
+            &[
+                ("suspect", &suspect.to_string()),
+                ("method", method),
+                ("latency_ms", &format!("{}", latency.as_nanos() as f64 / 1e6)),
+            ],
+        );
+    }
+
     fn maybe_takeover(&mut self, ctx: &mut Ctx<'_>) {
         let Some((suspect, tally)) = &self.tally else {
             return;
@@ -785,6 +863,7 @@ impl GlareNode {
         let suspect = *suspect;
         self.tally = None;
         self.verification_sent = false;
+        self.record_failure_confirmed(ctx, suspect, "majority");
         // Remove the dead super-peer from the group and take over.
         self.group.retain(|&id| id != suspect);
         self.become_super_peer(ctx);
@@ -864,7 +943,26 @@ impl Actor for GlareNode {
                 self.last_heartbeat = ctx.now();
                 self.verification_sent = false;
                 self.tally = None;
-                if super_peer == self.me {
+                let won = super_peer == self.me;
+                let site_label = format!("site{}", ctx.self_site.0);
+                ctx.metrics()
+                    .counter_labeled(
+                        "glare_elections_total",
+                        &Labels::of(&[
+                            ("site", &site_label),
+                            ("outcome", if won { "won" } else { "lost" }),
+                        ]),
+                    )
+                    .inc();
+                ctx.emit_event(
+                    if won { "election.won" } else { "election.lost" },
+                    "node",
+                    &[
+                        ("super_peer", &super_peer.to_string()),
+                        ("group_size", &self.group.len().to_string()),
+                    ],
+                );
+                if won {
                     self.become_super_peer(ctx);
                 } else {
                     // A demoted super-peer's heartbeat loop dies with the

@@ -445,6 +445,17 @@ fn install_package_traced(
                 if !cd.success() {
                     trace.attr(sspan.span_id, "error", "1");
                     trace.close(sspan.span_id, at);
+                    grid.events.emit(
+                        at,
+                        "deploy.step_failed",
+                        site_id,
+                        "rdm.deploy_manager",
+                        &[
+                            ("type", &t.name),
+                            ("step", step),
+                            ("reason", &format!("cannot enter {workdir}")),
+                        ],
+                    );
                     return Err(GlareError::InstallFailed {
                         type_name: t.name.clone(),
                         site: site_name,
@@ -479,6 +490,13 @@ fn install_package_traced(
                                 format!("step {step}: exit {}: {}", r.exit_code, r.stdout)
                             }
                         };
+                        grid.events.emit(
+                            at,
+                            "deploy.step_failed",
+                            site_id,
+                            "rdm.deploy_manager",
+                            &[("type", &t.name), ("step", step), ("reason", &detail)],
+                        );
                         return Err(GlareError::InstallFailed {
                             type_name: t.name.clone(),
                             site: site_name,

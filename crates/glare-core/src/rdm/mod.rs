@@ -15,5 +15,8 @@ pub use deploy_manager::{
     ProvisionOutcome, ProvisionRequest, DEPLOYMENT_REGISTRATION_COST, TYPE_ADDITION_COST,
 };
 pub use lifecycle::{enforce_min_deployments, generate_wrapper_service, undeploy, UndeployReport};
-pub use monitors::{CacheRefresher, DeploymentStatusMonitor, RefreshReport, StatusReport};
+pub use monitors::{
+    CacheRefresher, DeploymentStatusMonitor, IndexMonitor, IndexReport, RefreshReport,
+    StatusReport,
+};
 pub use request_manager::{DiscoverySource, RequestManager, ResolveOutcome};

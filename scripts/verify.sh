@@ -5,6 +5,8 @@
 #   3. clippy with warnings promoted to errors
 #   4. rustdoc with warnings promoted to errors
 #   5. smoke runs of the ablation and traced fig12 binaries
+#   6. healthreport smoke on a small topology: BENCH_health.json must be
+#      produced, parse as JSON, and carry zero metric-name lint violations
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,5 +33,21 @@ for artifact in BENCH_overlay.json TRACE_fig12.json; do
     test -s "$smoke_dir/$artifact" || { echo "missing $artifact"; exit 1; }
 done
 rm -rf "$smoke_dir"
+
+echo "==> smoke: healthreport --smoke (writes BENCH_health.json + events + exposition)"
+health_dir=$(mktemp -d)
+(cd "$health_dir" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin healthreport -- --smoke >/dev/null)
+for artifact in BENCH_health.json HEALTH_events.jsonl HEALTH_metrics.prom; do
+    test -s "$health_dir/$artifact" || { echo "missing $artifact"; exit 1; }
+done
+python3 - "$health_dir/BENCH_health.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["experiment"] == "healthreport", "unexpected experiment tag"
+assert report["sites"], "health report has no site rows"
+assert report["lint"] == [], f"metric-name lint violations: {report['lint']}"
+EOF
+rm -rf "$health_dir"
 
 echo "verify: OK"

@@ -1,0 +1,89 @@
+//! Chaos soak driver: randomized fault schedules (outages, a partition,
+//! a flapping link) swept over message-loss rates, plus the Grid-phase
+//! lease workload under a crash/restart, with post-heal invariant checks.
+//!
+//! Flags:
+//! * `--json`   — machine-readable report on stdout instead of tables.
+//! * `--smoke`  — small fixed configuration for CI (one loss point ≥ 1%).
+//! * `--sites N` / `--clients N` / `--queries N` / `--seed N` —
+//!   scenario overrides (defaults: 6 sites, 12 clients, 10 queries,
+//!   seed 7331).
+//!
+//! Always writes two artifacts to the working directory:
+//! * `BENCH_chaos.json`   — the report (sweep rows, grid phase,
+//!   invariant violations; byte-identical per seed).
+//! * `CHAOS_events.jsonl` — every run's structured event log.
+//!
+//! Exits non-zero when any invariant is violated, so CI can gate on it.
+
+use glare_bench::chaos::{render, run, ChaosParams};
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = args.iter().any(|a| a == "--json");
+
+    let mut p = if args.iter().any(|a| a == "--smoke") {
+        ChaosParams::smoke()
+    } else {
+        ChaosParams::default()
+    };
+    if let Some(n) = flag_value(&args, "--sites") {
+        p.sites = n as usize;
+    }
+    if let Some(n) = flag_value(&args, "--clients") {
+        p.clients = n as usize;
+    }
+    if let Some(n) = flag_value(&args, "--queries") {
+        p.queries_per_client = n;
+    }
+    if let Some(n) = flag_value(&args, "--seed") {
+        p.seed = n;
+    }
+
+    let r = run(p);
+
+    match std::fs::write("BENCH_chaos.json", r.to_json().to_string_pretty()) {
+        Ok(()) => eprintln!("wrote BENCH_chaos.json"),
+        Err(e) => eprintln!("could not write BENCH_chaos.json: {e}"),
+    }
+    let mut events = String::new();
+    for row in &r.rows {
+        events.push_str(&row.events_jsonl);
+    }
+    events.push_str(&r.grid.events_jsonl);
+    match std::fs::write("CHAOS_events.jsonl", &events) {
+        Ok(()) => eprintln!("wrote CHAOS_events.jsonl ({} records)", events.lines().count()),
+        Err(e) => eprintln!("could not write CHAOS_events.jsonl: {e}"),
+    }
+
+    if r.events_dropped > 0 {
+        eprintln!(
+            "warning: {} event record(s) dropped — raise the event-log bound for a complete log",
+            r.events_dropped
+        );
+    }
+    for v in &r.lint {
+        eprintln!("warning: metric-name lint: {v}");
+    }
+
+    if json_out {
+        print!("{}", r.to_json().to_string_pretty());
+    } else {
+        print!("{}", render(&r));
+    }
+
+    if !r.invariant_violations.is_empty() {
+        eprintln!(
+            "FAIL: {} invariant violation(s)",
+            r.invariant_violations.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,8 @@
 //!   `glare_cache_hit_ratio`).
 //! * `--sites N` / `--clients N` / `--queries N` / `--seed N` — scenario
 //!   overrides (defaults: 5 sites, 15 clients, 12 queries, seed 4711).
+//! * `--loss N`  — drop N per-mille of overlay messages (default 0), so
+//!   the per-site dropped-by-loss column shows a degraded network.
 //! * `--smoke`   — small fixed configuration for CI.
 //!
 //! Always writes three artifacts to the working directory:
@@ -47,6 +49,9 @@ fn main() {
     }
     if let Some(n) = flag_value(&args, "--seed") {
         p.seed = n;
+    }
+    if let Some(n) = flag_value(&args, "--loss") {
+        p.loss = n as f64 / 1000.0;
     }
 
     let r = run(p);

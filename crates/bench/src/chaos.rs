@@ -1,0 +1,856 @@
+//! Chaos soak harness: randomized fault schedules against the recovery
+//! stack, with an invariant checker asserting post-heal convergence.
+//!
+//! Two phases share one parameter set:
+//!
+//! 1. **Overlay sweep** — for each message-loss rate in the sweep, a
+//!    discrete-event overlay runs with retries enabled
+//!    ([`glare_core::RetryPolicy::standard`]) under a seeded
+//!    [`FaultPlan`]: random site outages, a scripted partition and a
+//!    flapping link, plus uniform message loss and a per-link loss
+//!    override. All faults heal before the horizon; the network then
+//!    runs clean for two election cycles, after which the invariant
+//!    checker inspects every node through
+//!    [`glare_fabric::Simulation::actor_as`].
+//! 2. **Grid phase** — the synchronous harness under a seeded
+//!    [`FaultInjector`]: a clean provision, a provision attempt under
+//!    loss, and a lease workload with a mid-run crash/restart of the
+//!    granting site exercising [`Grid::acquire_lease_retrying`], the
+//!    per-site breakers and the restart-time lease sweep.
+//!
+//! Invariants (each violation is one human-readable string; the soak
+//! passes only when the list is empty):
+//!
+//! * exactly one super-peer per group once the network heals;
+//! * every cached deployment agrees with its origin site's registry;
+//! * lease concurrency caps are never exceeded over the whole ledger;
+//! * every provision either yields a queryable deployment or an
+//!   explicit error.
+//!
+//! Everything is deterministic: same params → byte-identical
+//! expositions, event JSONL and `BENCH_chaos.json`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use glare_core::grid::{FaultInjector, Grid};
+use glare_core::lease::LeaseKind;
+use glare_core::model::{example_hierarchy, ActivityDeployment, ActivityType};
+use glare_core::overlay::{ClientStats, OverlayBuilder, QueryClient};
+use glare_core::rdm::{provision, ProvisionRequest};
+use glare_core::{GlareNode, RetryPolicy, Role};
+use glare_fabric::{
+    ActorId, FaultPlan, MetricsRegistry, NetworkConfig, SimDuration, SimRng, SimTime, SiteId,
+    DEFAULT_MAX_EVENTS,
+};
+use glare_services::{ChannelKind, Transport};
+
+/// Scenario parameters.
+#[derive(Clone, Debug)]
+pub struct ChaosParams {
+    /// Grid sites (overlay nodes and Grid-phase sites). Minimum 4.
+    pub sites: usize,
+    /// Clients spread round-robin over the sites.
+    pub clients: usize,
+    /// Queries per client.
+    pub queries_per_client: u64,
+    /// Distinct activity types with deployments in the overlay phase.
+    pub types: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Fault window, seconds of sim-time. All scripted faults heal by
+    /// 60% of this; uniform loss stops at 100%, after which the overlay
+    /// runs two clean election cycles before the invariant check.
+    pub horizon_secs: u64,
+    /// Message-loss rates to sweep (each ≥ 0; the soak requirement is
+    /// at least one point ≥ 1%).
+    pub losses: Vec<f64>,
+    /// Random site outages scripted into each overlay run.
+    pub outages: usize,
+    /// Lease workload rounds in the Grid phase.
+    pub lease_rounds: u64,
+}
+
+impl Default for ChaosParams {
+    fn default() -> Self {
+        ChaosParams {
+            sites: 6,
+            clients: 12,
+            queries_per_client: 10,
+            types: 8,
+            seed: 7331,
+            horizon_secs: 900,
+            losses: vec![0.01, 0.03, 0.05],
+            outages: 3,
+            lease_rounds: 12,
+        }
+    }
+}
+
+impl ChaosParams {
+    /// Small parameters for smoke tests and CI: one loss point ≥ 1%.
+    pub fn smoke() -> Self {
+        ChaosParams {
+            sites: 4,
+            clients: 6,
+            queries_per_client: 6,
+            types: 6,
+            seed: 13,
+            horizon_secs: 600,
+            losses: vec![0.02],
+            outages: 2,
+            lease_rounds: 8,
+        }
+    }
+}
+
+/// One loss-rate point of the overlay sweep.
+#[derive(Clone, Debug)]
+pub struct LossRow {
+    /// Uniform message-loss probability for this run.
+    pub loss: f64,
+    /// Queries sent by all clients.
+    pub sent: u64,
+    /// Query responses received.
+    pub responses: u64,
+    /// Responses carrying a deployment.
+    pub hits: u64,
+    /// responses / sent (0 when nothing was sent).
+    pub availability: f64,
+    /// Retry attempts across all sites and ops (`glare_retries_total`).
+    pub retries: u64,
+    /// Backoff delays drawn (`glare_retry_backoff_ms` sample count).
+    pub backoff_count: u64,
+    /// Worst per-site 95th-percentile backoff (ms).
+    pub backoff_p95_ms: f64,
+    /// Breaker open transitions (`glare_breaker_transitions_total`).
+    pub breaker_opens: u64,
+    /// Calls refused by an open breaker.
+    pub short_circuits: u64,
+    /// Queries answered from stale cache (`glare_degraded_reads_total`).
+    pub degraded_reads: u64,
+    /// Messages dropped by the loss model.
+    pub dropped_loss: u64,
+    /// Messages dropped by partitions.
+    pub dropped_partition: u64,
+    /// Messages dropped at crashed sites.
+    pub dropped_site_down: u64,
+    /// Super-peer takeovers over the run.
+    pub takeovers: u64,
+    /// Worst per-site 95th-percentile failure-detection latency (ms).
+    pub failure_detect_p95_ms: f64,
+    /// Scripted site outages that completed (crash + restart pairs).
+    pub site_restarts: u64,
+    /// Invariant violations found after the heal window (must be empty).
+    pub violations: Vec<String>,
+    /// Prometheus exposition of the run's registry (determinism probe).
+    pub exposition: String,
+    /// Structured event log, JSONL.
+    pub events_jsonl: String,
+    /// Event records dropped (0 = complete log).
+    pub events_dropped: u64,
+    /// Metric-name lint violations for this run's registry.
+    pub lint: Vec<String>,
+}
+
+/// Outcome of the Grid phase.
+#[derive(Clone, Debug)]
+pub struct GridChaos {
+    /// Provision attempts that succeeded.
+    pub provisions_ok: u64,
+    /// Provision attempts that failed explicitly.
+    pub provisions_failed: u64,
+    /// Leases granted (`glare_leases_total{outcome="granted"}`).
+    pub leases_granted: u64,
+    /// Leases rejected by the ledger (capacity/conflict).
+    pub leases_rejected: u64,
+    /// Lease calls that exhausted the retry budget or hit an open breaker.
+    pub leases_unavailable: u64,
+    /// Retry attempts (`glare_retries_total`).
+    pub retries: u64,
+    /// Breaker open transitions.
+    pub breaker_opens: u64,
+    /// Calls refused by an open breaker.
+    pub short_circuits: u64,
+    /// Expired tickets reclaimed by the restart-time sweep.
+    pub leases_reclaimed: u64,
+    /// Invariant violations over the final lease ledger and registries.
+    pub violations: Vec<String>,
+    /// Prometheus exposition of the Grid registry.
+    pub exposition: String,
+    /// Grid event log, JSONL.
+    pub events_jsonl: String,
+    /// Metric-name lint violations for the Grid registry.
+    pub lint: Vec<String>,
+}
+
+/// The assembled soak report.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Parameters that produced the report.
+    pub params: ChaosParams,
+    /// One row per loss rate, sweep order.
+    pub rows: Vec<LossRow>,
+    /// Grid-phase outcome.
+    pub grid: GridChaos,
+    /// Every invariant violation across both phases, prefixed with its
+    /// phase. The soak passes only when this is empty.
+    pub invariant_violations: Vec<String>,
+    /// Metric-name lint violations across every registry.
+    pub lint: Vec<String>,
+    /// Event records dropped across every run (0 = complete logs).
+    pub events_dropped: u64,
+}
+
+fn sum_family(m: &MetricsRegistry, family: &str) -> u64 {
+    m.labeled_counters_of(family).map(|(_, v)| v).sum()
+}
+
+fn sum_by_reason(m: &MetricsRegistry, family: &str, reason: &str) -> u64 {
+    m.labeled_counters_of(family)
+        .filter(|(l, _)| l.get("reason") == Some(reason))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+fn worst_p95_ms(m: &MetricsRegistry, family: &str) -> f64 {
+    let mut worst = 0.0f64;
+    for (_, h) in m.labeled_histograms_of(family) {
+        if let Some(q) = h.quantile(0.95) {
+            worst = worst.max(q.as_millis_f64());
+        }
+    }
+    worst
+}
+
+fn histogram_count(m: &MetricsRegistry, family: &str) -> u64 {
+    m.labeled_histograms_of(family)
+        .map(|(_, h)| h.count() as u64)
+        .sum()
+}
+
+/// Check the post-heal overlay invariants: one super-peer per group and
+/// cache/registry agreement. `ids` are the node actors in site order.
+fn overlay_violations(
+    sim: &glare_fabric::Simulation,
+    ids: &[ActorId],
+    now: SimTime,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let node = |id: ActorId| {
+        sim.actor_as::<GlareNode>(id)
+            .expect("overlay actors are GlareNodes")
+    };
+
+    // Invariant: exactly one super-peer per group. Every node names a
+    // super-peer, the named node holds the office, office holders name
+    // themselves, and every member a super-peer claims points back.
+    let mut named: BTreeSet<u32> = BTreeSet::new();
+    let mut office_holders = 0u64;
+    for (i, id) in ids.iter().enumerate() {
+        let n = node(*id);
+        if n.role() == Role::SuperPeer {
+            office_holders += 1;
+        }
+        let Some(sp) = n.super_peer() else {
+            out.push(format!("node {i}: no super-peer after heal"));
+            continue;
+        };
+        named.insert(sp.0);
+        if node(sp).role() != Role::SuperPeer {
+            out.push(format!(
+                "node {i}: names node {} as super-peer, which is not one",
+                sp.0
+            ));
+        }
+        if n.role() == Role::SuperPeer {
+            if sp != *id {
+                out.push(format!(
+                    "node {i}: holds the office but defers to node {}",
+                    sp.0
+                ));
+            }
+            for m in n.group() {
+                if node(*m).super_peer() != Some(*id) {
+                    out.push(format!(
+                        "node {}: in node {i}'s group but names a different super-peer",
+                        m.0
+                    ));
+                }
+            }
+        }
+    }
+    if named.len() as u64 != office_holders {
+        out.push(format!(
+            "{} distinct super-peers named but {} nodes hold the office",
+            named.len(),
+            office_holders
+        ));
+    }
+
+    // Invariant: every cached deployment agrees with its origin site's
+    // registry (the seeded registrations never expire, so a cached key
+    // its origin no longer knows means the cache invented state).
+    for (i, id) in ids.iter().enumerate() {
+        for (key, origin) in node(*id).cache.deployment_origins() {
+            let Some(oi) = origin
+                .strip_prefix("site")
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|oi| *oi < ids.len())
+            else {
+                out.push(format!("node {i}: cached {key} from unknown origin {origin}"));
+                continue;
+            };
+            if node(ids[oi]).adr.lookup(&key, now).is_none() {
+                out.push(format!(
+                    "node {i}: caches {key} but origin {origin} has no such registration"
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Check the lease-cap invariants over every site's final ledger:
+/// shared concurrency never exceeds the deployment's capacity, and
+/// exclusive tickets overlap nothing.
+fn lease_violations(g: &Grid) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..g.len() {
+        let tickets = g.site(i).leases.tickets();
+        let mut by_dep: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (k, t) in tickets.iter().enumerate() {
+            by_dep.entry(t.deployment.as_str()).or_default().push(k);
+        }
+        for (dep, idx) in by_dep {
+            let cap = g.site(i).leases.capacity(dep) as i64;
+            // Sweep the shared tickets: +1 at from, -1 at until
+            // (exclusive end, so the -1 sorts first at equal times).
+            let mut evs: Vec<(SimTime, i64)> = Vec::new();
+            for &k in &idx {
+                let t = &tickets[k];
+                if t.kind == LeaseKind::Shared {
+                    evs.push((t.from, 1));
+                    evs.push((t.until, -1));
+                }
+            }
+            evs.sort();
+            let mut live = 0i64;
+            for (_, d) in evs {
+                live += d;
+                if live > cap {
+                    out.push(format!(
+                        "site {i}: {live} concurrent shared leases on {dep} exceed capacity {cap}"
+                    ));
+                    break;
+                }
+            }
+            for (a, &ka) in idx.iter().enumerate() {
+                let ta = &tickets[ka];
+                if ta.kind != LeaseKind::Exclusive {
+                    continue;
+                }
+                for &kb in &idx[a + 1..] {
+                    let tb = &tickets[kb];
+                    if ta.from < tb.until && tb.from < ta.until {
+                        out.push(format!(
+                            "site {i}: exclusive ticket {} on {dep} overlaps ticket {}",
+                            ta.id, tb.id
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run one overlay soak at `loss` and return its row.
+fn run_overlay_point(p: &ChaosParams, loss: f64) -> LossRow {
+    assert!(p.sites >= 4, "the scenario needs at least 4 sites");
+    // Salt the seed per loss point so the sweep explores distinct fault
+    // schedules while staying reproducible.
+    let salt = (loss * 1000.0).round() as u64;
+    let seed = p.seed.wrapping_add(salt.wrapping_mul(7919));
+
+    let mut builder = OverlayBuilder::new(p.sites, seed);
+    builder.configure(|_, cfg| {
+        cfg.use_cache = true;
+        cfg.max_group_size = 4;
+        cfg.retry = RetryPolicy::standard();
+    });
+    let types = p.types;
+    let sites = p.sites;
+    builder.seed(move |i, node| {
+        for t in 0..types {
+            let ty = ActivityType::concrete_type(&format!("T{t}"), "chaos", "wien2k");
+            node.atr.register(ty, SimTime::ZERO).unwrap();
+            if t % sites == i {
+                let d = ActivityDeployment::executable(
+                    &format!("T{t}"),
+                    &format!("site{i}"),
+                    &format!("/opt/deployments/t{t}/bin/t{t}"),
+                    &format!("/opt/deployments/t{t}"),
+                );
+                node.adr.register(d, &node.atr, SimTime::ZERO).unwrap();
+            }
+        }
+    });
+    let (mut sim, ids) = builder.build();
+    sim.enable_events(DEFAULT_MAX_EVENTS);
+    sim.set_network_config(NetworkConfig { drop_probability: loss });
+    // One deliberately worse link, exercising the per-link override.
+    sim.set_link_drop_probability(SiteId(1), SiteId(2), Some((loss * 3.0).min(0.5)));
+
+    // Scripted faults: random outages, a partition and a flapping link,
+    // all healed by 60% of the horizon. Site 0 hosts the community
+    // index (the election coordinator), so outages spare it.
+    let h = p.horizon_secs;
+    let t = SimTime::from_secs;
+    let d = SimDuration::from_secs;
+    let mut frng = SimRng::from_seed(seed).fork("chaos.faults");
+    let victims: Vec<SiteId> = (1..p.sites as u32).map(SiteId).collect();
+    let plan = FaultPlan::new()
+        .random_outages(&mut frng, p.outages, &victims, t(h / 6), t(h / 2), d(40))
+        .partition(t(h / 4), t(h / 2), SiteId(1), SiteId(2))
+        .flap(SiteId(2), SiteId(3), t(h / 3), d(20), 4);
+    plan.apply(&mut sim);
+
+    let stats = ClientStats::shared();
+    for c in 0..p.clients {
+        let site = c % p.sites;
+        // Query a type homed on a *different* site, so every query has to
+        // cross the faulty network instead of hitting the local registry.
+        let client = QueryClient::new(
+            ids[site],
+            &format!("T{}", (c + 1) % p.types),
+            SimDuration::from_millis(400),
+            p.queries_per_client,
+            stats.clone(),
+        );
+        sim.add_actor(SiteId(site as u32), Box::new(client));
+    }
+    sim.start();
+    sim.run_until(t(h));
+
+    // Heal: stop losing messages and let two clean election cycles run,
+    // then check the convergence invariants.
+    sim.set_network_config(NetworkConfig { drop_probability: 0.0 });
+    sim.set_link_drop_probability(SiteId(1), SiteId(2), None);
+    let end = t(h) + d(300);
+    sim.run_until(end);
+
+    let violations = overlay_violations(&sim, &ids, end);
+
+    let (sent, responses, hits) = {
+        let s = stats.lock();
+        (s.sent, s.responses, s.hits)
+    };
+    let m = sim.metrics();
+    let events = sim.events().expect("events were enabled");
+    LossRow {
+        loss,
+        sent,
+        responses,
+        hits,
+        availability: if sent > 0 {
+            responses as f64 / sent as f64
+        } else {
+            0.0
+        },
+        retries: sum_family(m, "glare_retries_total"),
+        backoff_count: histogram_count(m, "glare_retry_backoff_ms"),
+        backoff_p95_ms: worst_p95_ms(m, "glare_retry_backoff_ms"),
+        breaker_opens: sum_family(m, "glare_breaker_transitions_total"),
+        short_circuits: sum_family(m, "glare_breaker_short_circuits_total"),
+        degraded_reads: sum_family(m, "glare_degraded_reads_total"),
+        dropped_loss: sum_by_reason(m, "glare_net_dropped_total", "loss"),
+        dropped_partition: sum_by_reason(m, "glare_net_dropped_total", "partition"),
+        dropped_site_down: sum_by_reason(m, "glare_net_dropped_total", "site_down"),
+        takeovers: m.counter_value("glare.superpeer_takeovers"),
+        failure_detect_p95_ms: worst_p95_ms(m, "glare_failure_detection_ms"),
+        site_restarts: events.of_kind("site.restarted").count() as u64,
+        violations,
+        exposition: m.expose_prometheus(),
+        events_jsonl: events.to_jsonl(),
+        events_dropped: events.dropped(),
+        lint: m.lint_metric_names(),
+    }
+}
+
+/// Run the Grid phase: provision and lease under a seeded injector with
+/// a mid-run crash/restart of the granting site.
+fn run_grid_phase(p: &ChaosParams) -> GridChaos {
+    let loss = p.losses.iter().copied().fold(0.0f64, f64::max);
+    let t = SimTime::from_secs;
+    let mut g = Grid::new(p.sites, Transport::Http);
+    for ty in example_hierarchy(SimTime::ZERO) {
+        g.register_type(0, ty, SimTime::ZERO).unwrap();
+    }
+
+    let mut violations = Vec::new();
+    let mut provisions_ok = 0u64;
+    let mut provisions_failed = 0u64;
+
+    // A clean provision first (injector still inert) so the lease
+    // workload always has a deployment to reserve.
+    provision(
+        &mut g,
+        &ProvisionRequest {
+            activity: "Wien2k".into(),
+            client: "chaos".into(),
+            channel: ChannelKind::Expect,
+            from_site: 1,
+            preferred_site: Some(0),
+        },
+        t(1),
+    )
+    .expect("provisioning with the injector inert succeeds");
+    provisions_ok += 1;
+
+    // Now the weather turns: seeded loss for everything that follows.
+    g.faults = FaultInjector::seeded(p.seed.wrapping_mul(0x9e37_79b9), loss.max(0.01));
+
+    // A second provision under loss: success must leave a queryable
+    // deployment, failure must be an explicit error (it is, by type).
+    match provision(
+        &mut g,
+        &ProvisionRequest {
+            activity: "Wien2k".into(),
+            client: "chaos".into(),
+            channel: ChannelKind::Expect,
+            from_site: 2,
+            preferred_site: Some(1),
+        },
+        t(2),
+    ) {
+        Ok(out) => {
+            provisions_ok += 1;
+            if out.deployments.is_empty() {
+                violations.push("grid: provision succeeded but listed no deployments".into());
+            }
+            for (site, dep) in &out.deployments {
+                if g.site(*site).adr.lookup(&dep.key, t(3)).is_none() {
+                    violations.push(format!(
+                        "grid: provision reported {} at site {site} but it is not queryable",
+                        dep.key
+                    ));
+                }
+            }
+        }
+        Err(_) => provisions_failed += 1,
+    }
+    if g.deployments_anywhere("Wien2k", t(3)).is_empty() {
+        violations.push("grid: the clean provision left no queryable deployment".into());
+    }
+
+    let lease_key = {
+        let mut keys = g.site(0).adr.keys(t(3));
+        keys.sort();
+        keys.first().expect("wien2k registered deployments").clone()
+    };
+
+    // Lease workload: shared bursts one past capacity each round, with
+    // the granting site crashed for the middle third of the rounds (the
+    // retry path and breakers take the strain) and swept on restart.
+    let cap = g.site(0).leases.capacity(&lease_key) as u64;
+    let crash_at = p.lease_rounds / 3;
+    let restart_at = 2 * p.lease_rounds / 3;
+    let mut leases_unavailable = 0u64;
+    let mut leases_reclaimed = 0u64;
+    for r in 0..p.lease_rounds {
+        let now = t(10 + r * 100);
+        if r == crash_at {
+            g.crash_site(0, now);
+        }
+        if r == restart_at {
+            leases_reclaimed += g.restart_site(0, now) as u64;
+        }
+        let window = t(10 + r * 100)..t(10 + r * 100 + 90);
+        for j in 0..=cap {
+            let client = format!("c{r}-{j}");
+            let (res, _cost) = g.acquire_lease_retrying(
+                0,
+                &lease_key,
+                &client,
+                LeaseKind::Shared,
+                window.clone(),
+                now,
+            );
+            if matches!(res, Err(glare_core::GlareError::SiteUnavailable { .. })) {
+                leases_unavailable += 1;
+            }
+        }
+    }
+    // One exclusive reservation in a quiet window after the bursts.
+    let quiet = t(10 + p.lease_rounds * 100)..t(10 + p.lease_rounds * 100 + 50);
+    let (res, _) = g.acquire_lease_retrying(
+        0,
+        &lease_key,
+        "finalizer",
+        LeaseKind::Exclusive,
+        quiet,
+        t(5 + p.lease_rounds * 100),
+    );
+    if matches!(res, Err(glare_core::GlareError::SiteUnavailable { .. })) {
+        leases_unavailable += 1;
+    }
+
+    violations.extend(lease_violations(&g));
+
+    let m = &g.metrics;
+    GridChaos {
+        provisions_ok,
+        provisions_failed,
+        leases_granted: m
+            .labeled_counters_of("glare_leases_total")
+            .filter(|(l, _)| l.get("outcome") == Some("granted"))
+            .map(|(_, v)| v)
+            .sum(),
+        leases_rejected: m
+            .labeled_counters_of("glare_leases_total")
+            .filter(|(l, _)| l.get("outcome") == Some("rejected"))
+            .map(|(_, v)| v)
+            .sum(),
+        leases_unavailable,
+        retries: sum_family(m, "glare_retries_total"),
+        breaker_opens: sum_family(m, "glare_breaker_transitions_total"),
+        short_circuits: sum_family(m, "glare_breaker_short_circuits_total"),
+        leases_reclaimed,
+        violations,
+        exposition: m.expose_prometheus(),
+        events_jsonl: g.events.to_jsonl(),
+        lint: m.lint_metric_names(),
+    }
+}
+
+/// Run the soak and assemble the report.
+pub fn run(p: ChaosParams) -> ChaosReport {
+    let rows: Vec<LossRow> = p.losses.iter().map(|&l| run_overlay_point(&p, l)).collect();
+    let grid = run_grid_phase(&p);
+
+    let mut invariant_violations = Vec::new();
+    for r in &rows {
+        for v in &r.violations {
+            invariant_violations.push(format!("loss={:.3}: {v}", r.loss));
+        }
+    }
+    for v in &grid.violations {
+        invariant_violations.push(format!("grid: {v}"));
+    }
+    let mut lint = Vec::new();
+    for r in &rows {
+        lint.extend(r.lint.iter().cloned());
+    }
+    lint.extend(grid.lint.iter().cloned());
+    lint.sort();
+    lint.dedup();
+    let events_dropped = rows.iter().map(|r| r.events_dropped).sum();
+
+    ChaosReport {
+        params: p,
+        rows,
+        grid,
+        invariant_violations,
+        lint,
+        events_dropped,
+    }
+}
+
+/// Render the sweep and Grid-phase tables.
+pub fn render(r: &ChaosReport) -> String {
+    let mut s = String::from(
+        "Chaos soak report\n\
+         loss  | avail | retries | backoff (n/p95 ms) | breaker (open/short) | degraded | dropped (loss/part/down) | takeovers | restarts | violations\n",
+    );
+    for row in &r.rows {
+        s.push_str(&format!(
+            "{:<6.3}| {:>5.2} | {:>7} | {:>18} | {:>20} | {:>8} | {:>24} | {:>9} | {:>8} | {}\n",
+            row.loss,
+            row.availability,
+            row.retries,
+            format!("{}/{:.1}", row.backoff_count, row.backoff_p95_ms),
+            format!("{}/{}", row.breaker_opens, row.short_circuits),
+            row.degraded_reads,
+            format!(
+                "{}/{}/{}",
+                row.dropped_loss, row.dropped_partition, row.dropped_site_down
+            ),
+            row.takeovers,
+            row.site_restarts,
+            row.violations.len(),
+        ));
+    }
+    s.push_str(&format!(
+        "\nGrid phase: provisions ok/failed {}/{}   leases granted/rejected/unavailable {}/{}/{}\n\
+         retries {}   breaker open/short {}/{}   leases reclaimed on restart {}\n",
+        r.grid.provisions_ok,
+        r.grid.provisions_failed,
+        r.grid.leases_granted,
+        r.grid.leases_rejected,
+        r.grid.leases_unavailable,
+        r.grid.retries,
+        r.grid.breaker_opens,
+        r.grid.short_circuits,
+        r.grid.leases_reclaimed,
+    ));
+    if r.invariant_violations.is_empty() {
+        s.push_str("\ninvariants: all hold\n");
+    } else {
+        s.push_str(&format!(
+            "\nINVARIANT VIOLATIONS ({}):\n",
+            r.invariant_violations.len()
+        ));
+        for v in &r.invariant_violations {
+            s.push_str(&format!("  - {v}\n"));
+        }
+    }
+    s
+}
+
+impl ChaosReport {
+    /// JSON-friendly view (written to `BENCH_chaos.json`).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("experiment", Json::from("chaos")),
+            (
+                "params",
+                Json::obj([
+                    ("sites", Json::from(self.params.sites)),
+                    ("clients", Json::from(self.params.clients)),
+                    (
+                        "queries_per_client",
+                        Json::from(self.params.queries_per_client),
+                    ),
+                    ("types", Json::from(self.params.types)),
+                    ("seed", Json::from(self.params.seed)),
+                    ("horizon_secs", Json::from(self.params.horizon_secs)),
+                    (
+                        "losses",
+                        Json::arr(self.params.losses.iter().map(|&l| Json::from(l))),
+                    ),
+                    ("outages", Json::from(self.params.outages)),
+                    ("lease_rounds", Json::from(self.params.lease_rounds)),
+                ]),
+            ),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|r| {
+                    Json::obj([
+                        ("loss", Json::from(r.loss)),
+                        ("sent", Json::from(r.sent)),
+                        ("responses", Json::from(r.responses)),
+                        ("hits", Json::from(r.hits)),
+                        ("availability", Json::from(r.availability)),
+                        ("retries", Json::from(r.retries)),
+                        ("backoff_count", Json::from(r.backoff_count)),
+                        ("backoff_p95_ms", Json::from(r.backoff_p95_ms)),
+                        ("breaker_opens", Json::from(r.breaker_opens)),
+                        ("short_circuits", Json::from(r.short_circuits)),
+                        ("degraded_reads", Json::from(r.degraded_reads)),
+                        ("dropped_loss", Json::from(r.dropped_loss)),
+                        ("dropped_partition", Json::from(r.dropped_partition)),
+                        ("dropped_site_down", Json::from(r.dropped_site_down)),
+                        ("takeovers", Json::from(r.takeovers)),
+                        (
+                            "failure_detect_p95_ms",
+                            Json::from(r.failure_detect_p95_ms),
+                        ),
+                        ("site_restarts", Json::from(r.site_restarts)),
+                        (
+                            "violations",
+                            Json::arr(r.violations.iter().map(|v| Json::from(v.as_str()))),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "grid",
+                Json::obj([
+                    ("provisions_ok", Json::from(self.grid.provisions_ok)),
+                    ("provisions_failed", Json::from(self.grid.provisions_failed)),
+                    ("leases_granted", Json::from(self.grid.leases_granted)),
+                    ("leases_rejected", Json::from(self.grid.leases_rejected)),
+                    (
+                        "leases_unavailable",
+                        Json::from(self.grid.leases_unavailable),
+                    ),
+                    ("retries", Json::from(self.grid.retries)),
+                    ("breaker_opens", Json::from(self.grid.breaker_opens)),
+                    ("short_circuits", Json::from(self.grid.short_circuits)),
+                    ("leases_reclaimed", Json::from(self.grid.leases_reclaimed)),
+                    (
+                        "violations",
+                        Json::arr(self.grid.violations.iter().map(|v| Json::from(v.as_str()))),
+                    ),
+                ]),
+            ),
+            (
+                "invariant_violations",
+                Json::arr(
+                    self.invariant_violations
+                        .iter()
+                        .map(|v| Json::from(v.as_str())),
+                ),
+            ),
+            (
+                "violations_total",
+                Json::from(self.invariant_violations.len()),
+            ),
+            (
+                "lint",
+                Json::arr(self.lint.iter().map(|v| Json::from(v.as_str()))),
+            ),
+            ("events_dropped", Json::from(self.events_dropped)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_soak_holds_every_invariant() {
+        let r = run(ChaosParams::smoke());
+        assert!(
+            r.invariant_violations.is_empty(),
+            "invariants violated: {:?}",
+            r.invariant_violations
+        );
+        assert!(r.lint.is_empty(), "metric-name lint: {:?}", r.lint);
+        assert_eq!(r.events_dropped, 0);
+        let row = &r.rows[0];
+        assert!(row.loss >= 0.01, "the soak point must lose ≥ 1% of messages");
+        assert!(row.sent > 0 && row.responses > 0, "clients made progress");
+        assert!(row.dropped_loss > 0, "the loss model actually dropped messages");
+        assert!(
+            row.dropped_partition > 0,
+            "the partition schedule actually cut links"
+        );
+        assert!(row.site_restarts > 0, "outages crashed and healed sites");
+        // The mid-run crash of the granting site drives the Grid-phase
+        // retry path hard enough to trip the breaker.
+        assert!(r.grid.retries > 0, "the lease path retried");
+        assert!(r.grid.breaker_opens > 0, "the site-0 breaker opened");
+        assert!(r.grid.leases_granted > 0, "leases were still granted");
+        assert!(
+            r.grid.leases_reclaimed > 0 || r.grid.leases_unavailable > 0,
+            "the outage was visible to the lease workload"
+        );
+    }
+
+    #[test]
+    fn same_seed_chaos_reports_are_byte_identical() {
+        let p = ChaosParams::smoke();
+        let a = run(p.clone());
+        let b = run(p);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.exposition, rb.exposition);
+            assert_eq!(ra.events_jsonl, rb.events_jsonl);
+        }
+        assert_eq!(a.grid.exposition, b.grid.exposition);
+        assert_eq!(a.grid.events_jsonl, b.grid.events_jsonl);
+        assert_eq!(a.to_json().to_string_pretty(), b.to_json().to_string_pretty());
+    }
+}

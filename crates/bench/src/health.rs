@@ -49,6 +49,9 @@ pub struct HealthParams {
     pub horizon_secs: u64,
     /// Grid-phase monitor ticks (one DSM + refresher + index pass each).
     pub monitor_ticks: u64,
+    /// Uniform overlay message-loss probability (0.0 = reliable network,
+    /// the default; the drop columns in the site table then read zero).
+    pub loss: f64,
 }
 
 impl Default for HealthParams {
@@ -61,6 +64,7 @@ impl Default for HealthParams {
             seed: 4711,
             horizon_secs: 600,
             monitor_ticks: 12,
+            loss: 0.0,
         }
     }
 }
@@ -76,6 +80,7 @@ impl HealthParams {
             seed: 11,
             horizon_secs: 300,
             monitor_ticks: 6,
+            loss: 0.0,
         }
     }
 }
@@ -103,6 +108,10 @@ pub struct SiteHealth {
     pub elections_won: u64,
     /// 95th-percentile failure-detection latency (ms), 0 if none.
     pub failure_detect_p95_ms: f64,
+    /// Overlay messages to this site dropped by the loss model.
+    pub dropped_loss: u64,
+    /// Overlay messages to this site dropped by partitions.
+    pub dropped_partition: u64,
 }
 
 /// One peer group's health row (overlay cache traffic by group).
@@ -181,6 +190,13 @@ fn sum_by_site(m: &MetricsRegistry, family: &str, site: &str) -> u64 {
         .sum()
 }
 
+fn dropped_by(m: &MetricsRegistry, site: &str, reason: &str) -> u64 {
+    m.labeled_counters_of("glare_net_dropped_total")
+        .filter(|(l, _)| l.get("site") == Some(site) && l.get("reason") == Some(reason))
+        .map(|(_, v)| v)
+        .sum()
+}
+
 /// Externally observable outcome of the overlay phase — everything a
 /// client or operator could measure *without* the telemetry subsystem.
 /// Used to assert that instrumentation is observe-only.
@@ -229,6 +245,11 @@ pub fn run_overlay(p: HealthParams, instrument: bool) -> (glare_fabric::Simulati
     if instrument {
         sim.enable_events(DEFAULT_MAX_EVENTS);
         sim.enable_tracing(glare_fabric::trace::DEFAULT_MAX_SPANS);
+    }
+    if p.loss > 0.0 {
+        sim.set_network_config(glare_fabric::NetworkConfig {
+            drop_probability: p.loss,
+        });
     }
     let horizon = SimTime::from_secs(p.horizon_secs);
     sim.enable_load_sampling(horizon);
@@ -361,6 +382,8 @@ pub fn run(p: HealthParams) -> HealthReport {
                 &Labels::of(&[("site", &site), ("outcome", "won")]),
             ),
             failure_detect_p95_ms: ms(failure.and_then(|h| h.quantile(0.95))),
+            dropped_loss: dropped_by(om, &site, "loss"),
+            dropped_partition: dropped_by(om, &site, "partition"),
             site,
         });
     }
@@ -442,11 +465,11 @@ pub fn run(p: HealthParams) -> HealthReport {
 pub fn render(r: &HealthReport) -> String {
     let mut s = String::from(
         "Grid health report\n\
-         site   | hit ratio | stale p50 (ms) | stale p95 (ms) | avail | elections (won/rounds) | fail-det p95 (ms)\n",
+         site   | hit ratio | stale p50 (ms) | stale p95 (ms) | avail | elections (won/rounds) | fail-det p95 (ms) | dropped (loss/part)\n",
     );
     for row in &r.sites {
         s.push_str(&format!(
-            "{:<7}| {:>9.2} | {:>14.1} | {:>14.1} | {:>5.2} | {:>22} | {:>17.1}\n",
+            "{:<7}| {:>9.2} | {:>14.1} | {:>14.1} | {:>5.2} | {:>22} | {:>17.1} | {:>19}\n",
             row.site,
             row.hit_ratio,
             row.staleness_p50_ms,
@@ -454,6 +477,7 @@ pub fn render(r: &HealthReport) -> String {
             row.availability,
             format!("{}/{}", row.elections_won, row.election_rounds),
             row.failure_detect_p95_ms,
+            format!("{}/{}", row.dropped_loss, row.dropped_partition),
         ));
     }
     s.push_str("\nPeer-group cache traffic\ngroup      | hits | misses | hit ratio\n");
@@ -500,6 +524,7 @@ impl HealthReport {
                     ("seed", Json::from(self.params.seed)),
                     ("horizon_secs", Json::from(self.params.horizon_secs)),
                     ("monitor_ticks", Json::from(self.params.monitor_ticks)),
+                    ("loss", Json::from(self.params.loss)),
                 ]),
             ),
             (
@@ -516,6 +541,8 @@ impl HealthReport {
                         ("election_rounds", Json::from(s.election_rounds)),
                         ("elections_won", Json::from(s.elections_won)),
                         ("failure_detect_p95_ms", Json::from(s.failure_detect_p95_ms)),
+                        ("dropped_loss", Json::from(s.dropped_loss)),
+                        ("dropped_partition", Json::from(s.dropped_partition)),
                     ])
                 })),
             ),
@@ -580,6 +607,15 @@ mod tests {
         assert!(r.grid_events_jsonl.contains("\"kind\":\"lease.rejected\""));
         // The crashed super-peer shows up in the overlay event log.
         assert!(r.overlay_events_jsonl.contains("\"kind\":\"election.won\""));
+    }
+
+    #[test]
+    fn lossy_network_shows_up_in_the_drop_columns() {
+        let mut p = HealthParams::smoke();
+        p.loss = 0.05;
+        let r = run(p);
+        let dropped: u64 = r.sites.iter().map(|s| s.dropped_loss).sum();
+        assert!(dropped > 0, "5% loss must drop some overlay messages");
     }
 
     #[test]

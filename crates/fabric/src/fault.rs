@@ -76,6 +76,27 @@ impl FaultPlan {
         self
     }
 
+    /// Script `count` repeated short partitions of the pair: the link goes
+    /// down for the first half of every `period` starting at `start` and
+    /// heals for the second half — a flapping WAN link. `period` must be at
+    /// least 2 ns so each cut window is non-empty.
+    pub fn flap(
+        mut self,
+        site_a: SiteId,
+        site_b: SiteId,
+        start: SimTime,
+        period: SimDuration,
+        count: usize,
+    ) -> Self {
+        assert!(period >= SimDuration::from_nanos(2), "flap period too short");
+        let down = SimDuration::from_nanos(period.as_nanos() / 2);
+        for k in 0..count {
+            let from = start + SimDuration::from_nanos(period.as_nanos() * k as u64);
+            self = self.partition(from, from + down, site_a, site_b);
+        }
+        self
+    }
+
     /// Generate `n` random outages across the sites in `[start, end)`, each
     /// lasting `downtime`. Deterministic in the RNG stream.
     pub fn random_outages(
@@ -182,6 +203,60 @@ mod tests {
         assert_eq!(plan(9), plan(9));
         assert_ne!(plan(9), plan(10));
         assert_eq!(plan(9).len(), 10, "5 outages = 5 crashes + 5 restarts");
+    }
+
+    #[test]
+    fn flap_scripts_half_duty_partitions() {
+        let plan = FaultPlan::new().flap(
+            SiteId(0),
+            SiteId(2),
+            SimTime::from_secs(10),
+            SimDuration::from_secs(4),
+            3,
+        );
+        let faults = plan.faults();
+        assert_eq!(faults.len(), 3);
+        for (k, f) in faults.iter().enumerate() {
+            let expect_from = SimTime::from_secs(10 + 4 * k as u64);
+            match *f {
+                Fault::Partition { from, until, a, b } => {
+                    assert_eq!(from, expect_from);
+                    assert_eq!(until, expect_from + SimDuration::from_secs(2));
+                    assert_eq!((a, b), (SiteId(0), SiteId(2)));
+                }
+                ref other => panic!("expected partition, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flap_applies_and_heals() {
+        let mut sim = Simulation::new(Topology::uniform(2), 1);
+        sim.add_actor(SiteId(0), Box::new(Noop));
+        FaultPlan::new()
+            .flap(
+                SiteId(0),
+                SiteId(1),
+                SimTime::from_secs(1),
+                SimDuration::from_secs(2),
+                2,
+            )
+            .apply(&mut sim);
+        sim.start();
+        sim.run_to_quiescence(100);
+        assert!(sim.now() >= SimTime::from_secs(4), "last heal at t=4s ran");
+    }
+
+    #[test]
+    #[should_panic(expected = "flap period too short")]
+    fn flap_rejects_degenerate_period() {
+        let _ = FaultPlan::new().flap(
+            SiteId(0),
+            SiteId(1),
+            SimTime::ZERO,
+            SimDuration::from_nanos(1),
+            1,
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use crate::events::EventLog;
 use crate::metrics::{Labels, MetricsRegistry, DEFAULT_GAUGE_WINDOW};
@@ -97,9 +97,21 @@ pub trait Actor {
 
     /// The actor's site came back up; re-arm heartbeats here.
     fn on_site_restart(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Expose the concrete actor for read-only inspection (e.g. invariant
+    /// checkers walking overlay state after a chaos run). Implementations
+    /// that want to be inspectable return `Some(self)`; the default keeps
+    /// the actor opaque.
+    fn as_any(&self) -> Option<&dyn Any> {
+        None
+    }
 }
 
 /// Network-wide behaviour knobs.
+///
+/// `drop_probability` is the global default; individual site pairs can be
+/// overridden with [`Simulation::set_link_drop_probability`] so chaos
+/// sweeps can target WAN links while loopback-adjacent pairs stay clean.
 #[derive(Clone, Copy, Debug)]
 pub struct NetworkConfig {
     /// Probability that any inter-site message is silently lost.
@@ -187,6 +199,7 @@ pub struct Kernel {
     rng: SimRng,
     metrics: MetricsRegistry,
     net: NetworkConfig,
+    link_drop: HashMap<(SiteId, SiteId), f64>,
     partitions: HashSet<(SiteId, SiteId)>,
     stopped: bool,
     trace: Option<Box<TraceState>>,
@@ -230,16 +243,32 @@ impl Kernel {
         a != b && self.partitions.contains(&Self::partition_key(a, b))
     }
 
+    /// Per-site labeled drop counter, alongside the flat reason counters,
+    /// so the health report can show which links degrade.
+    fn count_drop(&mut self, site: SiteId, reason: &str) {
+        let labels = Labels::of(&[("reason", reason), ("site", &format!("site{}", site.0))]);
+        self.metrics
+            .counter_labeled("glare_net_dropped_total", &labels)
+            .inc();
+    }
+
     fn send_from(&mut self, from: ActorId, from_site: SiteId, to: ActorId, msg: Msg, bytes: u64) {
         let to_site = self.actor_sites[to.index()];
         self.metrics.counter("net.msgs_sent").inc();
         self.metrics.counter("net.bytes_sent").add(bytes);
         if self.is_partitioned(from_site, to_site) {
             self.metrics.counter("net.msgs_dropped.partition").inc();
+            self.count_drop(from_site, "partition");
             return;
         }
-        if from_site != to_site && self.rng.chance(self.net.drop_probability) {
+        let drop_p = self
+            .link_drop
+            .get(&Self::partition_key(from_site, to_site))
+            .copied()
+            .unwrap_or(self.net.drop_probability);
+        if from_site != to_site && self.rng.chance(drop_p) {
             self.metrics.counter("net.msgs_dropped.loss").inc();
+            self.count_drop(from_site, "loss");
             return;
         }
         let link = self.topology.link(from_site, to_site);
@@ -546,6 +575,7 @@ impl Simulation {
                 rng: SimRng::from_seed(seed).fork("kernel"),
                 metrics: MetricsRegistry::new(),
                 net: NetworkConfig::default(),
+                link_drop: HashMap::new(),
                 partitions: HashSet::new(),
                 stopped: false,
                 trace: None,
@@ -559,6 +589,37 @@ impl Simulation {
     /// Override network-wide behaviour.
     pub fn set_network_config(&mut self, net: NetworkConfig) {
         self.kernel.net = net;
+    }
+
+    /// Override the loss probability for one site pair (both directions),
+    /// taking precedence over [`NetworkConfig::drop_probability`]. Pass
+    /// `None` to remove the override and fall back to the global knob.
+    ///
+    /// With no overrides installed the kernel's RNG stream is untouched:
+    /// the per-link lookup falls through to the global probability and the
+    /// draw pattern matches a pre-override kernel exactly.
+    pub fn set_link_drop_probability(&mut self, a: SiteId, b: SiteId, p: Option<f64>) {
+        let key = Kernel::partition_key(a, b);
+        match p {
+            Some(p) => {
+                assert!((0.0..=1.0).contains(&p), "probability out of range");
+                self.kernel.link_drop.insert(key, p);
+            }
+            None => {
+                self.kernel.link_drop.remove(&key);
+            }
+        }
+    }
+
+    /// Inspect a registered actor as its concrete type, when the actor
+    /// opted into inspection via [`Actor::as_any`]. Returns `None` for
+    /// unknown ids, opaque actors, or type mismatches.
+    pub fn actor_as<T: Any>(&self, id: ActorId) -> Option<&T> {
+        self.actors
+            .get(id.index())?
+            .as_ref()?
+            .as_any()?
+            .downcast_ref::<T>()
     }
 
     /// Turn on causal tracing, buffering at most `max_spans` spans.
@@ -778,6 +839,7 @@ impl Simulation {
                 let site = self.kernel.actor_sites[to.index()];
                 if !self.kernel.sites[site.index()].is_up() {
                     self.kernel.metrics.counter("net.msgs_dropped.site_down").inc();
+                    self.kernel.count_drop(site, "site_down");
                     return true;
                 }
                 self.kernel.set_ambient(tctx);
@@ -826,6 +888,15 @@ impl Simulation {
                 let now = self.kernel.now;
                 self.kernel.sites[site.index()].crash(now);
                 self.kernel.metrics.counter("fabric.crashes").inc();
+                if let Some(log) = &mut self.kernel.events {
+                    log.emit(
+                        now,
+                        "site.crashed",
+                        Some(site),
+                        "fault",
+                        &[("site", &format!("site{}", site.index()))],
+                    );
+                }
                 for i in 0..self.actors.len() {
                     if self.kernel.actor_sites[i] == site {
                         // on_site_crash runs even though the site is down —
@@ -837,6 +908,15 @@ impl Simulation {
             EventKind::SiteRestart(site) => {
                 self.kernel.sites[site.index()].restart();
                 self.kernel.metrics.counter("fabric.restarts").inc();
+                if let Some(log) = &mut self.kernel.events {
+                    log.emit(
+                        self.kernel.now,
+                        "site.restarted",
+                        Some(site),
+                        "fault",
+                        &[("site", &format!("site{}", site.index()))],
+                    );
+                }
                 for i in 0..self.actors.len() {
                     if self.kernel.actor_sites[i] == site {
                         self.with_actor(ActorId(i as u32), |a, ctx| a.on_site_restart(ctx));
@@ -1330,6 +1410,89 @@ mod tests {
         assert_eq!(plain.1, traced.1);
         assert!(!traced.2.is_empty());
         assert_eq!(traced.2, run(true).2, "same seed, same spans");
+    }
+
+    #[test]
+    fn per_link_drop_override_targets_one_pair() {
+        // Three sites; a lossy override on (0,1) only. Traffic 0→1 drops,
+        // traffic 0→2 sails through the (clean) global default.
+        let mut topo = Topology::uniform(3);
+        topo.set_default_link(LinkSpec {
+            latency: SimDuration::from_millis(10),
+            bandwidth_bps: 1_000_000_000,
+            jitter: 0.0,
+        });
+        let mut sim = Simulation::new(topo, 7);
+        let sink1 = sim.add_actor(
+            SiteId(1),
+            Box::new(Ping {
+                peer: None,
+                remaining: 0,
+                got: 0,
+            }),
+        );
+        let sink2 = sim.add_actor(
+            SiteId(2),
+            Box::new(Ping {
+                peer: None,
+                remaining: 0,
+                got: 0,
+            }),
+        );
+        struct Sprayer {
+            to: Vec<ActorId>,
+        }
+        impl Actor for Sprayer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for _ in 0..200 {
+                    for &t in &self.to {
+                        ctx.send(t, Tick);
+                    }
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _env: Envelope) {}
+        }
+        sim.add_actor(
+            SiteId(0),
+            Box::new(Sprayer {
+                to: vec![sink1, sink2],
+            }),
+        );
+        sim.set_link_drop_probability(SiteId(0), SiteId(1), Some(1.0));
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        let dropped = sim.metrics().counter_value("net.msgs_dropped.loss");
+        assert_eq!(dropped, 200, "every 0→1 message lost, no 0→2 message lost");
+        let labels = Labels::of(&[("reason", "loss"), ("site", "site0")]);
+        assert_eq!(
+            sim.metrics()
+                .counter_labeled_value("glare_net_dropped_total", &labels),
+            200
+        );
+        // Removing the override restores the global (lossless) default.
+        sim.set_link_drop_probability(SiteId(0), SiteId(1), None);
+        sim.inject(sim.now(), ActorId(2), sink1, Tick);
+        sim.run_to_quiescence(10);
+        assert_eq!(sim.metrics().counter_value("net.msgs_dropped.loss"), 200);
+    }
+
+    #[test]
+    fn actor_as_downcasts_only_opted_in_actors() {
+        struct Inspectable {
+            answer: u32,
+        }
+        impl Actor for Inspectable {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _env: Envelope) {}
+            fn as_any(&self) -> Option<&dyn Any> {
+                Some(self)
+            }
+        }
+        let mut sim = Simulation::new(Topology::uniform(1), 1);
+        let a = sim.add_actor(SiteId(0), Box::new(Inspectable { answer: 42 }));
+        let b = sim.add_actor(SiteId(0), Box::new(Sleeper { fired: vec![], cancel_me: None }));
+        assert_eq!(sim.actor_as::<Inspectable>(a).map(|i| i.answer), Some(42));
+        assert!(sim.actor_as::<Sleeper>(b).is_none(), "opaque by default");
+        assert!(sim.actor_as::<Inspectable>(ActorId(99)).is_none());
     }
 
     #[test]

@@ -176,6 +176,26 @@ impl RegistryCache {
         out
     }
 
+    /// Degraded read: every cached deployment of a type *regardless of
+    /// age*, paired with the copy's age at `now` (deterministic key
+    /// order). This is the fallback when retries against the origin
+    /// exhaust — the caller serves the possibly-stale copies explicitly
+    /// marked degraded instead of erroring. Does not count hit/miss (it is
+    /// not part of the normal lookup ladder).
+    pub fn deployments_of_degraded(
+        &self,
+        type_name: &str,
+        now: SimTime,
+    ) -> Vec<(ActivityDeployment, SimDuration)> {
+        self.by_type
+            .get(type_name)
+            .into_iter()
+            .flatten()
+            .filter_map(|k| self.deployments.get(k))
+            .map(|e| (e.value.clone(), now.saturating_since(e.cached_at)))
+            .collect()
+    }
+
     /// Compare a cached deployment against the origin's current EPR.
     pub fn freshness(&self, key: &str, current: &EndpointReference) -> Option<Freshness> {
         self.deployments.get(key).map(|e| {
@@ -370,6 +390,21 @@ mod tests {
             "old type mapping must not survive re-cache"
         );
         assert_eq!(c.deployments_of("JPOVray2", t(6)).len(), 1);
+    }
+
+    #[test]
+    fn degraded_read_serves_aged_entries_with_age() {
+        let mut c = cache();
+        c.put_deployment(jpov(), "s1", epr(0), t(0));
+        // Normal path refuses the aged entry; the degraded path serves it.
+        assert!(c.deployments_of("JPOVray", t(120)).is_empty());
+        let (hits, misses) = (c.hits(), c.misses());
+        let degraded = c.deployments_of_degraded("JPOVray", t(120));
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(degraded[0].0.key, "jpovray@s1");
+        assert_eq!(degraded[0].1, SimDuration::from_secs(120));
+        assert_eq!((c.hits(), c.misses()), (hits, misses), "no hit/miss count");
+        assert!(c.deployments_of_degraded("Ghost", t(120)).is_empty());
     }
 
     #[test]

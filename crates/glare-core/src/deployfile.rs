@@ -35,6 +35,11 @@ pub struct DeployStep {
     pub properties: Vec<(String, String)>,
     /// Extra environment exported by this step.
     pub env: Vec<(String, String)>,
+    /// Whether re-running the step after a partial failure is safe. The
+    /// deploy manager only retries idempotent steps; a non-idempotent step
+    /// that fails mid-flight fails the whole installation. Defaults to
+    /// true (`idempotent="false"` in the XML opts out).
+    pub idempotent: bool,
 }
 
 impl DeployStep {
@@ -91,6 +96,8 @@ pub enum PlannedAction {
         md5: Option<Md5Digest>,
         /// Timeout in seconds (0 = unlimited).
         timeout_secs: u64,
+        /// Whether the step may be retried after a partial failure.
+        idempotent: bool,
     },
     /// Run a shell command in `workdir`.
     Shell {
@@ -102,6 +109,8 @@ pub enum PlannedAction {
         workdir: String,
         /// Timeout in seconds (0 = unlimited).
         timeout_secs: u64,
+        /// Whether the step may be retried after a partial failure.
+        idempotent: bool,
     },
 }
 
@@ -118,6 +127,15 @@ impl PlannedAction {
         match self {
             PlannedAction::Transfer { timeout_secs, .. }
             | PlannedAction::Shell { timeout_secs, .. } => *timeout_secs,
+        }
+    }
+
+    /// Whether the deploy manager may retry this action after a
+    /// transient failure.
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            PlannedAction::Transfer { idempotent, .. }
+            | PlannedAction::Shell { idempotent, .. } => *idempotent,
         }
     }
 }
@@ -183,6 +201,7 @@ impl DeployFile {
                 timeout_secs,
                 properties,
                 env,
+                idempotent: s.attribute("idempotent") != Some("false"),
             });
         }
         let mut dialog = ExpectScript::new();
@@ -309,6 +328,7 @@ impl DeployFile {
                     destination,
                     md5,
                     timeout_secs: step.timeout_secs,
+                    idempotent: step.idempotent,
                 });
             } else {
                 let mut command = expand_vars(&step.task, &env);
@@ -321,6 +341,7 @@ impl DeployFile {
                     command,
                     workdir,
                     timeout_secs: step.timeout_secs,
+                    idempotent: step.idempotent,
                 });
             }
         }
@@ -344,6 +365,7 @@ impl DeployFile {
                 timeout_secs: 10,
                 properties: vec![("argument".into(), "$DEPLOYMENT_DIR".into())],
                 env: vec![],
+                idempotent: true,
             },
             DeployStep {
                 name: "Download".into(),
@@ -362,6 +384,7 @@ impl DeployFile {
                     p
                 },
                 env: vec![],
+                idempotent: true,
             },
         ];
         let mut last = "Download".to_owned();
@@ -374,6 +397,7 @@ impl DeployFile {
                 timeout_secs: 60,
                 properties: vec![("argument".into(), archive.clone())],
                 env: vec![],
+                idempotent: true,
             });
             last = "Expand".into();
         }
@@ -390,6 +414,7 @@ impl DeployFile {
                         format!("--prefix=$DEPLOYMENT_DIR/{}", spec.name),
                     )],
                     env: vec![],
+                idempotent: true,
                 });
                 steps.push(DeployStep {
                     name: "Build".into(),
@@ -399,6 +424,7 @@ impl DeployFile {
                     timeout_secs: 600,
                     properties: vec![],
                     env: vec![],
+                idempotent: true,
                 });
                 steps.push(DeployStep {
                     name: "Install".into(),
@@ -408,6 +434,7 @@ impl DeployFile {
                     timeout_secs: 120,
                     properties: vec![],
                     env: vec![],
+                idempotent: true,
                 });
             }
             BuildSystem::Ant => {
@@ -419,6 +446,7 @@ impl DeployFile {
                     timeout_secs: 600,
                     properties: vec![("argument".into(), "Deploy".into())],
                     env: vec![],
+                idempotent: true,
                 });
             }
             BuildSystem::Precompiled => {
@@ -430,9 +458,12 @@ impl DeployFile {
                     timeout_secs: 300,
                     properties: vec![],
                     env: vec![],
+                idempotent: true,
                 });
             }
             BuildSystem::ServiceArchive => {
+                // Deploying the same GAR into a live container twice
+                // errors, so a partial deploy must not be blindly rerun.
                 steps.push(DeployStep {
                     name: "Deploy".into(),
                     depends: vec![last.clone()],
@@ -441,6 +472,7 @@ impl DeployFile {
                     timeout_secs: 600,
                     properties: vec![("argument".into(), archive.clone())],
                     env: vec![],
+                    idempotent: false,
                 });
             }
         }
@@ -475,6 +507,9 @@ impl DeployFile {
             }
             if let Some(b) = &s.base_dir {
                 sn = sn.attr("baseDir", b);
+            }
+            if !s.idempotent {
+                sn = sn.attr("idempotent", "false");
             }
             for (k, v) in &s.env {
                 sn = sn.child(XmlNode::new("Env").attr("name", k).attr("value", v));
@@ -589,6 +624,7 @@ mod tests {
                     timeout_secs: 0,
                     properties: vec![],
                     env: vec![],
+                idempotent: true,
                 },
                 DeployStep {
                     name: "B".into(),
@@ -598,6 +634,7 @@ mod tests {
                     timeout_secs: 0,
                     properties: vec![],
                     env: vec![],
+                idempotent: true,
                 },
             ],
             dialog: ExpectScript::new(),
@@ -615,6 +652,7 @@ mod tests {
                 timeout_secs: 0,
                 properties: vec![],
                 env: vec![],
+                idempotent: true,
             }],
             ..cyc.clone()
         };
@@ -668,6 +706,22 @@ mod tests {
             PlannedAction::Transfer { md5, .. } => assert_eq!(*md5, Some(digest)),
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn idempotence_flag_round_trips_and_reaches_plan() {
+        let df = DeployFile::for_package(&packages::counter(), None);
+        let deploy = df.steps.iter().find(|s| s.name == "Deploy").unwrap();
+        assert!(!deploy.idempotent, "GAR deploys are not rerunnable");
+        let xml = df.to_xml();
+        assert!(xml.children_named("Step").any(|s| {
+            s.attribute("name") == Some("Deploy") && s.attribute("idempotent") == Some("false")
+        }));
+        let back = DeployFile::from_xml(&xml).unwrap();
+        assert_eq!(back, df);
+        let plan = df.plan(&default_env()).unwrap();
+        let flags: Vec<bool> = plan.iter().map(PlannedAction::is_idempotent).collect();
+        assert_eq!(flags, vec![true, true, false], "Init, Download, Deploy");
     }
 
     #[test]

@@ -70,6 +70,14 @@ pub enum GlareError {
         /// Why.
         reason: String,
     },
+    /// A remote site stayed unreachable after the retry budget was spent
+    /// (or its circuit breaker is open and the call was short-circuited).
+    SiteUnavailable {
+        /// The unreachable site.
+        site: String,
+        /// What gave up: retry budget exhausted or breaker open.
+        detail: String,
+    },
 }
 
 impl From<WsrfError> for GlareError {
@@ -125,6 +133,9 @@ impl std::fmt::Display for GlareError {
             }
             GlareError::LeaseDenied { deployment, reason } => {
                 write!(f, "lease denied for {deployment}: {reason}")
+            }
+            GlareError::SiteUnavailable { site, detail } => {
+                write!(f, "site {site} unavailable: {detail}")
             }
         }
     }

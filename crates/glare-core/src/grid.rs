@@ -7,9 +7,11 @@
 //! super-peer elections under failures) run on the discrete-event actors
 //! in [`crate::node`], which host the same per-site state.
 
+use std::collections::BTreeSet;
+
 use glare_fabric::topology::{LinkSpec, Platform, SiteId};
 use glare_fabric::{
-    EventLog, Labels, MetricsRegistry, SimDuration, SimTime, TraceSink,
+    EventLog, Labels, MetricsRegistry, SimDuration, SimRng, SimTime, TraceSink,
 };
 use glare_services::gridftp::Repository;
 use glare_services::{GramService, SiteHost, Transport};
@@ -20,6 +22,7 @@ use crate::cache::RegistryCache;
 use crate::error::GlareError;
 use crate::lease::{LeaseKind, LeaseManager, LeaseTicket};
 use crate::model::{ActivityType, TypeKind};
+use crate::retry::{BreakerBank, RetryPolicy};
 
 /// Default age limit for cached registry entries.
 pub const DEFAULT_CACHE_AGE: SimDuration = SimDuration::from_secs(300);
@@ -84,6 +87,76 @@ pub struct AdminNotification {
 /// (Table 1's "Notification" row, ~345 ms).
 pub const NOTIFICATION_COST: SimDuration = SimDuration::from_millis(345);
 
+/// Synchronous-path fault injection for the cost-model harness.
+///
+/// The distributed fabric injects faults at its kernel (crashes,
+/// partitions, message loss); the synchronous [`Grid`] has no kernel, so
+/// chaos runs configure this injector instead. A cross-site attempt is
+/// lost when the target site is marked down or the per-message loss draw
+/// fires. With `loss` at zero and no sites marked down the injector never
+/// draws from its RNG, which keeps faults-off runs bit-identical to runs
+/// of builds that predate it.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    loss: f64,
+    rng: SimRng,
+    down: BTreeSet<usize>,
+}
+
+impl FaultInjector {
+    /// Injector that never loses anything (the default).
+    pub fn inert() -> FaultInjector {
+        FaultInjector {
+            loss: 0.0,
+            rng: SimRng::from_seed(0),
+            down: BTreeSet::new(),
+        }
+    }
+
+    /// Injector losing each cross-site attempt with probability `loss`,
+    /// drawing from its own seeded stream.
+    pub fn seeded(seed: u64, loss: f64) -> FaultInjector {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        FaultInjector {
+            loss,
+            rng: SimRng::from_seed(seed),
+            down: BTreeSet::new(),
+        }
+    }
+
+    /// Whether the injector considers `site` reachable.
+    pub fn site_up(&self, site: usize) -> bool {
+        !self.down.contains(&site)
+    }
+
+    /// Mark a site down.
+    pub fn crash(&mut self, site: usize) {
+        self.down.insert(site);
+    }
+
+    /// Mark a site back up.
+    pub fn restart(&mut self, site: usize) {
+        self.down.remove(&site);
+    }
+
+    /// Draw the per-attempt loss. Does not touch the RNG when loss is 0.
+    pub fn attempt_lost(&mut self) -> bool {
+        self.rng.chance(self.loss)
+    }
+
+    /// The injector's RNG stream (backoff jitter draws share it so one
+    /// seed reproduces an entire chaos run).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::inert()
+    }
+}
+
 /// The whole VO.
 #[derive(Clone, Debug)]
 pub struct Grid {
@@ -106,6 +179,12 @@ pub struct Grid {
     /// Structured event log of notable state transitions (cache discards,
     /// deploy-step failures, lease grants/rejections, ...).
     pub events: EventLog,
+    /// Fault injector for chaos runs; inert by default.
+    pub faults: FaultInjector,
+    /// Recovery policy applied by the `_retrying` cross-site entry points.
+    pub retry: RetryPolicy,
+    /// Per-remote-site circuit breakers, keyed by site index.
+    pub breakers: BreakerBank<usize>,
 }
 
 impl Grid {
@@ -129,6 +208,9 @@ impl Grid {
             trace: TraceSink::default(),
             metrics: MetricsRegistry::new(),
             events: EventLog::default(),
+            faults: FaultInjector::inert(),
+            retry: RetryPolicy::standard(),
+            breakers: BreakerBank::default(),
         }
     }
 
@@ -344,6 +426,155 @@ impl Grid {
         result
     }
 
+    /// Mark a site down for the synchronous path. Registry and lease
+    /// state survives the crash (the ledger is durable); only calls fail
+    /// until [`Grid::restart_site`].
+    pub fn crash_site(&mut self, site: usize, now: SimTime) {
+        self.faults.crash(site);
+        self.events.emit(
+            now,
+            "site.crashed",
+            Some(SiteId(site as u32)),
+            "fault",
+            &[("site", &Grid::site_label(site))],
+        );
+    }
+
+    /// Bring a crashed site back. Expired leases are reclaimed on the way
+    /// up — the granting site sweeps its ledger so capacity that freed
+    /// during the outage is usable again. Returns how many tickets were
+    /// reclaimed.
+    pub fn restart_site(&mut self, site: usize, now: SimTime) -> usize {
+        self.faults.restart(site);
+        let reclaimed = self.sites[site].leases.sweep_expired(now);
+        self.events.emit(
+            now,
+            "site.restarted",
+            Some(SiteId(site as u32)),
+            "fault",
+            &[
+                ("site", &Grid::site_label(site)),
+                ("leases_reclaimed", &reclaimed.to_string()),
+            ],
+        );
+        reclaimed
+    }
+
+    /// Whether the fault injector considers `site` reachable.
+    pub fn site_is_up(&self, site: usize) -> bool {
+        self.faults.site_up(site)
+    }
+
+    /// [`Grid::acquire_lease`] under the unified recovery policy:
+    /// decorrelated-jitter backoff between attempts, a per-site circuit
+    /// breaker, and an overall deadline budget. Returns the outcome plus
+    /// the accumulated virtual-clock cost of timed-out attempts and
+    /// backoff waits. With the fault injector inert the first attempt
+    /// succeeds and this is exactly [`Grid::acquire_lease`] at zero extra
+    /// cost — no RNG draws, no extra telemetry.
+    pub fn acquire_lease_retrying(
+        &mut self,
+        site: usize,
+        deployment: &str,
+        client: &str,
+        kind: LeaseKind,
+        window: std::ops::Range<SimTime>,
+        now: SimTime,
+    ) -> (Result<LeaseTicket, GlareError>, SimDuration) {
+        let policy = self.retry;
+        let site_label = Grid::site_label(site);
+        let mut elapsed = SimDuration::ZERO;
+        let mut prev_backoff = SimDuration::ZERO;
+        let mut attempt = 1u32;
+        loop {
+            if !self.breakers.breaker(site).allow(now + elapsed) {
+                self.metrics
+                    .counter_labeled(
+                        "glare_breaker_short_circuits_total",
+                        &Labels::of(&[("site", &site_label)]),
+                    )
+                    .inc();
+                return (
+                    Err(GlareError::SiteUnavailable {
+                        site: site_label,
+                        detail: "circuit open".into(),
+                    }),
+                    elapsed,
+                );
+            }
+            let lost = !self.faults.site_up(site) || self.faults.attempt_lost();
+            if !lost {
+                self.breakers.breaker(site).record_success();
+                let result = self.acquire_lease(
+                    site,
+                    deployment,
+                    client,
+                    kind,
+                    window.clone(),
+                    now + elapsed,
+                );
+                return (result, elapsed);
+            }
+            // The attempt timed out: charge the per-attempt timeout.
+            elapsed += policy.attempt_timeout;
+            self.metrics
+                .counter_labeled(
+                    "glare_retries_total",
+                    &Labels::of(&[("site", &site_label), ("op", "lease")]),
+                )
+                .inc();
+            if self.breakers.breaker(site).record_failure(now + elapsed) {
+                self.metrics
+                    .counter_labeled(
+                        "glare_breaker_transitions_total",
+                        &Labels::of(&[("site", &site_label), ("to", "open")]),
+                    )
+                    .inc();
+                self.events.emit(
+                    now + elapsed,
+                    "breaker.open",
+                    Some(SiteId(site as u32)),
+                    "retry",
+                    &[("site", &site_label), ("op", "lease")],
+                );
+            }
+            attempt += 1;
+            if !policy.may_attempt(attempt, elapsed) {
+                return (
+                    Err(GlareError::SiteUnavailable {
+                        site: site_label,
+                        detail: format!(
+                            "retry budget exhausted after {} attempts",
+                            attempt - 1
+                        ),
+                    }),
+                    elapsed,
+                );
+            }
+            let delay = policy.next_backoff(self.faults.rng_mut(), prev_backoff);
+            prev_backoff = delay;
+            self.metrics
+                .histogram_labeled(
+                    "glare_retry_backoff_ms",
+                    &Labels::of(&[("site", &site_label)]),
+                )
+                .record(delay);
+            self.events.emit(
+                now + elapsed,
+                "retry.attempt",
+                Some(SiteId(site as u32)),
+                "retry",
+                &[
+                    ("site", &site_label),
+                    ("op", "lease"),
+                    ("attempt", &attempt.to_string()),
+                    ("backoff_ms", &format!("{:.1}", delay.as_millis_f64())),
+                ],
+            );
+            elapsed += delay;
+        }
+    }
+
     /// Send an admin notification (recorded; costs
     /// [`NOTIFICATION_COST`]).
     pub fn notify_admin(
@@ -408,6 +639,103 @@ mod tests {
             .iter()
             .any(|(k, v)| k == "reason" && v.contains("exclusive")));
         assert_eq!(g.metrics.lint_metric_names(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn retrying_lease_is_observe_only_when_inert() {
+        let mut g = grid_with_types();
+        let (res, cost) = g.acquire_lease_retrying(
+            1,
+            "jpovray@site1",
+            "alice",
+            LeaseKind::Exclusive,
+            t(10)..t(100),
+            t(5),
+        );
+        res.expect("inert injector: first attempt succeeds");
+        assert_eq!(cost, SimDuration::ZERO);
+        assert_eq!(
+            g.metrics.counter_labeled_value(
+                "glare_retries_total",
+                &Labels::of(&[("site", "site1"), ("op", "lease")]),
+            ),
+            0
+        );
+        assert_eq!(g.events.of_kind("retry.attempt").count(), 0);
+    }
+
+    #[test]
+    fn crashed_site_opens_breaker_and_short_circuits() {
+        let mut g = grid_with_types();
+        g.crash_site(1, t(1));
+        let (res, cost) = g.acquire_lease_retrying(
+            1,
+            "jpovray@site1",
+            "alice",
+            LeaseKind::Shared,
+            t(10)..t(100),
+            t(2),
+        );
+        assert!(matches!(
+            res.unwrap_err(),
+            GlareError::SiteUnavailable { .. }
+        ));
+        assert!(cost > SimDuration::ZERO);
+        // Three timed-out attempts trip the breaker (threshold 3); the
+        // fourth is short-circuited instead of waiting out a timeout.
+        assert_eq!(
+            g.metrics.counter_labeled_value(
+                "glare_retries_total",
+                &Labels::of(&[("site", "site1"), ("op", "lease")]),
+            ),
+            3
+        );
+        assert_eq!(
+            g.metrics.counter_labeled_value(
+                "glare_breaker_transitions_total",
+                &Labels::of(&[("site", "site1"), ("to", "open")]),
+            ),
+            1
+        );
+        assert_eq!(
+            g.metrics.counter_labeled_value(
+                "glare_breaker_short_circuits_total",
+                &Labels::of(&[("site", "site1")]),
+            ),
+            1
+        );
+        assert_eq!(g.events.of_kind("breaker.open").count(), 1);
+        // After restart and the cooldown the breaker half-opens and the
+        // site serves again at zero extra cost.
+        g.restart_site(1, t(2) + cost);
+        let later = t(2) + cost + SimDuration::from_secs(31);
+        let (res, cost2) = g.acquire_lease_retrying(
+            1,
+            "jpovray@site1",
+            "alice",
+            LeaseKind::Shared,
+            t(200)..t(300),
+            later,
+        );
+        res.expect("half-open probe succeeds after restart");
+        assert_eq!(cost2, SimDuration::ZERO);
+        assert_eq!(g.metrics.lint_metric_names(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn restart_reclaims_expired_leases() {
+        let mut g = grid_with_types();
+        g.acquire_lease(0, "jpovray@site0", "a", LeaseKind::Shared, t(10)..t(20), t(5))
+            .unwrap();
+        g.acquire_lease(0, "jpovray@site0", "b", LeaseKind::Shared, t(10)..t(30), t(5))
+            .unwrap();
+        g.crash_site(0, t(12));
+        assert!(!g.site_is_up(0));
+        let reclaimed = g.restart_site(0, t(25));
+        assert_eq!(reclaimed, 1, "the [10,20) ticket expired during the outage");
+        assert!(g.site_is_up(0));
+        assert_eq!(g.site(0).leases.tickets().len(), 1);
+        assert_eq!(g.events.of_kind("site.restarted").count(), 1);
     }
 
     #[test]

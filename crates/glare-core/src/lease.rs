@@ -184,6 +184,12 @@ impl LeaseManager {
         before - self.leases.len()
     }
 
+    /// All live tickets, in grant order (invariant checkers use this to
+    /// assert shared-capacity caps across a whole run).
+    pub fn tickets(&self) -> &[LeaseTicket] {
+        &self.leases
+    }
+
     /// Active leases on a deployment at `at`.
     pub fn active_leases(&self, deployment: &str, at: SimTime) -> Vec<&LeaseTicket> {
         self.leases

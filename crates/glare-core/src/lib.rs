@@ -17,6 +17,7 @@ pub mod model;
 pub mod node;
 pub mod overlay;
 pub mod rdm;
+pub mod retry;
 pub mod superpeer;
 
 pub use adr::ActivityDeploymentRegistry;
@@ -29,6 +30,7 @@ pub use rdm::{provision, CostBreakdown, InstallReport, ProvisionOutcome, Provisi
 pub use hierarchy::TypeHierarchy;
 pub use node::{GlareNode, NodeConfig, NodeMsg, QueryScope};
 pub use overlay::{ClientStats, NotificationSink, OverlayBuilder, QueryClient};
+pub use retry::{BreakerBank, BreakerState, CircuitBreaker, RetryPolicy};
 pub use superpeer::{Group, MajorityTally, Role};
 pub use lease::{LeaseKind, LeaseManager, LeaseTicket};
 pub use model::{

@@ -26,6 +26,7 @@
 //! notify the highest-ranked member, which verifies with every member and
 //! takes over on a simple-majority acknowledgement.
 
+use std::any::Any;
 use std::collections::{HashMap, HashSet};
 
 use glare_fabric::{
@@ -39,6 +40,7 @@ use crate::adr::ActivityDeploymentRegistry;
 use crate::atr::ActivityTypeRegistry;
 use crate::cache::RegistryCache;
 use crate::model::{ActivityDeployment, ActivityType};
+use crate::retry::{BreakerBank, RetryPolicy};
 use crate::superpeer::{highest_ranked, partition_groups, MajorityTally, Role};
 
 /// How far a query may travel from the handling node.
@@ -172,6 +174,12 @@ pub struct NodeConfig {
     pub registry_cost: SimDuration,
     /// How long to wait for probe replies before concluding a stage.
     pub probe_timeout: SimDuration,
+    /// Recovery policy for probes that time out with *silent* peers: the
+    /// stage backs off (decorrelated jitter) and re-asks only the peers
+    /// that never answered, feeding per-peer circuit breakers. Defaults
+    /// to [`RetryPolicy::disabled`], under which a deadline miss concludes
+    /// the stage immediately — byte-for-byte the legacy behaviour.
+    pub retry: RetryPolicy,
     /// Coordinator's re-election period (the Index Monitor "periodically
     /// probes the GT4 Default Index", §3.3); `None` = single election.
     pub election_interval: Option<SimDuration>,
@@ -203,6 +211,7 @@ impl NodeConfig {
             request_cost: REQUEST_BASE_COST,
             registry_cost: SimDuration::from_millis(4),
             probe_timeout: SimDuration::from_millis(500),
+            retry: RetryPolicy::disabled(),
             election_interval: Some(SimDuration::from_secs(120)),
             flood_mode: false,
             naive_takeover: false,
@@ -230,7 +239,20 @@ struct PendingQuery {
     collected: Vec<ActivityDeployment>,
     stage: Stage,
     scope: QueryScope,
+    /// Scope the probe messages carried (needed to re-send them verbatim
+    /// on a retry).
+    probe_scope: QueryScope,
     deadline: TimerToken,
+    /// Probe attempt number, 1-based.
+    attempt: u32,
+    /// Previous backoff delay (decorrelated jitter seed).
+    prev_backoff: SimDuration,
+    /// When the first probe of this stage went out (deadline budget).
+    started: SimTime,
+    /// Whether any probe stage of this ladder exhausted its retry budget
+    /// or was short-circuited — unlocks the degraded cache fallback on a
+    /// final miss.
+    probes_failed: bool,
     /// The `node.query` span covering the whole ladder (inert when
     /// tracing is off).
     span: SpanHandle,
@@ -291,6 +313,10 @@ pub struct GlareNode {
     pending: HashMap<u64, PendingQuery>,
     deferred: HashMap<TimerToken, Deferred>,
     deadline_to_req: HashMap<TimerToken, u64>,
+    backoff_to_req: HashMap<TimerToken, u64>,
+    /// Per-remote-peer circuit breakers fed by probe deadline misses
+    /// (only consulted when `cfg.retry` enables retries).
+    breakers: BreakerBank<ActorId>,
     // --- notification state ---
     sinks: Vec<ActorId>,
     notify_seq: u64,
@@ -330,6 +356,8 @@ impl GlareNode {
             pending: HashMap::new(),
             deferred: HashMap::new(),
             deadline_to_req: HashMap::new(),
+            backoff_to_req: HashMap::new(),
+            breakers: BreakerBank::default(),
             sinks: Vec::new(),
             notify_seq: 0,
             cfg,
@@ -486,6 +514,7 @@ impl GlareNode {
         stage: Stage,
         scope: QueryScope,
         probe_scope: QueryScope,
+        probes_failed: bool,
         span: SpanHandle,
     ) {
         let local_id = self.next_req;
@@ -515,10 +544,202 @@ impl GlareNode {
                 collected: Vec::new(),
                 stage,
                 scope,
+                probe_scope,
                 deadline,
+                attempt: 1,
+                prev_backoff: SimDuration::ZERO,
+                started: ctx.now(),
+                probes_failed,
                 span,
             },
         );
+    }
+
+    /// A probe deadline fired: with retries enabled and only silence to
+    /// show for the attempt, feed the breakers, back off and re-ask the
+    /// peers that never answered; otherwise conclude the stage as-is.
+    fn deadline_expired(&mut self, ctx: &mut Ctx<'_>, local_id: u64) {
+        let retry = self.cfg.retry;
+        if !retry.retries_enabled() {
+            // Legacy path: a deadline miss concludes immediately; no
+            // breaker bookkeeping, no RNG draws, no telemetry.
+            self.conclude_stage(ctx, local_id);
+            return;
+        }
+        let now = ctx.now();
+        let (unanswered, attempt, prev_backoff, started, empty) =
+            match self.pending.get(&local_id) {
+                Some(p) => {
+                    // Sort for determinism: HashSet iteration order varies
+                    // run to run.
+                    let mut u: Vec<ActorId> = p.awaiting.iter().copied().collect();
+                    u.sort_unstable();
+                    (u, p.attempt, p.prev_backoff, p.started, p.collected.is_empty())
+                }
+                None => return,
+            };
+        if unanswered.is_empty() || !empty {
+            // Everyone answered, or partial answers arrived — retrying the
+            // silent rest would not change the outcome of this stage.
+            self.conclude_stage(ctx, local_id);
+            return;
+        }
+        let site_label = format!("site{}", ctx.self_site.0);
+        // Silence past the deadline counts as a failed call per peer.
+        for &t in &unanswered {
+            if self.breakers.breaker(t).record_failure(now) {
+                ctx.metrics()
+                    .counter_labeled(
+                        "glare_breaker_transitions_total",
+                        &Labels::of(&[("site", &site_label), ("to", "open")]),
+                    )
+                    .inc();
+                ctx.emit_event("breaker.open", "node", &[("remote", &t.to_string())]);
+            }
+        }
+        let next = attempt + 1;
+        if !retry.may_attempt(next, now.saturating_since(started)) {
+            if let Some(p) = self.pending.get_mut(&local_id) {
+                p.probes_failed = true;
+            }
+            self.conclude_stage(ctx, local_id);
+            return;
+        }
+        let delay = retry.next_backoff(ctx.rng(), prev_backoff);
+        ctx.metrics()
+            .counter_labeled(
+                "glare_retries_total",
+                &Labels::of(&[("site", &site_label), ("op", "query")]),
+            )
+            .inc();
+        ctx.metrics()
+            .histogram_labeled(
+                "glare_retry_backoff_ms",
+                &Labels::of(&[("site", &site_label)]),
+            )
+            .record(delay);
+        ctx.emit_event(
+            "retry.attempt",
+            "node",
+            &[
+                ("op", "query"),
+                ("attempt", &next.to_string()),
+                ("backoff_ms", &format!("{}", delay.as_millis_f64())),
+            ],
+        );
+        let token = ctx.timer_after(delay, &format!("qback:{local_id}"));
+        self.backoff_to_req.insert(token, local_id);
+        if let Some(p) = self.pending.get_mut(&local_id) {
+            p.attempt = next;
+            p.prev_backoff = delay;
+        }
+    }
+
+    /// Backoff elapsed: re-probe the peers that are still silent, skipping
+    /// any behind an open breaker. A new deadline covers the re-probe.
+    fn retry_probe(&mut self, ctx: &mut Ctx<'_>, local_id: u64) {
+        let now = ctx.now();
+        let targets: Vec<ActorId> = match self.pending.get(&local_id) {
+            Some(p) => {
+                let mut u: Vec<ActorId> = p.awaiting.iter().copied().collect();
+                u.sort_unstable();
+                u
+            }
+            None => return, // stage already concluded by a late reply
+        };
+        let site_label = format!("site{}", ctx.self_site.0);
+        let mut resend = Vec::new();
+        let mut shorted = 0u64;
+        for t in targets {
+            if self.breakers.breaker(t).allow(now) {
+                resend.push(t);
+            } else {
+                shorted += 1;
+            }
+        }
+        if shorted > 0 {
+            ctx.metrics()
+                .counter_labeled(
+                    "glare_breaker_short_circuits_total",
+                    &Labels::of(&[("site", &site_label)]),
+                )
+                .add(shorted);
+        }
+        if resend.is_empty() {
+            // Every silent peer is behind an open breaker: give up on the
+            // stage and let the ladder escalate (or degrade).
+            if let Some(p) = self.pending.get_mut(&local_id) {
+                p.probes_failed = true;
+            }
+            self.conclude_stage(ctx, local_id);
+            return;
+        }
+        let Some(p) = self.pending.get_mut(&local_id) else {
+            return;
+        };
+        let activity = p.activity.clone();
+        let probe_scope = p.probe_scope;
+        let deadline = ctx.timer_after(self.cfg.probe_timeout, &format!("qdl:{local_id}"));
+        p.deadline = deadline;
+        for &t in &resend {
+            ctx.send(
+                t,
+                NodeMsg::QueryDeployments {
+                    activity: activity.clone(),
+                    req_id: local_id,
+                    reply_to: ctx.self_id,
+                    scope: probe_scope,
+                },
+            );
+        }
+        self.deadline_to_req.insert(deadline, local_id);
+    }
+
+    /// Final miss of the ladder. When a probe stage ran out of road
+    /// (budget exhausted or breakers open) the two-level cache is
+    /// consulted once more with freshness checks off: a stale answer
+    /// marked degraded beats an error while a site recovers.
+    fn reply_miss(&mut self, ctx: &mut Ctx<'_>, p: PendingQuery) {
+        if p.probes_failed && self.cfg.use_cache {
+            let now = ctx.now();
+            let mut names: Vec<String> = self
+                .atr
+                .with_hierarchy(|h| h.resolve_concrete(&p.activity));
+            if names.is_empty() {
+                names.push(p.activity.clone());
+            }
+            let mut stale = Vec::new();
+            let mut max_age = SimDuration::ZERO;
+            for n in &names {
+                for (d, age) in self.cache.deployments_of_degraded(n, now) {
+                    if age > max_age {
+                        max_age = age;
+                    }
+                    stale.push(d);
+                }
+            }
+            if !stale.is_empty() {
+                let site_label = format!("site{}", ctx.self_site.0);
+                ctx.metrics()
+                    .counter_labeled(
+                        "glare_degraded_reads_total",
+                        &Labels::of(&[("site", &site_label)]),
+                    )
+                    .inc();
+                ctx.emit_event(
+                    "query.degraded",
+                    "node",
+                    &[
+                        ("activity", &p.activity),
+                        ("age_ms", &format!("{}", max_age.as_millis_f64())),
+                    ],
+                );
+                ctx.span_attr(p.span, "degraded", "1");
+                self.reply(ctx, p.reply_to, p.orig_req_id, stale, p.span, "degraded");
+                return;
+            }
+        }
+        self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new(), p.span, "miss");
     }
 
     fn conclude_stage(&mut self, ctx: &mut Ctx<'_>, local_id: u64) {
@@ -550,7 +771,7 @@ impl GlareNode {
         match (p.stage, p.scope) {
             (Stage::PeerProbe, QueryScope::Full) if self.cfg.flood_mode => {
                 // Everyone was already asked; a miss is final.
-                self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new(), p.span, "miss");
+                self.reply_miss(ctx, p);
             }
             (Stage::PeerProbe, QueryScope::Full) => {
                 if let Some(sp) = self.super_peer.filter(|&sp| sp != self.me) {
@@ -563,6 +784,7 @@ impl GlareNode {
                         Stage::SpEscalate,
                         QueryScope::Full,
                         QueryScope::GroupProbe,
+                        p.probes_failed,
                         p.span,
                     );
                 } else if !self.other_super_peers.is_empty() && self.role == Role::SuperPeer {
@@ -576,10 +798,11 @@ impl GlareNode {
                         Stage::SpForward,
                         QueryScope::Full,
                         QueryScope::SpForwarded,
+                        p.probes_failed,
                         p.span,
                     );
                 } else {
-                    self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new(), p.span, "miss");
+                    self.reply_miss(ctx, p);
                 }
             }
             (Stage::PeerProbe, QueryScope::GroupProbe) if self.role == Role::SuperPeer => {
@@ -587,7 +810,7 @@ impl GlareNode {
                 // forward to the other super-peers, whose handling is
                 // terminal (they probe their groups but don't re-forward).
                 if self.other_super_peers.is_empty() {
-                    self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new(), p.span, "miss");
+                    self.reply_miss(ctx, p);
                 } else {
                     let sps = self.other_super_peers.clone();
                     self.start_probe(
@@ -599,12 +822,13 @@ impl GlareNode {
                         Stage::SpForward,
                         QueryScope::GroupProbe,
                         QueryScope::SpForwarded,
+                        p.probes_failed,
                         p.span,
                     );
                 }
             }
             _ => {
-                self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new(), p.span, "miss");
+                self.reply_miss(ctx, p);
             }
         }
     }
@@ -683,7 +907,12 @@ impl GlareNode {
                             collected: Vec::new(),
                             stage: Stage::PeerProbe,
                             scope,
+                            probe_scope: QueryScope::LocalOnly,
                             deadline,
+                            attempt: 1,
+                            prev_backoff: SimDuration::ZERO,
+                            started: now,
+                            probes_failed: false,
                             span,
                         },
                     );
@@ -698,6 +927,7 @@ impl GlareNode {
                         Stage::PeerProbe,
                         scope,
                         QueryScope::LocalOnly,
+                        false,
                         span,
                     );
                 }
@@ -1078,8 +1308,13 @@ impl Actor for GlareNode {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken, tag: &str) {
         if let Some(req) = self.deadline_to_req.remove(&token) {
-            // Probe deadline: conclude with whatever arrived.
-            self.conclude_stage(ctx, req);
+            // Probe deadline: retry silent peers or conclude with
+            // whatever arrived.
+            self.deadline_expired(ctx, req);
+            return;
+        }
+        if let Some(req) = self.backoff_to_req.remove(&token) {
+            self.retry_probe(ctx, req);
             return;
         }
         if tag == "notify-stagger" {
@@ -1208,6 +1443,12 @@ impl Actor for GlareNode {
             }
             Some(Deferred::NotifyStagger { .. }) | None => {}
         }
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        // Opt into harness inspection: the chaos invariant checker reads
+        // roles, groups and registries through `Simulation::actor_as`.
+        Some(self)
     }
 
     fn on_site_restart(&mut self, ctx: &mut Ctx<'_>) {
@@ -1422,6 +1663,124 @@ mod tests {
             2,
             "a member must take over after the crash"
         );
+    }
+
+    #[test]
+    fn probe_deadline_miss_without_retry_stays_legacy() {
+        // Retries default to disabled: a crashed peer makes the probe
+        // deadline fire, the stage concludes as a plain miss, and the
+        // recovery layer leaves no trace — no retry metrics, no events.
+        let (mut sim, ids) = seeded_overlay(3, &[2], true);
+        sim.enable_events(100_000);
+        let stats = ClientStats::shared();
+        let client = QueryClient::new(
+            ids[0],
+            "Imaging",
+            SimDuration::from_secs(10),
+            1,
+            stats.clone(),
+        );
+        sim.add_actor(glare_fabric::SiteId(0), Box::new(client));
+        sim.schedule_crash(SimTime::from_secs(5), glare_fabric::SiteId(2));
+        sim.start();
+        sim.run_until(SimTime::from_secs(60));
+        let s = stats.lock();
+        assert_eq!(s.responses, 1, "miss still answers");
+        assert_eq!(s.hits, 0);
+        let ev = sim.events().expect("events enabled");
+        assert_eq!(ev.of_kind("retry.attempt").count(), 0);
+        assert_eq!(ev.of_kind("breaker.open").count(), 0);
+        assert_eq!(ev.of_kind("query.degraded").count(), 0);
+        assert_eq!(
+            sim.metrics().counter_labeled_value(
+                "glare_retries_total",
+                &glare_fabric::Labels::of(&[("site", "site0"), ("op", "query")]),
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn silent_peer_probes_retry_then_degrade_to_stale_cache() {
+        // A deployment is cached from a healthy remote, the remote
+        // crashes, the cache entry ages out — and the query still
+        // answers: probes retry with backoff, the peer's breaker opens,
+        // and the final miss falls back to the stale entry, marked
+        // degraded.
+        let topo = glare_fabric::Topology::uniform(4);
+        let mut ranked: Vec<(u32, u64)> = (0..4u32)
+            .map(|i| (i, topo.site(glare_fabric::SiteId(i)).rank_hashcode()))
+            .collect();
+        ranked.sort_by_key(|r| std::cmp::Reverse(r.1));
+        let sp_site = ranked[0].0 as usize;
+        let client_site = (0..4).find(|&i| i != sp_site).unwrap();
+        let deploy_site = (0..4)
+            .find(|&i| i != sp_site && i != client_site)
+            .unwrap();
+        let mut b = OverlayBuilder::new(4, 42);
+        b.configure(|_, cfg| {
+            cfg.max_group_size = 4;
+            cfg.retry = crate::retry::RetryPolicy::standard();
+            // Keep the first election's groups: re-election would drop the
+            // crashed member from the overlay and sidestep the probes this
+            // test is about.
+            cfg.election_interval = None;
+        });
+        b.seed(move |i, node| {
+            for t in example_hierarchy(SimTime::ZERO) {
+                node.atr.register(t, SimTime::ZERO).unwrap();
+            }
+            if i == deploy_site {
+                let d = ActivityDeployment::executable(
+                    "JPOVray",
+                    &format!("site{i}"),
+                    "/opt/deployments/jpovray/bin/jpovray",
+                    "/opt/deployments/jpovray",
+                );
+                node.adr.register(d, &node.atr, SimTime::ZERO).unwrap();
+            }
+        });
+        let (mut sim, ids) = b.build();
+        sim.enable_events(100_000);
+        let stats = ClientStats::shared();
+        let client = QueryClient::new(
+            ids[client_site],
+            "Imaging",
+            SimDuration::from_secs(200),
+            3,
+            stats.clone(),
+        );
+        sim.add_actor(glare_fabric::SiteId(client_site as u32), Box::new(client));
+        // Crash after the second query (cache still warm), so the third
+        // finds the entry expired and the owner unreachable.
+        sim.schedule_crash(
+            SimTime::from_secs(450),
+            glare_fabric::SiteId(deploy_site as u32),
+        );
+        sim.start();
+        sim.run_until(SimTime::from_secs(900));
+        let s = stats.lock();
+        assert_eq!(s.responses, 3, "every query answered");
+        assert_eq!(s.hits, 3, "the degraded read still carries deployments");
+        let ev = sim.events().expect("events enabled");
+        assert!(ev.of_kind("retry.attempt").count() >= 1, "probes retried");
+        assert!(ev.of_kind("breaker.open").count() >= 1, "breaker opened");
+        assert_eq!(ev.of_kind("query.degraded").count(), 1);
+        let client_label = format!("site{client_site}");
+        assert!(
+            sim.metrics().counter_labeled_value(
+                "glare_retries_total",
+                &glare_fabric::Labels::of(&[("site", &client_label), ("op", "query")]),
+            ) >= 1
+        );
+        assert_eq!(
+            sim.metrics().counter_labeled_value(
+                "glare_degraded_reads_total",
+                &glare_fabric::Labels::of(&[("site", &client_label)]),
+            ),
+            1
+        );
+        assert_eq!(sim.metrics().lint_metric_names(), Vec::<String>::new());
     }
 
     #[test]

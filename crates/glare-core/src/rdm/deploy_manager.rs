@@ -18,7 +18,7 @@
 
 use std::collections::HashSet;
 
-use glare_fabric::{SimDuration, SimTime, SiteId, SpanKind, TraceContext, TraceSink};
+use glare_fabric::{Labels, SimDuration, SimTime, SiteId, SpanKind, TraceContext, TraceSink};
 use glare_services::gridftp;
 use glare_services::vfs::VPath;
 use glare_services::ChannelKind;
@@ -392,6 +392,70 @@ fn install_package_traced(
     let link = grid.link;
     let mut session = grid.site(site).host.open_session();
     for action in &plan {
+        // Step-granular recovery: a transient outage of the target site
+        // costs the attempt timeout, then the step — and only the step —
+        // is retried with backoff, resuming the plan from where it
+        // stopped. Only steps flagged idempotent may be rerun; a
+        // non-idempotent step interrupted mid-flight fails the install.
+        // With the fault injector inert the guard never fires.
+        let policy = grid.retry;
+        let mut attempt = 1u32;
+        let mut prev_backoff = SimDuration::ZERO;
+        let mut step_elapsed = SimDuration::ZERO;
+        while !grid.faults.site_up(site) || grid.faults.attempt_lost() {
+            let step = action.step_name();
+            step_elapsed += policy.attempt_timeout;
+            at += policy.attempt_timeout;
+            breakdown.channel_overhead += policy.attempt_timeout;
+            grid.metrics
+                .counter_labeled(
+                    "glare_retries_total",
+                    &Labels::of(&[("site", &Grid::site_label(site)), ("op", "deploy")]),
+                )
+                .inc();
+            attempt += 1;
+            let retryable = action.is_idempotent() && policy.may_attempt(attempt, step_elapsed);
+            if !retryable {
+                let reason = if action.is_idempotent() {
+                    format!("site unreachable after {} attempts", attempt - 1)
+                } else {
+                    "transient failure on a non-idempotent step".to_owned()
+                };
+                grid.events.emit(
+                    at,
+                    "deploy.step_failed",
+                    site_id,
+                    "rdm.deploy_manager",
+                    &[("type", &t.name), ("step", step), ("reason", &reason)],
+                );
+                return Err(GlareError::InstallFailed {
+                    type_name: t.name.clone(),
+                    site: site_name.clone(),
+                    detail: format!("step {step}: {reason}"),
+                });
+            }
+            grid.events.emit(
+                at,
+                "deploy.step_retried",
+                site_id,
+                "rdm.deploy_manager",
+                &[
+                    ("type", &t.name),
+                    ("step", step),
+                    ("attempt", &attempt.to_string()),
+                ],
+            );
+            let delay = policy.next_backoff(grid.faults.rng_mut(), prev_backoff);
+            prev_backoff = delay;
+            grid.metrics
+                .histogram_labeled(
+                    "glare_retry_backoff_ms",
+                    &Labels::of(&[("site", &Grid::site_label(site))]),
+                )
+                .record(delay);
+            at += delay;
+            step_elapsed += delay;
+        }
         match action {
             PlannedAction::Transfer {
                 step,
@@ -399,6 +463,7 @@ fn install_package_traced(
                 destination,
                 md5,
                 timeout_secs,
+                ..
             } => {
                 let sspan =
                     trace.open(Some(ispan), "deploy.step", SpanKind::Service, site_id, None, at);
@@ -430,6 +495,7 @@ fn install_package_traced(
                 command,
                 workdir,
                 timeout_secs,
+                ..
             } => {
                 let sspan =
                     trace.open(Some(ispan), "deploy.step", SpanKind::Service, site_id, None, at);
@@ -782,6 +848,41 @@ mod tests {
         r.preferred_site = Some(2);
         let out = provision(&mut g, &r, t(1)).unwrap();
         assert_eq!(out.installs[0].site, "site2.agrid.example");
+    }
+
+    #[test]
+    fn transient_faults_retried_per_step() {
+        let mut base_grid = grid();
+        let base = provision(&mut base_grid, &req("Wien2k", 0), t(1)).unwrap();
+        let mut g = grid();
+        g.faults = crate::grid::FaultInjector::seeded(42, 0.25);
+        let out = provision(&mut g, &req("Wien2k", 0), t(1)).unwrap();
+        assert_eq!(
+            out.deployments.len(),
+            base.deployments.len(),
+            "installation converges despite transient losses"
+        );
+        let retried = g.events.of_kind("deploy.step_retried").count();
+        assert!(retried > 0, "seeded loss must hit at least one step");
+        assert!(
+            out.total_cost > base.total_cost,
+            "timed-out attempts and backoff are charged"
+        );
+        assert_eq!(g.metrics.lint_metric_names(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn non_idempotent_step_fails_fast_on_transient_fault() {
+        // A GAR deploy (Counter) has a non-idempotent Deploy step; under
+        // heavy loss the install must fail explicitly rather than rerun it.
+        let mut g = grid();
+        g.faults = crate::grid::FaultInjector::seeded(7, 0.95);
+        let err = provision(&mut g, &req("Counter", 0), t(1)).unwrap_err();
+        assert!(
+            matches!(err, GlareError::InstallFailed { .. } | GlareError::SiteUnavailable { .. }),
+            "{err}"
+        );
+        assert!(g.events.of_kind("deploy.step_failed").count() <= 1);
     }
 
     #[test]

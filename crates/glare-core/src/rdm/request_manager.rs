@@ -7,7 +7,7 @@
 //! answers from its own registry, then its cache, then the rest of the
 //! VO — caching whatever it learns.
 
-use glare_fabric::{SimDuration, SimTime, SiteId, SpanKind, TraceContext};
+use glare_fabric::{Labels, SimDuration, SimTime, SiteId, SpanKind, TraceContext};
 
 use crate::error::GlareError;
 use crate::grid::Grid;
@@ -22,6 +22,9 @@ pub enum DiscoverySource {
     LocalCache,
     /// Fetched from another site (index of the answering site).
     RemoteSite(usize),
+    /// Served from cache entries past their age limit because every
+    /// remote probe exhausted its retry budget (graceful degradation).
+    DegradedCache,
 }
 
 /// A resolved deployment list with provenance and cost.
@@ -33,6 +36,8 @@ pub struct ResolveOutcome {
     pub source: DiscoverySource,
     /// End-to-end cost charged to the client.
     pub cost: SimDuration,
+    /// Age of the stalest entry served, set only on degraded reads.
+    pub staleness: Option<SimDuration>,
 }
 
 /// Cost of serving a hit from the local cache.
@@ -83,6 +88,7 @@ impl RequestManager {
                 DiscoverySource::LocalRegistry => "registry",
                 DiscoverySource::LocalCache => "cache",
                 DiscoverySource::RemoteSite(_) => "remote",
+                DiscoverySource::DegradedCache => "degraded",
             },
             Err(_) => "not-found",
         };
@@ -150,6 +156,7 @@ impl RequestManager {
                     deployments: resp.value,
                     source: DiscoverySource::LocalRegistry,
                     cost,
+                    staleness: None,
                 });
                 return (out, now + cost);
             }
@@ -192,16 +199,101 @@ impl RequestManager {
                     deployments: cache_hits,
                     source: DiscoverySource::LocalCache,
                     cost,
+                    staleness: None,
                 });
                 return (out, now + cost);
             }
         }
 
-        // 3. The rest of the VO (one round-trip per probed site).
+        // 3. The rest of the VO (one round-trip per probed site), each
+        // probe under the recovery policy: lost attempts charge the
+        // per-attempt timeout and back off with decorrelated jitter, an
+        // open per-site breaker skips the site outright, and a site whose
+        // retry budget exhausts is skipped rather than failing the whole
+        // ladder. With the fault injector inert no attempt is ever lost
+        // and this stage costs exactly what it did without the policy.
         let rtt = grid.link.transfer_time(1024) * 2;
         let site_count = grid.len();
+        let policy = grid.retry;
+        let mut probes_exhausted = false;
         for i in (0..site_count).filter(|&i| i != from_site) {
             let probe_start = now + cost;
+            let peer_label = Grid::site_label(i);
+            let mut reached = false;
+            let mut prev_backoff = SimDuration::ZERO;
+            let mut attempt = 1u32;
+            let mut probe_elapsed = SimDuration::ZERO;
+            loop {
+                if !grid.breakers.breaker(i).allow(probe_start + probe_elapsed) {
+                    grid.metrics
+                        .counter_labeled(
+                            "glare_breaker_short_circuits_total",
+                            &Labels::of(&[("site", &peer_label)]),
+                        )
+                        .inc();
+                    break;
+                }
+                let lost = !grid.faults.site_up(i) || grid.faults.attempt_lost();
+                if !lost {
+                    grid.breakers.breaker(i).record_success();
+                    reached = true;
+                    break;
+                }
+                probe_elapsed += policy.attempt_timeout;
+                grid.metrics
+                    .counter_labeled(
+                        "glare_retries_total",
+                        &Labels::of(&[("site", &peer_label), ("op", "probe")]),
+                    )
+                    .inc();
+                if grid
+                    .breakers
+                    .breaker(i)
+                    .record_failure(probe_start + probe_elapsed)
+                {
+                    grid.metrics
+                        .counter_labeled(
+                            "glare_breaker_transitions_total",
+                            &Labels::of(&[("site", &peer_label), ("to", "open")]),
+                        )
+                        .inc();
+                    grid.events.emit(
+                        probe_start + probe_elapsed,
+                        "breaker.open",
+                        Some(SiteId(i as u32)),
+                        "retry",
+                        &[("site", &peer_label), ("op", "probe")],
+                    );
+                }
+                attempt += 1;
+                if !policy.may_attempt(attempt, probe_elapsed) {
+                    break;
+                }
+                let delay = policy.next_backoff(grid.faults.rng_mut(), prev_backoff);
+                prev_backoff = delay;
+                grid.metrics
+                    .histogram_labeled(
+                        "glare_retry_backoff_ms",
+                        &Labels::of(&[("site", &peer_label)]),
+                    )
+                    .record(delay);
+                probe_elapsed += delay;
+            }
+            cost += probe_elapsed;
+            if !reached {
+                probes_exhausted = true;
+                grid.trace.record(
+                    Some(root),
+                    "probe.remote",
+                    SpanKind::Network,
+                    Some(SiteId(i as u32)),
+                    None,
+                    probe_start,
+                    now + cost,
+                    &[("peer", i.to_string()), ("hit", "unreachable".to_owned())],
+                );
+                continue;
+            }
             cost += rtt;
             let mut hit: Vec<ActivityDeployment> = Vec::new();
             for name in &concrete {
@@ -237,6 +329,68 @@ impl RequestManager {
                     deployments: hit,
                     source: DiscoverySource::RemoteSite(i),
                     cost,
+                    staleness: None,
+                });
+                return (out, now + cost);
+            }
+        }
+
+        // 4. Graceful degradation: at least one remote stayed unreachable
+        // after the retry budget, so a stale cache entry may be the best
+        // answer available. Serve it explicitly marked degraded, with its
+        // age, instead of erroring.
+        if self.use_cache && probes_exhausted {
+            let degraded_start = now + cost;
+            cost += CACHE_HIT_COST;
+            let mut stale: Vec<(ActivityDeployment, SimDuration)> = Vec::new();
+            for name in &concrete {
+                stale = grid
+                    .site(from_site)
+                    .cache
+                    .deployments_of_degraded(name, now);
+                if !stale.is_empty() {
+                    break;
+                }
+            }
+            grid.trace.record(
+                Some(root),
+                "cache.degraded",
+                SpanKind::Service,
+                site,
+                None,
+                degraded_start,
+                now + cost,
+                &[("hit", if stale.is_empty() { "0" } else { "1" }.to_owned())],
+            );
+            if !stale.is_empty() {
+                let age = stale
+                    .iter()
+                    .map(|(_, a)| *a)
+                    .max()
+                    .unwrap_or(SimDuration::ZERO);
+                let from_label = Grid::site_label(from_site);
+                grid.metrics
+                    .counter_labeled(
+                        "glare_degraded_reads_total",
+                        &Labels::of(&[("site", &from_label)]),
+                    )
+                    .inc();
+                grid.events.emit(
+                    now + cost,
+                    "query.degraded",
+                    site,
+                    "retry",
+                    &[
+                        ("site", &from_label),
+                        ("activity", activity),
+                        ("age_ms", &format!("{:.0}", age.as_millis_f64())),
+                    ],
+                );
+                let out = Ok(ResolveOutcome {
+                    deployments: stale.into_iter().map(|(d, _)| d).collect(),
+                    source: DiscoverySource::DegradedCache,
+                    cost,
+                    staleness: Some(age),
                 });
                 return (out, now + cost);
             }
@@ -312,6 +466,32 @@ mod tests {
         let second = rm.list_deployments(&mut g, 0, "Imaging", t(2)).unwrap();
         assert_eq!(first.source, DiscoverySource::RemoteSite(2));
         assert_eq!(second.source, DiscoverySource::RemoteSite(2));
+    }
+
+    #[test]
+    fn degraded_read_after_probe_exhaustion() {
+        let mut g = grid_with_deployment(3, 2);
+        let rm = RequestManager::new(true);
+        let first = rm.list_deployments(&mut g, 0, "Imaging", t(1)).unwrap();
+        assert_eq!(first.source, DiscoverySource::RemoteSite(2));
+        // The cached entry ages past the freshness limit, and the site
+        // holding the deployment crashes: retries exhaust, and the stale
+        // entry is served explicitly marked degraded instead of erroring.
+        g.crash_site(2, t(400));
+        let out = rm.list_deployments(&mut g, 0, "Imaging", t(400)).unwrap();
+        assert_eq!(out.source, DiscoverySource::DegradedCache);
+        assert_eq!(out.deployments.len(), 1);
+        assert!(out.staleness.unwrap() >= SimDuration::from_secs(300));
+        assert!(out.cost > first.cost, "timed-out probes were charged");
+        assert_eq!(g.events.of_kind("query.degraded").count(), 1);
+        assert_eq!(
+            g.metrics.counter_labeled_value(
+                "glare_degraded_reads_total",
+                &Labels::of(&[("site", "site0")]),
+            ),
+            1
+        );
+        assert_eq!(g.metrics.lint_metric_names(), Vec::<String>::new());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use glare_core::grid::Grid;
 use glare_core::model::DeploymentAccess;
 use glare_core::rdm::deploy_manager::{provision, ProvisionRequest};
-use glare_core::GlareError;
+use glare_core::{GlareError, RetryPolicy};
 use glare_fabric::{SimDuration, SimTime};
 use glare_services::gram::{GramService, JobSpec};
 use glare_services::vfs::VPath;
@@ -41,6 +41,8 @@ pub struct ActivityRun {
     pub finished_at: SimDuration,
     /// Number of attempts (>1 means migration/retry happened).
     pub attempts: u32,
+    /// Backoff waits charged between failed attempts.
+    pub backoff: SimDuration,
 }
 
 /// Full execution report.
@@ -61,17 +63,23 @@ pub struct EnactmentEngine {
     pub channel: ChannelKind,
     /// Site whose local GLARE service handles re-provisioning.
     pub from_site: usize,
-    /// Maximum attempts per activity (1 = no retry).
-    pub max_attempts: u32,
+    /// Recovery policy for activity attempts: `max_attempts` bounds the
+    /// migrate-and-retry loop, and failed attempts are paced with
+    /// decorrelated-jitter backoff charged into the activity's finish
+    /// time.
+    pub retry: RetryPolicy,
 }
 
 impl EnactmentEngine {
-    /// New engine.
+    /// New engine (three attempts per activity, standard backoff).
     pub fn new(from_site: usize, channel: ChannelKind) -> EnactmentEngine {
         EnactmentEngine {
             channel,
             from_site,
-            max_attempts: 3,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::standard()
+            },
         }
     }
 
@@ -104,6 +112,8 @@ impl EnactmentEngine {
                 })?;
 
             let mut attempts = 0;
+            let mut backoff = SimDuration::ZERO;
+            let mut prev_backoff = SimDuration::ZERO;
             loop {
                 attempts += 1;
                 match self.try_run(
@@ -122,7 +132,7 @@ impl EnactmentEngine {
                             .map(|p| finish.get(p).copied().unwrap_or(SimDuration::ZERO))
                             .max()
                             .unwrap_or(SimDuration::ZERO);
-                        let finished = ready + stage_in + runtime;
+                        let finished = ready + backoff + stage_in + runtime;
                         finish.insert(id, finished);
                         outputs.insert(id, (assignment.site, out_path));
                         report.runs.push(ActivityRun {
@@ -134,13 +144,22 @@ impl EnactmentEngine {
                             runtime,
                             finished_at: finished,
                             attempts,
+                            backoff,
                         });
                         if finished > report.makespan {
                             report.makespan = finished;
                         }
                         break;
                     }
-                    Err(_) if attempts < self.max_attempts => {
+                    Err(_) if attempts < self.retry.max_attempts => {
+                        // Pace the recovery: the next attempt waits a
+                        // jittered backoff, charged to the activity.
+                        if self.retry.retries_enabled() {
+                            let delay =
+                                self.retry.next_backoff(grid.faults.rng_mut(), prev_backoff);
+                            prev_backoff = delay;
+                            backoff += delay;
+                        }
                         // The engine observed the failure: report it to
                         // the hosting registry so the dead deployment
                         // stops being offered, then re-provision.
@@ -384,6 +403,11 @@ mod tests {
         assert_eq!(report.runs.len(), 2);
         let conv_run = &report.runs[0];
         assert!(conv_run.attempts >= 2);
+        assert!(
+            conv_run.backoff > SimDuration::ZERO,
+            "failed attempts are paced with backoff"
+        );
+        assert!(conv_run.finished_at >= conv_run.backoff + conv_run.runtime);
     }
 
     #[test]

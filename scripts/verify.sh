@@ -7,6 +7,9 @@
 #   5. smoke runs of the ablation and traced fig12 binaries
 #   6. healthreport smoke on a small topology: BENCH_health.json must be
 #      produced, parse as JSON, and carry zero metric-name lint violations
+#   7. chaos soak smoke (fixed seed, one ≥1% loss point): BENCH_chaos.json
+#      must parse and report zero invariant violations and lint-clean
+#      retry/breaker metric names
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,5 +52,24 @@ assert report["sites"], "health report has no site rows"
 assert report["lint"] == [], f"metric-name lint violations: {report['lint']}"
 EOF
 rm -rf "$health_dir"
+
+echo "==> smoke: chaos --smoke (writes BENCH_chaos.json + events)"
+chaos_dir=$(mktemp -d)
+(cd "$chaos_dir" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin chaos -- --smoke >/dev/null)
+for artifact in BENCH_chaos.json CHAOS_events.jsonl; do
+    test -s "$chaos_dir/$artifact" || { echo "missing $artifact"; exit 1; }
+done
+python3 - "$chaos_dir/BENCH_chaos.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["experiment"] == "chaos", "unexpected experiment tag"
+assert report["rows"], "chaos report has no sweep rows"
+assert any(r["loss"] >= 0.01 for r in report["rows"]), "no loss point >= 1%"
+assert report["violations_total"] == 0, \
+    f"chaos invariant violations: {report['invariant_violations']}"
+assert report["lint"] == [], f"metric-name lint violations: {report['lint']}"
+EOF
+rm -rf "$chaos_dir"
 
 echo "verify: OK"

@@ -150,6 +150,51 @@ fn message_loss_degrades_but_does_not_wedge() {
     assert!(sim.metrics().counter_value("net.msgs_dropped.loss") > 0);
 }
 
+/// A storm of seeded random outages hitting the overlay mid-election is
+/// replayable: same seed, byte-identical event log (including the
+/// kernel's `site.crashed` / `site.restarted` records) and identical
+/// takeover/message counts; a different seed draws a different schedule.
+#[test]
+fn random_outage_storm_replays_deterministically() {
+    let run = |seed: u64| {
+        let (mut sim, _) = seeded(6, &[], seed);
+        sim.enable_events(glare::fabric::DEFAULT_MAX_EVENTS);
+        // Outages land inside the first elections' heartbeat windows;
+        // site 0 (the community index) is spared so rounds keep coming.
+        let mut rng = glare::fabric::SimRng::from_seed(seed).fork("storm");
+        let victims: Vec<SiteId> = (1..6).map(SiteId).collect();
+        FaultPlan::new()
+            .random_outages(
+                &mut rng,
+                4,
+                &victims,
+                SimTime::from_secs(20),
+                SimTime::from_secs(300),
+                SimDuration::from_secs(25),
+            )
+            .apply(&mut sim);
+        sim.start();
+        sim.run_until(SimTime::from_secs(400));
+        (
+            sim.metrics().counter_value("glare.superpeer_takeovers"),
+            sim.metrics().counter_value("net.msgs_sent"),
+            sim.take_events().expect("events enabled").to_jsonl(),
+        )
+    };
+    let a = run(17);
+    let b = run(17);
+    assert_eq!(a.0, b.0, "takeovers replay");
+    assert_eq!(a.1, b.1, "message counts replay");
+    assert_eq!(a.2, b.2, "event logs are byte-identical per seed");
+    assert!(a.0 >= 2, "the storm forced elections, takeovers={}", a.0);
+    assert!(
+        a.2.contains("\"kind\":\"site.crashed\"") && a.2.contains("\"kind\":\"site.restarted\""),
+        "outages are visible in the structured event log"
+    );
+    let c = run(18);
+    assert_ne!(a.2, c.2, "a different seed draws a different schedule");
+}
+
 #[test]
 fn crashed_deployment_site_yields_empty_answers_not_hangs() {
     let ranked = ranks(3);

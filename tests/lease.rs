@@ -2,8 +2,11 @@
 //! shared conflict windows, the shared concurrency cap, and reclamation
 //! of expired tickets, exercised as scenarios over simulated time.
 
+use glare::core::grid::Grid;
 use glare::core::lease::{LeaseKind, LeaseManager, DEFAULT_SHARED_CAPACITY};
+use glare::core::GlareError;
 use glare::fabric::SimTime;
+use glare::services::Transport;
 
 fn t(s: u64) -> SimTime {
     SimTime::from_secs(s)
@@ -129,4 +132,54 @@ fn expiry_reclamation() {
     assert!(m
         .acquire("d", "b", LeaseKind::Exclusive, t(100), t(110))
         .is_ok());
+}
+
+/// The concurrency cap holds across a crash and restart of the granting
+/// site: the ledger is durable, calls during the outage fail explicitly
+/// through the retry layer, and the restart-time sweep reclaims exactly
+/// the tickets that expired while the site was down.
+#[test]
+fn caps_hold_across_crash_and_restart_of_granting_site() {
+    let mut g = Grid::new(3, Transport::Http);
+    let dep = "wien2k@site0";
+    g.site_mut(0).leases.set_capacity(dep, 2);
+
+    // Fill the cap for [10, 50); the overflow request is rejected.
+    g.acquire_lease(0, dep, "a", LeaseKind::Shared, t(10)..t(50), t(1))
+        .unwrap();
+    g.acquire_lease(0, dep, "b", LeaseKind::Shared, t(10)..t(50), t(2))
+        .unwrap();
+    assert!(g
+        .acquire_lease(0, dep, "c", LeaseKind::Shared, t(20)..t(40), t(3))
+        .is_err());
+
+    // The granting site crashes. Retried calls burn their budget and
+    // fail with an explicit SiteUnavailable — never a silent grant.
+    g.crash_site(0, t(5));
+    let (res, cost) = g.acquire_lease_retrying(0, dep, "c", LeaseKind::Shared, t(20)..t(40), t(6));
+    assert!(
+        matches!(res, Err(GlareError::SiteUnavailable { .. })),
+        "calls against a crashed site fail explicitly, got {res:?}"
+    );
+    assert!(cost > glare::fabric::SimDuration::ZERO, "the failure cost time");
+    assert_eq!(
+        g.site(0).leases.len(),
+        2,
+        "the ledger survives the crash untouched"
+    );
+
+    // Restart after the window closed: the sweep reclaims both expired
+    // tickets, so the freed capacity is immediately usable again.
+    let reclaimed = g.restart_site(0, t(60));
+    assert_eq!(reclaimed, 2, "both expired tickets reclaimed on the way up");
+    g.acquire_lease(0, dep, "d", LeaseKind::Shared, t(60)..t(100), t(61))
+        .unwrap();
+    g.acquire_lease(0, dep, "e", LeaseKind::Shared, t(60)..t(100), t(62))
+        .unwrap();
+    assert!(
+        g.acquire_lease(0, dep, "f", LeaseKind::Shared, t(70)..t(90), t(63))
+            .is_err(),
+        "the cap still holds in the post-restart epoch"
+    );
+    assert_eq!(g.site(0).leases.len(), 2, "only the live epoch remains");
 }

@@ -9,10 +9,12 @@
 //!   scenario overrides (defaults: 6 sites, 12 clients, 10 queries,
 //!   seed 7331).
 //!
-//! Always writes two artifacts to the working directory:
-//! * `BENCH_chaos.json`   — the report (sweep rows, grid phase,
+//! Always writes three artifacts to the working directory:
+//! * `BENCH_chaos.json`    — the report (sweep rows, grid phase,
 //!   invariant violations; byte-identical per seed).
-//! * `CHAOS_events.jsonl` — every run's structured event log.
+//! * `BENCH_recovery.json` — crash-to-rejoin recovery-time percentiles
+//!   per loss point and overall, plus the Grid restart's replay.
+//! * `CHAOS_events.jsonl`  — every run's structured event log.
 //!
 //! Exits non-zero when any invariant is violated, so CI can gate on it.
 
@@ -52,6 +54,10 @@ fn main() {
     match std::fs::write("BENCH_chaos.json", r.to_json().to_string_pretty()) {
         Ok(()) => eprintln!("wrote BENCH_chaos.json"),
         Err(e) => eprintln!("could not write BENCH_chaos.json: {e}"),
+    }
+    match std::fs::write("BENCH_recovery.json", r.to_recovery_json().to_string_pretty()) {
+        Ok(()) => eprintln!("wrote BENCH_recovery.json"),
+        Err(e) => eprintln!("could not write BENCH_recovery.json: {e}"),
     }
     let mut events = String::new();
     for row in &r.rows {

@@ -40,7 +40,7 @@ use glare_core::rdm::{provision, ProvisionRequest};
 use glare_core::{GlareNode, RetryPolicy, Role};
 use glare_fabric::{
     ActorId, FaultPlan, MetricsRegistry, NetworkConfig, SimDuration, SimRng, SimTime, SiteId,
-    DEFAULT_MAX_EVENTS,
+    StoreConfig, DEFAULT_MAX_EVENTS,
 };
 use glare_services::{ChannelKind, Transport};
 
@@ -140,6 +140,14 @@ pub struct LossRow {
     pub failure_detect_p95_ms: f64,
     /// Scripted site outages that completed (crash + restart pairs).
     pub site_restarts: u64,
+    /// Completed end-to-end recoveries (crash → replay → rejoin),
+    /// i.e. samples of `glare_recovery_ms` across all sites.
+    pub recoveries: u64,
+    /// Journal records replayed across all recoveries.
+    pub replayed_records: u64,
+    /// End-to-end recovery times in milliseconds, sorted ascending
+    /// (feeds the `BENCH_recovery.json` percentiles).
+    pub recovery_ms: Vec<f64>,
     /// Invariant violations found after the heal window (must be empty).
     pub violations: Vec<String>,
     /// Prometheus exposition of the run's registry (determinism probe).
@@ -173,6 +181,10 @@ pub struct GridChaos {
     pub short_circuits: u64,
     /// Expired tickets reclaimed by the restart-time sweep.
     pub leases_reclaimed: u64,
+    /// Journal records replayed when the crashed site restarted.
+    pub replayed_records: u64,
+    /// Store replay time at the restarted site (ms, worst case).
+    pub replay_ms: f64,
     /// Invariant violations over the final lease ledger and registries.
     pub violations: Vec<String>,
     /// Prometheus exposition of the Grid registry.
@@ -226,6 +238,33 @@ fn histogram_count(m: &MetricsRegistry, family: &str) -> u64 {
     m.labeled_histograms_of(family)
         .map(|(_, h)| h.count() as u64)
         .sum()
+}
+
+/// Every sample of a labeled histogram family, merged across label sets,
+/// as milliseconds sorted ascending. Under the nearest-rank rule,
+/// `quantile(k/n)` for `k = 1..=n` enumerates each of the `n` sorted
+/// samples exactly once.
+fn sorted_samples_ms(m: &MetricsRegistry, family: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (_, h) in m.labeled_histograms_of(family) {
+        let n = h.count();
+        for k in 1..=n {
+            if let Some(d) = h.quantile(k as f64 / n as f64) {
+                out.push(d.as_millis_f64());
+            }
+        }
+    }
+    out.sort_by(f64::total_cmp);
+    out
+}
+
+/// Nearest-rank percentile over an ascending slice; 0 when empty.
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// Check the post-heal overlay invariants: one super-peer per group and
@@ -397,6 +436,10 @@ fn run_overlay_point(p: &ChaosParams, loss: f64) -> LossRow {
     });
     let (mut sim, ids) = builder.build();
     sim.enable_events(DEFAULT_MAX_EVENTS);
+    // Durable per-site stores: the scripted outages below become
+    // amnesia-faithful crashes whose restarts replay the journal and
+    // anti-entropy-rejoin, feeding the recovery-time percentiles.
+    sim.enable_store(StoreConfig::standard());
     sim.set_network_config(NetworkConfig { drop_probability: loss });
     // One deliberately worse link, exercising the per-link override.
     sim.set_link_drop_probability(SiteId(1), SiteId(2), Some((loss * 3.0).min(0.5)));
@@ -469,6 +512,9 @@ fn run_overlay_point(p: &ChaosParams, loss: f64) -> LossRow {
         takeovers: m.counter_value("glare.superpeer_takeovers"),
         failure_detect_p95_ms: worst_p95_ms(m, "glare_failure_detection_ms"),
         site_restarts: events.of_kind("site.restarted").count() as u64,
+        recoveries: histogram_count(m, "glare_recovery_ms"),
+        replayed_records: sum_family(m, "glare_store_replayed_records_total"),
+        recovery_ms: sorted_samples_ms(m, "glare_recovery_ms"),
         violations,
         exposition: m.expose_prometheus(),
         events_jsonl: events.to_jsonl(),
@@ -483,6 +529,10 @@ fn run_grid_phase(p: &ChaosParams) -> GridChaos {
     let loss = p.losses.iter().copied().fold(0.0f64, f64::max);
     let t = SimTime::from_secs;
     let mut g = Grid::new(p.sites, Transport::Http);
+    // Durability on before the first registration, so every mutation is
+    // journaled and the mid-run crash/restart of the granting site is an
+    // amnesia-faithful wipe followed by a real snapshot + journal replay.
+    g.enable_durability(StoreConfig::standard());
     for ty in example_hierarchy(SimTime::ZERO) {
         g.register_type(0, ty, SimTime::ZERO).unwrap();
     }
@@ -616,6 +666,11 @@ fn run_grid_phase(p: &ChaosParams) -> GridChaos {
         breaker_opens: sum_family(m, "glare_breaker_transitions_total"),
         short_circuits: sum_family(m, "glare_breaker_short_circuits_total"),
         leases_reclaimed,
+        replayed_records: sum_family(m, "glare_store_replayed_records_total"),
+        replay_ms: sorted_samples_ms(m, "glare_store_replay_ms")
+            .last()
+            .copied()
+            .unwrap_or(0.0),
         violations,
         exposition: m.expose_prometheus(),
         events_jsonl: g.events.to_jsonl(),
@@ -680,9 +735,25 @@ pub fn render(r: &ChaosReport) -> String {
             row.violations.len(),
         ));
     }
+    s.push_str(
+        "\nRecovery (crash → replay → rejoin)\n\
+         loss  | recoveries | replayed | p50 (ms) | p95 (ms) | max (ms)\n",
+    );
+    for row in &r.rows {
+        s.push_str(&format!(
+            "{:<6.3}| {:>10} | {:>8} | {:>8.1} | {:>8.1} | {:>8.1}\n",
+            row.loss,
+            row.recoveries,
+            row.replayed_records,
+            pct(&row.recovery_ms, 0.5),
+            pct(&row.recovery_ms, 0.95),
+            pct(&row.recovery_ms, 1.0),
+        ));
+    }
     s.push_str(&format!(
         "\nGrid phase: provisions ok/failed {}/{}   leases granted/rejected/unavailable {}/{}/{}\n\
-         retries {}   breaker open/short {}/{}   leases reclaimed on restart {}\n",
+         retries {}   breaker open/short {}/{}   leases reclaimed on restart {}\n\
+         restart replayed {} journal record(s) in {:.1} ms\n",
         r.grid.provisions_ok,
         r.grid.provisions_failed,
         r.grid.leases_granted,
@@ -692,6 +763,8 @@ pub fn render(r: &ChaosReport) -> String {
         r.grid.breaker_opens,
         r.grid.short_circuits,
         r.grid.leases_reclaimed,
+        r.grid.replayed_records,
+        r.grid.replay_ms,
     ));
     if r.invariant_violations.is_empty() {
         s.push_str("\ninvariants: all hold\n");
@@ -757,6 +830,10 @@ impl ChaosReport {
                             Json::from(r.failure_detect_p95_ms),
                         ),
                         ("site_restarts", Json::from(r.site_restarts)),
+                        ("recoveries", Json::from(r.recoveries)),
+                        ("replayed_records", Json::from(r.replayed_records)),
+                        ("recovery_p50_ms", Json::from(pct(&r.recovery_ms, 0.5))),
+                        ("recovery_p95_ms", Json::from(pct(&r.recovery_ms, 0.95))),
                         (
                             "violations",
                             Json::arr(r.violations.iter().map(|v| Json::from(v.as_str()))),
@@ -779,6 +856,8 @@ impl ChaosReport {
                     ("breaker_opens", Json::from(self.grid.breaker_opens)),
                     ("short_circuits", Json::from(self.grid.short_circuits)),
                     ("leases_reclaimed", Json::from(self.grid.leases_reclaimed)),
+                    ("replayed_records", Json::from(self.grid.replayed_records)),
+                    ("replay_ms", Json::from(self.grid.replay_ms)),
                     (
                         "violations",
                         Json::arr(self.grid.violations.iter().map(|v| Json::from(v.as_str()))),
@@ -802,6 +881,54 @@ impl ChaosReport {
                 Json::arr(self.lint.iter().map(|v| Json::from(v.as_str()))),
             ),
             ("events_dropped", Json::from(self.events_dropped)),
+        ])
+    }
+
+    /// Recovery-time summary (written to `BENCH_recovery.json`):
+    /// crash-to-rejoin percentiles per loss point and merged over the
+    /// whole sweep, plus the Grid phase's restart replay.
+    pub fn to_recovery_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let mut merged: Vec<f64> = self
+            .rows
+            .iter()
+            .flat_map(|r| r.recovery_ms.iter().copied())
+            .collect();
+        merged.sort_by(f64::total_cmp);
+        Json::obj([
+            ("experiment", Json::from("recovery")),
+            ("seed", Json::from(self.params.seed)),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|r| {
+                    Json::obj([
+                        ("loss", Json::from(r.loss)),
+                        ("site_restarts", Json::from(r.site_restarts)),
+                        ("recoveries", Json::from(r.recoveries)),
+                        ("replayed_records", Json::from(r.replayed_records)),
+                        ("p50_ms", Json::from(pct(&r.recovery_ms, 0.5))),
+                        ("p95_ms", Json::from(pct(&r.recovery_ms, 0.95))),
+                        ("max_ms", Json::from(pct(&r.recovery_ms, 1.0))),
+                    ])
+                })),
+            ),
+            (
+                "overall",
+                Json::obj([
+                    ("recoveries", Json::from(merged.len())),
+                    ("p50_ms", Json::from(pct(&merged, 0.5))),
+                    ("p95_ms", Json::from(pct(&merged, 0.95))),
+                    ("max_ms", Json::from(pct(&merged, 1.0))),
+                ]),
+            ),
+            (
+                "grid",
+                Json::obj([
+                    ("replayed_records", Json::from(self.grid.replayed_records)),
+                    ("replay_ms", Json::from(self.grid.replay_ms)),
+                    ("leases_reclaimed", Json::from(self.grid.leases_reclaimed)),
+                ]),
+            ),
         ])
     }
 }
@@ -829,6 +956,20 @@ mod tests {
             "the partition schedule actually cut links"
         );
         assert!(row.site_restarts > 0, "outages crashed and healed sites");
+        assert!(
+            row.recoveries > 0,
+            "restarted sites completed store recovery + rejoin"
+        );
+        assert_eq!(
+            row.recoveries as usize,
+            row.recovery_ms.len(),
+            "one recovery sample per completed rejoin"
+        );
+        assert!(
+            row.recovery_ms.windows(2).all(|w| w[0] <= w[1]),
+            "recovery samples are sorted"
+        );
+        assert!(pct(&row.recovery_ms, 0.95) > 0.0, "recovery took sim-time");
         // The mid-run crash of the granting site drives the Grid-phase
         // retry path hard enough to trip the breaker.
         assert!(r.grid.retries > 0, "the lease path retried");
@@ -838,6 +979,11 @@ mod tests {
             r.grid.leases_reclaimed > 0 || r.grid.leases_unavailable > 0,
             "the outage was visible to the lease workload"
         );
+        assert!(
+            r.grid.replayed_records > 0,
+            "the restarted granting site replayed its journal"
+        );
+        assert!(r.grid.replay_ms > 0.0, "replay charged modeled time");
     }
 
     #[test]
@@ -852,5 +998,10 @@ mod tests {
         assert_eq!(a.grid.exposition, b.grid.exposition);
         assert_eq!(a.grid.events_jsonl, b.grid.events_jsonl);
         assert_eq!(a.to_json().to_string_pretty(), b.to_json().to_string_pretty());
+        assert_eq!(
+            a.to_recovery_json().to_string_pretty(),
+            b.to_recovery_json().to_string_pretty(),
+            "BENCH_recovery.json must be byte-identical for the same seed"
+        );
     }
 }

@@ -28,7 +28,7 @@ use glare_core::rdm::{
     provision, CacheRefresher, DeploymentStatusMonitor, IndexMonitor, ProvisionRequest,
 };
 use glare_fabric::{
-    Labels, MetricsRegistry, SimDuration, SimTime, SiteId, DEFAULT_MAX_EVENTS,
+    Labels, MetricsRegistry, SimDuration, SimTime, SiteId, StoreConfig, DEFAULT_MAX_EVENTS,
 };
 use glare_services::{ChannelKind, Transport};
 
@@ -112,6 +112,14 @@ pub struct SiteHealth {
     pub dropped_loss: u64,
     /// Overlay messages to this site dropped by partitions.
     pub dropped_partition: u64,
+    /// Journal records replayed when this site recovered from a crash.
+    pub replayed_records: u64,
+    /// Worst store-replay time across this site's recoveries (ms).
+    pub replay_ms: f64,
+    /// Anti-entropy entries this site pulled from its super-peer on rejoin.
+    pub ae_pulls: u64,
+    /// Anti-entropy entries this super-peer absorbed from rejoining members.
+    pub ae_pushes: u64,
 }
 
 /// One peer group's health row (overlay cache traffic by group).
@@ -242,6 +250,11 @@ pub fn run_overlay(p: HealthParams, instrument: bool) -> (glare_fabric::Simulati
         }
     });
     let (mut sim, ids) = builder.build();
+    // Durable stores for every site, so the scripted crash below is
+    // amnesia-faithful and the later restart exercises snapshot-load +
+    // journal replay + anti-entropy rejoin. Enabled for both instrument
+    // settings, so the observe-only probe comparison stays apples-to-apples.
+    sim.enable_store(StoreConfig::standard());
     if instrument {
         sim.enable_events(DEFAULT_MAX_EVENTS);
         sim.enable_tracing(glare_fabric::trace::DEFAULT_MAX_SPANS);
@@ -265,6 +278,24 @@ pub fn run_overlay(p: HealthParams, instrument: bool) -> (glare_fabric::Simulati
     ranked.sort_by_key(|r| std::cmp::Reverse(r.1));
     let crash_site = if ranked[0].0 == 0 { ranked[1].0 } else { ranked[0].0 };
     sim.schedule_crash(SimTime::from_secs(p.horizon_secs / 3), SiteId(crash_site));
+    // Bring it back two thirds of the way in: recovery replays the durable
+    // store and the rejoin runs an anti-entropy round, populating the
+    // per-site recovery columns of the report.
+    sim.schedule_restart(SimTime::from_secs(2 * p.horizon_secs / 3), SiteId(crash_site));
+    // Also bounce the lowest-ranked member. Unlike the ex super-peer above
+    // (which reclaims its office on rejoin and has nobody to sync with), a
+    // member rejoin pulls/pushes registry state from its super-peer — the
+    // anti-entropy columns of the report. It comes back after the
+    // super-peer does, so its rejoin election finds a higher-ranked winner
+    // (a member that rejoins an empty field just wins office instead).
+    let member_site = ranked
+        .iter()
+        .rev()
+        .map(|r| r.0)
+        .find(|&i| i != 0 && i != crash_site)
+        .expect("at least 3 sites leave a spare member");
+    sim.schedule_crash(SimTime::from_secs(p.horizon_secs / 2), SiteId(member_site));
+    sim.schedule_restart(SimTime::from_secs(7 * p.horizon_secs / 10), SiteId(member_site));
 
     let stats = ClientStats::shared();
     for c in 0..p.clients {
@@ -384,6 +415,12 @@ pub fn run(p: HealthParams) -> HealthReport {
             failure_detect_p95_ms: ms(failure.and_then(|h| h.quantile(0.95))),
             dropped_loss: dropped_by(om, &site, "loss"),
             dropped_partition: dropped_by(om, &site, "partition"),
+            replayed_records: sum_by_site(om, "glare_store_replayed_records_total", &site),
+            replay_ms: ms(om
+                .histogram_labeled_ref("glare_store_replay_ms", &slabels)
+                .and_then(|h| h.max())),
+            ae_pulls: sum_by_site(om, "glare_antientropy_pulls_total", &site),
+            ae_pushes: sum_by_site(om, "glare_antientropy_pushes_total", &site),
             site,
         });
     }
@@ -480,6 +517,15 @@ pub fn render(r: &HealthReport) -> String {
             format!("{}/{}", row.dropped_loss, row.dropped_partition),
         ));
     }
+    s.push_str(
+        "\nRecovery & anti-entropy\nsite   | replayed | replay (ms) | AE pulls | AE pushes\n",
+    );
+    for row in &r.sites {
+        s.push_str(&format!(
+            "{:<7}| {:>8} | {:>11.1} | {:>8} | {:>9}\n",
+            row.site, row.replayed_records, row.replay_ms, row.ae_pulls, row.ae_pushes,
+        ));
+    }
     s.push_str("\nPeer-group cache traffic\ngroup      | hits | misses | hit ratio\n");
     for row in &r.groups {
         s.push_str(&format!(
@@ -543,6 +589,10 @@ impl HealthReport {
                         ("failure_detect_p95_ms", Json::from(s.failure_detect_p95_ms)),
                         ("dropped_loss", Json::from(s.dropped_loss)),
                         ("dropped_partition", Json::from(s.dropped_partition)),
+                        ("replayed_records", Json::from(s.replayed_records)),
+                        ("replay_ms", Json::from(s.replay_ms)),
+                        ("ae_pulls", Json::from(s.ae_pulls)),
+                        ("ae_pushes", Json::from(s.ae_pushes)),
                     ])
                 })),
             ),
@@ -607,6 +657,15 @@ mod tests {
         assert!(r.grid_events_jsonl.contains("\"kind\":\"lease.rejected\""));
         // The crashed super-peer shows up in the overlay event log.
         assert!(r.overlay_events_jsonl.contains("\"kind\":\"election.won\""));
+        // The scripted restart recovered from the durable store and the
+        // rejoin ran an anti-entropy exchange.
+        assert!(
+            r.sites.iter().any(|s| s.replay_ms > 0.0),
+            "the restarted site replayed its store"
+        );
+        assert!(r.overlay_events_jsonl.contains("\"kind\":\"store.recovered\""));
+        let ae: u64 = r.sites.iter().map(|s| s.ae_pulls + s.ae_pushes).sum();
+        assert!(ae > 0, "rejoin exchanged anti-entropy state");
     }
 
     #[test]

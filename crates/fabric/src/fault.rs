@@ -27,6 +27,17 @@ pub enum Fault {
         /// Which site restarts.
         site: SiteId,
     },
+    /// Crash `site` at `at` and tear the last `torn_records` records off
+    /// its durable journal (a partial write at the moment of failure).
+    /// With durability disabled this degenerates to a plain crash.
+    CrashTorn {
+        /// When the crash happens.
+        at: SimTime,
+        /// Which site crashes.
+        site: SiteId,
+        /// How many tail records the crash corrupts.
+        torn_records: usize,
+    },
     /// Sever the pair from `from` until `until`.
     Partition {
         /// Partition start.
@@ -67,6 +78,28 @@ impl FaultPlan {
     /// Crash then restart after `downtime`.
     pub fn outage(self, at: SimTime, site: SiteId, downtime: SimDuration) -> Self {
         self.crash(at, site).restart(at + downtime, site)
+    }
+
+    /// Add a crash that also tears the tail of the site's journal.
+    pub fn crash_torn(mut self, at: SimTime, site: SiteId, torn_records: usize) -> Self {
+        self.faults.push(Fault::CrashTorn {
+            at,
+            site,
+            torn_records,
+        });
+        self
+    }
+
+    /// Torn-tail crash then restart after `downtime`.
+    pub fn outage_torn(
+        self,
+        at: SimTime,
+        site: SiteId,
+        downtime: SimDuration,
+        torn_records: usize,
+    ) -> Self {
+        self.crash_torn(at, site, torn_records)
+            .restart(at + downtime, site)
     }
 
     /// Add a partition window.
@@ -119,6 +152,32 @@ impl FaultPlan {
         self
     }
 
+    /// Like [`FaultPlan::random_outages`], but every crash also tears a
+    /// random `0..=max_torn` tail records off the victim's journal —
+    /// seeded partial-write corruption for durability chaos runs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn random_outages_torn(
+        mut self,
+        rng: &mut SimRng,
+        n: usize,
+        sites: &[SiteId],
+        start: SimTime,
+        end: SimTime,
+        downtime: SimDuration,
+        max_torn: usize,
+    ) -> Self {
+        assert!(!sites.is_empty(), "need at least one site");
+        assert!(start < end, "empty outage window");
+        let span = end.since(start).as_nanos();
+        for _ in 0..n {
+            let at = start + SimDuration::from_nanos(rng.range(0, span));
+            let site = sites[rng.index(sites.len())];
+            let torn = rng.range(0, max_torn as u64 + 1) as usize;
+            self = self.outage_torn(at, site, downtime, torn);
+        }
+        self
+    }
+
     /// The scripted faults, in insertion order.
     pub fn faults(&self) -> &[Fault] {
         &self.faults
@@ -130,6 +189,11 @@ impl FaultPlan {
             match *fault {
                 Fault::Crash { at, site } => sim.schedule_crash(at, site),
                 Fault::Restart { at, site } => sim.schedule_restart(at, site),
+                Fault::CrashTorn {
+                    at,
+                    site,
+                    torn_records,
+                } => sim.schedule_crash_torn(at, site, torn_records),
                 Fault::Partition { from, until, a, b } => {
                     sim.schedule_call(from, move |s| s.set_partitioned(a, b, true));
                     sim.schedule_call(until, move |s| s.set_partitioned(a, b, false));

@@ -12,6 +12,8 @@
 //!   load average reported in the paper's Fig. 13.
 //! * [`sim`] — the event kernel: actors, messages, timers, CPU work,
 //!   crashes, partitions.
+//! * [`store`] — per-site simulated persistent storage: write-ahead
+//!   journal + snapshot/compaction, with torn-tail crash corruption.
 //! * [`fault`] — declarative failure scripts.
 //! * [`metrics`] — counters/histograms/series the bench harness reads,
 //!   plus the labeled families/windowed gauges behind the health report.
@@ -31,6 +33,7 @@ pub mod metrics;
 pub mod rng;
 pub mod sim;
 pub mod site;
+pub mod store;
 pub mod sync;
 pub mod time;
 pub mod topology;
@@ -45,6 +48,7 @@ pub use metrics::{
 pub use rng::SimRng;
 pub use sim::{Actor, ActorId, Ctx, Envelope, Msg, NetworkConfig, Simulation, TimerToken};
 pub use site::{SiteRuntime, WorkTicket};
+pub use store::{JournalRecord, RecoveredState, SiteStore, Snapshot, StoreConfig, StoreStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkSpec, Platform, SiteId, SiteSpec, Topology};
 pub use trace::{SpanHandle, SpanId, SpanKind, SpanRecord, TraceContext, TraceId, TraceSink};

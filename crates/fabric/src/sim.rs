@@ -13,12 +13,13 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
 use crate::events::EventLog;
 use crate::metrics::{Labels, MetricsRegistry, DEFAULT_GAUGE_WINDOW};
 use crate::rng::SimRng;
 use crate::site::{SiteRuntime, WorkTicket, LOAD_SAMPLE_INTERVAL};
+use crate::store::{RecoveredState, SiteStore, StoreConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{SiteId, Topology};
 use crate::trace::{SpanHandle, SpanKind, TraceContext, TraceSink};
@@ -204,6 +205,11 @@ pub struct Kernel {
     stopped: bool,
     trace: Option<Box<TraceState>>,
     events: Option<EventLog>,
+    store_cfg: StoreConfig,
+    stores: BTreeMap<SiteId, SiteStore>,
+    /// Torn-tail requests armed by `schedule_crash_torn`, consumed by the
+    /// next crash of the site.
+    pending_tear: BTreeMap<SiteId, usize>,
 }
 
 impl Kernel {
@@ -515,6 +521,101 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// Whether the durability layer is on (sites have simulated persistent
+    /// stores). Off by default; when off every `store_*` call is an inert
+    /// no-op, so unconverted runs stay event-identical.
+    pub fn store_enabled(&self) -> bool {
+        self.kernel.store_cfg.enabled
+    }
+
+    /// The active durability configuration.
+    pub fn store_config(&self) -> StoreConfig {
+        self.kernel.store_cfg
+    }
+
+    /// Append one mutation record to this site's write-ahead journal.
+    ///
+    /// The configured fsync cost is charged through the site's CPU run
+    /// queue; completion surfaces as an `on_compute_done` with tag
+    /// `"store-fsync"` (fire-and-forget for most actors). Returns the
+    /// record's sequence number, or `None` when durability is disabled.
+    pub fn store_append(&mut self, kind: &str, payload: &str) -> Option<u64> {
+        if !self.kernel.store_cfg.enabled {
+            return None;
+        }
+        let site = self.self_site;
+        let seq = self
+            .kernel
+            .stores
+            .entry(site)
+            .or_default()
+            .append(kind, payload);
+        self.kernel.metrics.counter("fabric.store.appends").inc();
+        let cost = self.kernel.store_cfg.fsync_cost;
+        if cost > SimDuration::ZERO {
+            self.compute(cost, "store-fsync");
+        }
+        Some(seq)
+    }
+
+    /// Install a full-state snapshot for this site, compacting the journal
+    /// it covers. Charges one fsync. Returns the number of compacted
+    /// records, or `None` when durability is disabled.
+    pub fn store_snapshot(&mut self, blob: &str) -> Option<usize> {
+        if !self.kernel.store_cfg.enabled {
+            return None;
+        }
+        let site = self.self_site;
+        let compacted = self
+            .kernel
+            .stores
+            .entry(site)
+            .or_default()
+            .install_snapshot(blob);
+        self.kernel.metrics.counter("fabric.store.snapshots").inc();
+        let cost = self.kernel.store_cfg.fsync_cost;
+        if cost > SimDuration::ZERO {
+            self.compute(cost, "store-fsync");
+        }
+        Some(compacted)
+    }
+
+    /// Recover this site's store: validate the journal (truncating any
+    /// torn tail), and return snapshot + surviving records for replay.
+    ///
+    /// Charges the snapshot-load cost plus the per-record replay cost
+    /// through the site CPU; completion surfaces as an `on_compute_done`
+    /// with tag `"store-replay"`. `None` when durability is disabled.
+    pub fn store_recover(&mut self) -> Option<RecoveredState> {
+        if !self.kernel.store_cfg.enabled {
+            return None;
+        }
+        let site = self.self_site;
+        let rec = self.kernel.stores.entry(site).or_default().recover();
+        let cfg = self.kernel.store_cfg;
+        let mut cost = SimDuration::ZERO;
+        if rec.snapshot.is_some() {
+            cost += cfg.snapshot_load_cost;
+        }
+        cost += cfg
+            .replay_cost_per_record
+            .mul_f64(rec.records.len() as f64);
+        if cost > SimDuration::ZERO {
+            self.compute(cost, "store-replay");
+        }
+        Some(rec)
+    }
+
+    /// Current journal length of this site's store (0 when disabled) —
+    /// what compaction policies key off.
+    pub fn store_journal_len(&self) -> usize {
+        self.kernel
+            .stores
+            .get(&self.self_site)
+            .map(|s| s.journal_len())
+            .unwrap_or(0)
+    }
+
     /// Whether the structured event log is enabled on this simulation.
     pub fn events_enabled(&self) -> bool {
         self.kernel.events.is_some()
@@ -580,6 +681,9 @@ impl Simulation {
                 stopped: false,
                 trace: None,
                 events: None,
+                store_cfg: StoreConfig::disabled(),
+                stores: BTreeMap::new(),
+                pending_tear: BTreeMap::new(),
             },
             actors: Vec::new(),
             started: false,
@@ -731,8 +835,34 @@ impl Simulation {
         &self.kernel.sites[id.index()]
     }
 
+    /// Turn the durability layer on (or reconfigure it). Call before
+    /// [`Simulation::start`] so initial snapshots land in the stores.
+    pub fn enable_store(&mut self, cfg: StoreConfig) {
+        self.kernel.store_cfg = cfg;
+    }
+
+    /// A site's durable store, if durability is on and the site ever wrote
+    /// to it (digest/stat inspection for harnesses and tests).
+    pub fn store(&self, site: SiteId) -> Option<&SiteStore> {
+        self.kernel.stores.get(&site)
+    }
+
     /// Schedule a site crash at `at`.
     pub fn schedule_crash(&mut self, at: SimTime, site: SiteId) {
+        self.kernel.schedule(at, EventKind::SiteCrash(site));
+    }
+
+    /// Schedule a site crash at `at` that additionally tears the last
+    /// `torn_records` records off the site's journal — the partial write a
+    /// real crash leaves behind. Recovery truncates at the last valid
+    /// record. With durability disabled this is an ordinary crash.
+    pub fn schedule_crash_torn(&mut self, at: SimTime, site: SiteId, torn_records: usize) {
+        self.kernel.schedule(
+            at,
+            EventKind::Call(Box::new(move |s: &mut Simulation| {
+                s.kernel.pending_tear.insert(site, torn_records);
+            })),
+        );
         self.kernel.schedule(at, EventKind::SiteCrash(site));
     }
 
@@ -888,6 +1018,31 @@ impl Simulation {
                 let now = self.kernel.now;
                 self.kernel.sites[site.index()].crash(now);
                 self.kernel.metrics.counter("fabric.crashes").inc();
+                // Apply any armed torn-tail damage before the actors' last
+                // gasp, so on_site_crash observes the post-crash disk.
+                if let Some(n) = self.kernel.pending_tear.remove(&site) {
+                    if let Some(store) = self.kernel.stores.get_mut(&site) {
+                        let torn = store.tear_tail(n);
+                        if torn > 0 {
+                            self.kernel
+                                .metrics
+                                .counter("fabric.store.torn_records")
+                                .add(torn as u64);
+                            if let Some(log) = &mut self.kernel.events {
+                                log.emit(
+                                    now,
+                                    "store.torn",
+                                    Some(site),
+                                    "store",
+                                    &[
+                                        ("site", &format!("site{}", site.index())),
+                                        ("records", &torn.to_string()),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                }
                 if let Some(log) = &mut self.kernel.events {
                     log.emit(
                         now,

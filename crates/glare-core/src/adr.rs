@@ -14,7 +14,7 @@
 //! accumulate duplicate entries and listings come out in deterministic
 //! order.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use glare_fabric::sync::RwLock;
 use glare_fabric::{SimDuration, SimTime};
@@ -40,6 +40,9 @@ pub struct ActivityDeploymentRegistry {
     /// type name -> deployment keys (the "EPR registered in its type
     /// resource" index).
     by_type: RwLock<HashMap<String, BTreeSet<String>>>,
+    /// Uninstall tombstones: key -> uninstall instant. Anti-entropy uses
+    /// these so deletes win over stale peer copies and never resurrect.
+    tombstones: RwLock<BTreeMap<String, SimTime>>,
 }
 
 impl ActivityDeploymentRegistry {
@@ -50,6 +53,7 @@ impl ActivityDeploymentRegistry {
             transport,
             home: ResourceHome::new(),
             by_type: RwLock::new(HashMap::new()),
+            tombstones: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -70,6 +74,15 @@ impl ActivityDeploymentRegistry {
         }
         let key = deployment.key.clone();
         let type_name = deployment.type_name.clone();
+        // Deletes win: a tombstone at least as new as the registration
+        // instant rejects it, so anti-entropy can never resurrect an
+        // uninstalled deployment. A genuinely newer registration clears
+        // the tombstone below.
+        if let Some(at) = self.tombstone_of(&key) {
+            if at >= now {
+                return Err(GlareError::Tombstoned { key, at });
+            }
+        }
         // Hold the index write lock across replace + create + index so a
         // concurrent re-registration of the same key cannot interleave.
         let mut by_type = self.by_type.write();
@@ -81,7 +94,8 @@ impl ActivityDeploymentRegistry {
             }
         }
         self.home.create(key.clone(), deployment, now)?;
-        by_type.entry(type_name).or_default().insert(key);
+        by_type.entry(type_name).or_default().insert(key.clone());
+        self.tombstones.write().remove(&key);
         Ok(REQUEST_BASE_COST + self.transport.overhead_cost(DEPLOYMENT_WIRE_BYTES))
     }
 
@@ -188,6 +202,52 @@ impl ActivityDeploymentRegistry {
             keys.remove(key);
         }
         Ok(r.payload)
+    }
+
+    /// Uninstall a deployment: remove it and record a tombstone at `now`
+    /// so a stale peer copy can never resurrect it through anti-entropy.
+    pub fn uninstall(&self, key: &str, now: SimTime) -> Result<ActivityDeployment, GlareError> {
+        let removed = self.remove(key)?;
+        self.tombstones.write().insert(key.to_owned(), now);
+        Ok(removed)
+    }
+
+    /// The tombstone instant for `key`, if it was uninstalled.
+    pub fn tombstone_of(&self, key: &str) -> Option<SimTime> {
+        self.tombstones.read().get(key).copied()
+    }
+
+    /// All tombstones, sorted by key.
+    pub fn tombstones(&self) -> Vec<(String, SimTime)> {
+        self.tombstones
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Apply a tombstone learned from a peer (anti-entropy). Keeps the
+    /// newest tombstone instant per key and evicts a live entry whose LUT
+    /// is not newer than the tombstone. Returns whether an entry was
+    /// evicted (i.e. a resurrection was prevented).
+    pub fn apply_tombstone(&self, key: &str, at: SimTime, now: SimTime) -> bool {
+        {
+            let mut tombs = self.tombstones.write();
+            let entry = tombs.entry(key.to_owned()).or_insert(at);
+            if *entry < at {
+                *entry = at;
+            }
+        }
+        let stale = self
+            .home
+            .with_resource(key, now, |r| r.modified_at <= at)
+            .unwrap_or(false);
+        stale && self.remove(key).is_ok()
+    }
+
+    /// Restore tombstones wholesale (snapshot replay after a crash).
+    pub fn restore_tombstones(&self, tombs: impl IntoIterator<Item = (String, SimTime)>) {
+        self.tombstones.write().extend(tombs);
     }
 
     /// Sweep expired deployments, returning their keys.
@@ -351,6 +411,42 @@ mod tests {
         assert_eq!(removed.site, "s1");
         assert!(adr.deployments_of("JPOVray", t(1)).value.is_empty());
         assert!(adr.remove("jpovray@s1").is_err());
+    }
+
+    #[test]
+    fn uninstall_tombstones_and_newer_registration_supersedes() {
+        let (atr, adr) = registries();
+        adr.register(jpov_exec("s1"), &atr, t(0)).unwrap();
+        let removed = adr.uninstall("jpovray@s1", t(10)).unwrap();
+        assert_eq!(removed.site, "s1");
+        assert_eq!(adr.tombstone_of("jpovray@s1"), Some(t(10)));
+        // Registration at (or before) the tombstone instant loses.
+        assert!(matches!(
+            adr.register(jpov_exec("s1"), &atr, t(10)),
+            Err(GlareError::Tombstoned { .. })
+        ));
+        // A genuinely newer install wins and clears the tombstone.
+        adr.register(jpov_exec("s1"), &atr, t(11)).unwrap();
+        assert_eq!(adr.tombstone_of("jpovray@s1"), None);
+        assert_eq!(adr.count_of("JPOVray", t(12)), 1);
+    }
+
+    #[test]
+    fn apply_tombstone_evicts_stale_entry_only() {
+        let (atr, adr) = registries();
+        adr.register(jpov_exec("s1"), &atr, t(5)).unwrap();
+        // Peer tombstone newer than the local entry: evict.
+        assert!(adr.apply_tombstone("jpovray@s1", t(7), t(8)));
+        assert!(adr.lookup("jpovray@s1", t(8)).is_none());
+        assert_eq!(adr.tombstone_of("jpovray@s1"), Some(t(7)));
+        // Re-applying on an absent entry evicts nothing but keeps the
+        // newest tombstone instant.
+        assert!(!adr.apply_tombstone("jpovray@s1", t(6), t(9)));
+        assert_eq!(adr.tombstone_of("jpovray@s1"), Some(t(7)));
+        // A tombstone older than a live entry leaves the entry alone.
+        adr.register(jpov_exec("s2"), &atr, t(20)).unwrap();
+        assert!(!adr.apply_tombstone("jpovray@s2", t(15), t(21)));
+        assert!(adr.lookup("jpovray@s2", t(21)).is_some());
     }
 
     #[test]

@@ -266,6 +266,13 @@ impl RegistryCache {
             .map(|e| now.saturating_since(e.cached_at))
     }
 
+    /// Peek a cached deployment without touching hit/miss tallies or the
+    /// freshness gate (anti-entropy reads raw cache contents, which must
+    /// not perturb the Fig. 12 cache-effect metrics).
+    pub fn peek_deployment(&self, key: &str) -> Option<&CachedEntry<ActivityDeployment>> {
+        self.deployments.get(key)
+    }
+
     /// Drop a specific deployment (e.g. origin reported it destroyed).
     pub fn evict_deployment(&mut self, key: &str) {
         if let Some(e) = self.deployments.remove(key) {

@@ -1,5 +1,6 @@
 //! GLARE error types.
 
+use glare_fabric::SimTime;
 use glare_services::expect::ExpectError;
 use glare_services::gridftp::TransferError;
 use glare_wsrf::WsrfError;
@@ -70,6 +71,14 @@ pub enum GlareError {
         /// Why.
         reason: String,
     },
+    /// A registration lost to an uninstall tombstone at least as new as
+    /// the registration instant (deletes win; no resurrection).
+    Tombstoned {
+        /// Deployment key.
+        key: String,
+        /// Tombstone instant.
+        at: SimTime,
+    },
     /// A remote site stayed unreachable after the retry budget was spent
     /// (or its circuit breaker is open and the call was short-circuited).
     SiteUnavailable {
@@ -133,6 +142,9 @@ impl std::fmt::Display for GlareError {
             }
             GlareError::LeaseDenied { deployment, reason } => {
                 write!(f, "lease denied for {deployment}: {reason}")
+            }
+            GlareError::Tombstoned { key, at } => {
+                write!(f, "deployment {key} tombstoned at {}ns", at.as_nanos())
             }
             GlareError::SiteUnavailable { site, detail } => {
                 write!(f, "site {site} unavailable: {detail}")

@@ -11,7 +11,8 @@ use std::collections::BTreeSet;
 
 use glare_fabric::topology::{LinkSpec, Platform, SiteId};
 use glare_fabric::{
-    EventLog, Labels, MetricsRegistry, SimDuration, SimRng, SimTime, TraceSink,
+    EventLog, Labels, MetricsRegistry, SimDuration, SimRng, SimTime, SiteStore, StoreConfig,
+    TraceSink,
 };
 use glare_services::gridftp::Repository;
 use glare_services::{GramService, SiteHost, Transport};
@@ -19,9 +20,10 @@ use glare_services::{GramService, SiteHost, Transport};
 use crate::adr::ActivityDeploymentRegistry;
 use crate::atr::ActivityTypeRegistry;
 use crate::cache::RegistryCache;
+use crate::durable::{self, RegistryMutation, SnapshotState};
 use crate::error::GlareError;
 use crate::lease::{LeaseKind, LeaseManager, LeaseTicket};
-use crate::model::{ActivityType, TypeKind};
+use crate::model::{ActivityDeployment, ActivityType, TypeKind};
 use crate::retry::{BreakerBank, RetryPolicy};
 
 /// Default age limit for cached registry entries.
@@ -185,6 +187,15 @@ pub struct Grid {
     pub retry: RetryPolicy,
     /// Per-remote-site circuit breakers, keyed by site index.
     pub breakers: BreakerBank<usize>,
+    /// Per-site durable stores (`None` = durability off). With durability
+    /// on, [`Grid::crash_site`] becomes amnesia-faithful — it wipes the
+    /// site's volatile registries, lease table and cache — and
+    /// [`Grid::restart_site`] rebuilds them by snapshot load + journal
+    /// replay, making the "the ledger is durable" story real instead of
+    /// assumed.
+    stores: Option<Vec<SiteStore>>,
+    /// Cost/compaction configuration of the durable stores.
+    store_cfg: StoreConfig,
 }
 
 impl Grid {
@@ -211,7 +222,104 @@ impl Grid {
             faults: FaultInjector::inert(),
             retry: RetryPolicy::standard(),
             breakers: BreakerBank::default(),
+            stores: None,
+            store_cfg: StoreConfig::disabled(),
         }
+    }
+
+    /// Give every site a durable store (WAL + snapshots). Off by default;
+    /// with `cfg.enabled == false` this removes any stores and restores
+    /// the legacy "state survives by fiat" crash semantics.
+    pub fn enable_durability(&mut self, cfg: StoreConfig) {
+        if cfg.enabled {
+            self.stores = Some(vec![SiteStore::new(); self.sites.len()]);
+            self.store_cfg = cfg;
+        } else {
+            self.stores = None;
+            self.store_cfg = StoreConfig::disabled();
+        }
+    }
+
+    /// Whether sites have durable stores.
+    pub fn durability_enabled(&self) -> bool {
+        self.stores.is_some()
+    }
+
+    /// A site's durable store, if durability is on (inspection/tests).
+    pub fn store(&self, site: usize) -> Option<&SiteStore> {
+        self.stores.as_ref().map(|s| &s[site])
+    }
+
+    /// Damage the tail of a site's journal, the way a torn partial write
+    /// does at crash time. No-op (returning 0) when durability is off.
+    pub fn tear_journal_tail(&mut self, site: usize, records: usize) -> usize {
+        match self.stores.as_mut() {
+            Some(stores) => stores[site].tear_tail(records),
+            None => 0,
+        }
+    }
+
+    /// Journal one registry mutation at `site` (no-op when durability is
+    /// off), compacting the journal into a snapshot at the configured
+    /// threshold.
+    fn journal(&mut self, site: usize, m: &RegistryMutation, now: SimTime) {
+        let Some(stores) = self.stores.as_mut() else {
+            return;
+        };
+        stores[site].append(m.kind(), &m.payload());
+        let journal_len = stores[site].journal_len() as u64;
+        let site_label = Grid::site_label(site);
+        self.metrics
+            .counter_labeled(
+                "glare_store_appends_total",
+                &Labels::of(&[("site", &site_label)]),
+            )
+            .inc();
+        if self.store_cfg.compact_every > 0 && journal_len >= self.store_cfg.compact_every {
+            self.snapshot_site(site, now);
+        }
+    }
+
+    /// Fold a site's full durable state into a snapshot, clearing the
+    /// journal. No-op when durability is off.
+    pub fn snapshot_site(&mut self, site: usize, now: SimTime) {
+        if self.stores.is_none() {
+            return;
+        }
+        let s = &self.sites[site];
+        let mut state = SnapshotState::default();
+        for name in s.atr.names(now) {
+            if let Some(resp) = s.atr.lookup(&name, now) {
+                state.types.push(resp.value);
+            }
+        }
+        for key in s.adr.keys(now) {
+            if let Some(resp) = s.adr.lookup(&key, now) {
+                state.deployments.push(resp.value);
+            }
+        }
+        state.tombstones = s.adr.tombstones();
+        state.leases = s.leases.tickets().to_vec();
+        let blob = durable::encode_snapshot(&state);
+        let records = self
+            .stores
+            .as_mut()
+            .expect("checked above")[site]
+            .install_snapshot(&blob);
+        let site_label = Grid::site_label(site);
+        self.metrics
+            .counter_labeled(
+                "glare_store_snapshots_total",
+                &Labels::of(&[("site", &site_label)]),
+            )
+            .inc();
+        self.events.emit(
+            now,
+            "store.compacted",
+            Some(SiteId(site as u32)),
+            "store",
+            &[("site", &site_label), ("records", &records.to_string())],
+        );
     }
 
     /// Short label for a site (`site{i}`), the `site` label value of
@@ -260,7 +368,94 @@ impl Grid {
         t: ActivityType,
         now: SimTime,
     ) -> Result<SimDuration, GlareError> {
-        self.sites[site].atr.register(t, now)
+        let journal = self.stores.is_some().then(|| t.clone());
+        let result = self.sites[site].atr.register(t, now);
+        if let Some(t) = journal.filter(|_| result.is_ok()) {
+            self.journal(site, &RegistryMutation::AtrRegister(Box::new(t)), now);
+        }
+        result
+    }
+
+    /// Register a deployment at a site's ADR, journaling it when durable.
+    /// The RDM deploy path funnels through here so installed deployments
+    /// survive an amnesia-faithful crash.
+    pub fn register_deployment(
+        &mut self,
+        site: usize,
+        d: ActivityDeployment,
+        now: SimTime,
+    ) -> Result<SimDuration, GlareError> {
+        let journal = self.stores.is_some().then(|| d.clone());
+        let result = {
+            let s = &self.sites[site];
+            s.adr.register(d, &s.atr, now)
+        };
+        if let Some(d) = journal.filter(|_| result.is_ok()) {
+            self.journal(site, &RegistryMutation::AdrRegister(Box::new(d)), now);
+        }
+        result
+    }
+
+    /// Drop a deployment record without a tombstone (failed-record
+    /// cleanup, undeploy), journaling the removal when durable so replay
+    /// does not resurrect it.
+    pub fn remove_deployment(
+        &mut self,
+        site: usize,
+        key: &str,
+        now: SimTime,
+    ) -> Result<ActivityDeployment, GlareError> {
+        let result = self.sites[site].adr.remove(key);
+        if result.is_ok() {
+            self.journal(site, &RegistryMutation::AdrRemove(key.to_owned()), now);
+        }
+        result
+    }
+
+    /// Remove an activity type from a site's ATR, journaling the removal
+    /// when durable.
+    pub fn remove_type(
+        &mut self,
+        site: usize,
+        name: &str,
+        now: SimTime,
+    ) -> Result<ActivityType, GlareError> {
+        let result = self.sites[site].atr.remove(name);
+        if result.is_ok() {
+            self.journal(site, &RegistryMutation::AtrRemove(name.to_owned()), now);
+        }
+        result
+    }
+
+    /// Uninstall a deployment at a site, leaving a tombstone at `now` so
+    /// stale copies can never resurrect it (deletes win). Returns whether
+    /// a live entry was actually removed. Journaled when durable.
+    pub fn uninstall_deployment(&mut self, site: usize, key: &str, now: SimTime) -> bool {
+        let removed = {
+            let s = &mut self.sites[site];
+            let removed = s.adr.uninstall(key, now).is_ok();
+            if !removed {
+                s.adr.restore_tombstones([(key.to_owned(), now)]);
+            }
+            s.cache.evict_deployment(key);
+            removed
+        };
+        self.events.emit(
+            now,
+            "deployment.tombstoned",
+            Some(SiteId(site as u32)),
+            "adr",
+            &[("site", &Grid::site_label(site)), ("key", key)],
+        );
+        self.journal(
+            site,
+            &RegistryMutation::AdrUninstall {
+                key: key.to_owned(),
+                at: now,
+            },
+            now,
+        );
+        removed
     }
 
     /// Find a type anywhere in the VO: the local registry first, then the
@@ -423,12 +618,46 @@ impl Grid {
                 );
             }
         }
+        if self.stores.is_some() {
+            if let Ok(ticket) = &result {
+                let m = RegistryMutation::LeaseGrant(ticket.clone());
+                self.journal(site, &m, now);
+            }
+        }
         result
     }
 
-    /// Mark a site down for the synchronous path. Registry and lease
-    /// state survives the crash (the ledger is durable); only calls fail
-    /// until [`Grid::restart_site`].
+    /// Release a lease early, journaling the release when durable so a
+    /// replayed lease table does not revive freed capacity.
+    pub fn release_lease(
+        &mut self,
+        site: usize,
+        ticket: u64,
+        now: SimTime,
+    ) -> Result<(), GlareError> {
+        let result = self.sites[site].leases.release(ticket);
+        if result.is_ok() {
+            self.events.emit(
+                now,
+                "lease.released",
+                Some(SiteId(site as u32)),
+                "lease",
+                &[
+                    ("site", &Grid::site_label(site)),
+                    ("ticket", &ticket.to_string()),
+                ],
+            );
+            self.journal(site, &RegistryMutation::LeaseRelease(ticket), now);
+        }
+        result
+    }
+
+    /// Mark a site down for the synchronous path. Without durable stores,
+    /// registry and lease state survives the crash by fiat (the legacy
+    /// fiction); only calls fail until [`Grid::restart_site`]. With
+    /// durability on the crash is amnesia-faithful: the site's volatile
+    /// registries, lease table and cache are wiped, and only what was
+    /// journaled or snapshotted comes back at restart.
     pub fn crash_site(&mut self, site: usize, now: SimTime) {
         self.faults.crash(site);
         self.events.emit(
@@ -438,14 +667,37 @@ impl Grid {
             "fault",
             &[("site", &Grid::site_label(site))],
         );
+        if self.stores.is_some() {
+            let s = &mut self.sites[site];
+            let atr_address = s.atr.address.clone();
+            let adr_address = s.adr.address.clone();
+            let transport = s.atr.transport;
+            s.atr = ActivityTypeRegistry::new(&atr_address, transport);
+            s.adr = ActivityDeploymentRegistry::new(&adr_address, transport);
+            s.leases = LeaseManager::new();
+            s.cache = RegistryCache::new(DEFAULT_CACHE_AGE);
+            self.events.emit(
+                now,
+                "site.amnesia",
+                Some(SiteId(site as u32)),
+                "fault",
+                &[("site", &Grid::site_label(site))],
+            );
+        }
     }
 
-    /// Bring a crashed site back. Expired leases are reclaimed on the way
-    /// up — the granting site sweeps its ledger so capacity that freed
-    /// during the outage is usable again. Returns how many tickets were
+    /// Bring a crashed site back. With durability on, the site first
+    /// rebuilds its registries and lease table from its store (snapshot
+    /// load + journal replay, truncating at the last valid record if the
+    /// tail was torn). Expired leases are then reclaimed on the way up —
+    /// the granting site sweeps its ledger so capacity that freed during
+    /// the outage is usable again. Returns how many tickets were
     /// reclaimed.
     pub fn restart_site(&mut self, site: usize, now: SimTime) -> usize {
         self.faults.restart(site);
+        if self.stores.is_some() {
+            self.recover_site(site, now);
+        }
         let reclaimed = self.sites[site].leases.sweep_expired(now);
         self.events.emit(
             now,
@@ -457,7 +709,103 @@ impl Grid {
                 ("leases_reclaimed", &reclaimed.to_string()),
             ],
         );
+        if self.stores.is_some() {
+            // Re-snapshot so the next crash replays from a compact journal
+            // that already reflects the swept lease table.
+            self.snapshot_site(site, now);
+        }
         reclaimed
+    }
+
+    /// Rebuild a site's registries and lease table from its durable store.
+    fn recover_site(&mut self, site: usize, now: SimTime) {
+        let Some(stores) = self.stores.as_mut() else {
+            return;
+        };
+        let recovered = stores[site].recover();
+        let replayed = recovered.replayed_records();
+        let truncated = recovered.truncated_records;
+        let had_snapshot = recovered.snapshot.is_some();
+        {
+            let s = &mut self.sites[site];
+            if let Some(state) = recovered
+                .snapshot
+                .as_deref()
+                .and_then(durable::decode_snapshot)
+            {
+                for t in state.types {
+                    let _ = s.atr.register(t, now);
+                }
+                s.adr.restore_tombstones(state.tombstones);
+                for d in state.deployments {
+                    let _ = s.adr.register(d, &s.atr, now);
+                }
+                for l in state.leases {
+                    s.leases.restore(l);
+                }
+            }
+            for (kind, payload) in &recovered.records {
+                let Some(m) = RegistryMutation::decode(kind, payload) else {
+                    continue;
+                };
+                match m {
+                    RegistryMutation::AtrRegister(t) => {
+                        let _ = s.atr.register(*t, now);
+                    }
+                    RegistryMutation::AtrRemove(name) => {
+                        let _ = s.atr.remove(&name);
+                    }
+                    RegistryMutation::AdrRegister(d) => {
+                        let _ = s.adr.register(*d, &s.atr, now);
+                    }
+                    RegistryMutation::AdrRemove(key) => {
+                        let _ = s.adr.remove(&key);
+                    }
+                    RegistryMutation::AdrUninstall { key, at } => {
+                        // Journal order is authoritative on replay: remove
+                        // the live entry; if it never made it back (e.g. a
+                        // torn register), keep the tombstone regardless.
+                        if s.adr.uninstall(&key, at).is_err() {
+                            s.adr.restore_tombstones([(key, at)]);
+                        }
+                    }
+                    RegistryMutation::LeaseGrant(ticket) => s.leases.restore(ticket),
+                    RegistryMutation::LeaseRelease(id) => {
+                        let _ = s.leases.release(id);
+                    }
+                }
+            }
+        }
+        let site_label = Grid::site_label(site);
+        let labels = Labels::of(&[("site", &site_label)]);
+        self.metrics
+            .counter_labeled("glare_store_replayed_records_total", &labels)
+            .add(replayed);
+        self.metrics
+            .counter_labeled("glare_store_truncated_records_total", &labels)
+            .add(truncated);
+        let mut replay_cost = self
+            .store_cfg
+            .replay_cost_per_record
+            .mul_f64(replayed as f64);
+        if had_snapshot {
+            replay_cost += self.store_cfg.snapshot_load_cost;
+        }
+        self.metrics
+            .histogram_labeled("glare_store_replay_ms", &labels)
+            .record(replay_cost);
+        self.events.emit(
+            now,
+            "store.recovered",
+            Some(SiteId(site as u32)),
+            "store",
+            &[
+                ("site", &site_label),
+                ("replayed", &replayed.to_string()),
+                ("truncated_records", &truncated.to_string()),
+                ("snapshot", if had_snapshot { "true" } else { "false" }),
+            ],
+        );
     }
 
     /// Whether the fault injector considers `site` reachable.
@@ -802,5 +1150,136 @@ mod tests {
     fn deployments_anywhere_empty_initially() {
         let g = grid_with_types();
         assert!(g.deployments_anywhere("JPOVray", t(1)).is_empty());
+    }
+
+    fn durable_grid() -> Grid {
+        let mut g = Grid::new(2, Transport::Http);
+        g.enable_durability(glare_fabric::StoreConfig::standard());
+        for ty in example_hierarchy(SimTime::ZERO) {
+            g.register_type(0, ty, t(0)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn durable_crash_is_amnesia_and_restart_replays() {
+        let mut g = durable_grid();
+        let d = crate::model::ActivityDeployment::executable(
+            "JPOVray",
+            "site0",
+            "/opt/jpovray/bin/jpovray",
+            "/opt/jpovray",
+        );
+        let key = d.key.clone();
+        g.register_deployment(0, d, t(1)).unwrap();
+        let kept = g
+            .acquire_lease(0, &key, "alice", LeaseKind::Shared, t(5)..t(500), t(2))
+            .unwrap();
+        g.acquire_lease(0, &key, "bob", LeaseKind::Shared, t(5)..t(20), t(3))
+            .unwrap();
+        let released = g
+            .acquire_lease(0, &key, "carol", LeaseKind::Shared, t(5)..t(500), t(4))
+            .unwrap();
+        g.release_lease(0, released.id, t(6)).unwrap();
+
+        g.crash_site(0, t(10));
+        // Amnesia: volatile state really is gone between crash and restart.
+        assert!(g.site(0).atr.is_empty(t(11)), "ATR wiped by the crash");
+        assert!(g.site(0).adr.is_empty(t(11)), "ADR wiped by the crash");
+        assert!(g.site(0).leases.is_empty(), "lease table wiped by the crash");
+        assert_eq!(g.events.of_kind("site.amnesia").count(), 1);
+
+        let reclaimed = g.restart_site(0, t(30));
+        assert_eq!(reclaimed, 1, "bob's [5,20) ticket expired during the outage");
+        // Registries rebuilt from snapshot + journal replay.
+        assert!(g.site(0).atr.contains("JPOVray", t(31)));
+        assert!(g.site(0).adr.lookup(&key, t(31)).is_some());
+        // Lease table: alice survives, carol's release held, ids monotonic.
+        assert_eq!(g.site(0).leases.tickets().len(), 1);
+        assert_eq!(g.site(0).leases.tickets()[0].id, kept.id);
+        let fresh = g
+            .acquire_lease(0, &key, "dave", LeaseKind::Shared, t(40)..t(50), t(31))
+            .unwrap();
+        assert!(fresh.id > released.id, "journaled ids never reused");
+        assert_eq!(g.events.of_kind("store.recovered").count(), 1);
+        assert_eq!(g.metrics.lint_metric_names(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn durable_uninstall_tombstone_survives_crash() {
+        let mut g = durable_grid();
+        let d = crate::model::ActivityDeployment::executable(
+            "JPOVray",
+            "site0",
+            "/opt/jpovray/bin/jpovray",
+            "/opt/jpovray",
+        );
+        let key = d.key.clone();
+        g.register_deployment(0, d.clone(), t(1)).unwrap();
+        assert!(g.uninstall_deployment(0, &key, t(5)));
+        g.crash_site(0, t(10));
+        g.restart_site(0, t(20));
+        assert!(g.site(0).adr.lookup(&key, t(21)).is_none(), "no resurrection");
+        assert_eq!(g.site(0).adr.tombstone_of(&key), Some(t(5)));
+        // A stale re-registration (not newer than the tombstone) loses.
+        let err = g.register_deployment(0, d, t(4)).unwrap_err();
+        assert!(matches!(err, GlareError::Tombstoned { .. }));
+    }
+
+    #[test]
+    fn torn_journal_tail_loses_only_the_tail() {
+        let mut g = durable_grid();
+        g.snapshot_site(0, t(1)); // compact the type registrations away
+        let mut keys = Vec::new();
+        for name in ["alpha", "beta", "gamma", "delta"] {
+            let d = crate::model::ActivityDeployment::executable(
+                "JPOVray",
+                "site0",
+                &format!("/opt/jpovray/bin/{name}"),
+                "/opt/jpovray",
+            );
+            keys.push(d.key.clone());
+            g.register_deployment(0, d, t(2)).unwrap();
+        }
+        assert_eq!(g.tear_journal_tail(0, 2), 2);
+        g.crash_site(0, t(10));
+        g.restart_site(0, t(20));
+        assert!(g.site(0).adr.lookup(&keys[0], t(21)).is_some());
+        assert!(g.site(0).adr.lookup(&keys[1], t(21)).is_some());
+        assert!(g.site(0).adr.lookup(&keys[2], t(21)).is_none(), "torn away");
+        assert!(g.site(0).adr.lookup(&keys[3], t(21)).is_none(), "torn away");
+        assert_eq!(
+            g.metrics.counter_labeled_value(
+                "glare_store_truncated_records_total",
+                &Labels::of(&[("site", "site0")]),
+            ),
+            2
+        );
+        let recovered: Vec<_> = g.events.of_kind("store.recovered").collect();
+        assert_eq!(recovered.len(), 1);
+        assert!(recovered[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "truncated_records" && v == "2"));
+    }
+
+    #[test]
+    fn durability_off_keeps_legacy_crash_semantics() {
+        let mut g = grid_with_types();
+        assert!(!g.durability_enabled());
+        assert!(g.store(0).is_none());
+        g.crash_site(0, t(1));
+        // Legacy fiction: state survives by fiat, no amnesia, no stores.
+        assert!(g.site(0).atr.contains("JPOVray", t(2)));
+        g.restart_site(0, t(3));
+        assert_eq!(g.events.of_kind("site.amnesia").count(), 0);
+        assert_eq!(g.events.of_kind("store.recovered").count(), 0);
+        assert_eq!(
+            g.metrics.counter_labeled_value(
+                "glare_store_appends_total",
+                &Labels::of(&[("site", "site0")]),
+            ),
+            0
+        );
     }
 }

@@ -163,6 +163,17 @@ impl LeaseManager {
         })
     }
 
+    /// Re-insert a previously granted ticket during journal replay after
+    /// a crash. Skips duplicate ids and bumps the id counter past the
+    /// restored ticket so fresh grants never reuse a journaled id.
+    pub fn restore(&mut self, ticket: LeaseTicket) {
+        if self.leases.iter().any(|l| l.id == ticket.id) {
+            return;
+        }
+        self.next_id = self.next_id.max(ticket.id + 1);
+        self.leases.push(ticket);
+    }
+
     /// Release a ticket early.
     pub fn release(&mut self, id: u64) -> Result<(), GlareError> {
         match self.leases.iter().position(|l| l.id == id) {

@@ -9,6 +9,7 @@ pub mod adr;
 pub mod atr;
 pub mod cache;
 pub mod deployfile;
+pub mod durable;
 pub mod error;
 pub mod grid;
 pub mod hierarchy;
@@ -24,6 +25,7 @@ pub use adr::ActivityDeploymentRegistry;
 pub use atr::{ActivityTypeRegistry, TypedResponse};
 pub use cache::{CachedEntry, Freshness, RegistryCache};
 pub use deployfile::{DeployFile, DeployStep, PlannedAction};
+pub use durable::{RegistryMutation, SnapshotState};
 pub use error::GlareError;
 pub use grid::{AdminNotification, Grid, GridSite};
 pub use rdm::{provision, CostBreakdown, InstallReport, ProvisionOutcome, ProvisionRequest, RequestManager};

@@ -36,9 +36,10 @@ use glare_fabric::{
 use glare_services::mds::REQUEST_BASE_COST;
 use glare_services::Transport;
 
-use crate::adr::ActivityDeploymentRegistry;
+use crate::adr::{ActivityDeploymentRegistry, DEPLOYMENT_WIRE_BYTES};
 use crate::atr::ActivityTypeRegistry;
 use crate::cache::RegistryCache;
+use crate::durable::{self, RegistryMutation};
 use crate::model::{ActivityDeployment, ActivityType};
 use crate::retry::{BreakerBank, RetryPolicy};
 use crate::superpeer::{highest_ranked, partition_groups, MajorityTally, Role};
@@ -140,6 +141,28 @@ pub enum NodeMsg {
         /// Deployments found (empty = miss).
         deployments: Vec<ActivityDeployment>,
     },
+    /// Uninstall a deployment at this node: the entry is removed and a
+    /// tombstone recorded so anti-entropy can never resurrect it.
+    UninstallDeployment {
+        /// Deployment key.
+        key: String,
+    },
+    /// Member → super-peer: the member's durable ADR state for an
+    /// anti-entropy round. Entries carry their LUT in nanoseconds.
+    AntiEntropySummary {
+        /// Live deployments with their last-update times.
+        entries: Vec<(ActivityDeployment, u64)>,
+        /// Uninstall tombstones `(key, nanos)`.
+        tombstones: Vec<(String, u64)>,
+    },
+    /// Super-peer → member: entries of the member's origin the group
+    /// still holds but the member lost, plus the group's tombstones.
+    AntiEntropyResponse {
+        /// Entries to restore (origin == the member's site).
+        push: Vec<ActivityDeployment>,
+        /// Group tombstones `(key, nanos)`.
+        tombstones: Vec<(String, u64)>,
+    },
     /// A sink subscribes to this node's type-update notifications.
     Subscribe,
     /// Notification delivered to a sink.
@@ -195,6 +218,14 @@ pub struct NodeConfig {
     pub notify_interval: Option<SimDuration>,
     /// CPU cost per delivered notification.
     pub notify_cost: SimDuration,
+    /// Deployment Status Monitor period: sweeps expired deployments and
+    /// heartbeats live entries' LUTs (§3.2). `None` (default) disables
+    /// the loop.
+    pub monitor_interval: Option<SimDuration>,
+    /// Cache Refresher period: discards outdated cache entries and, when
+    /// the durable store is enabled, runs a periodic anti-entropy round
+    /// with the super-peer. `None` (default) disables the loop.
+    pub cache_refresh_interval: Option<SimDuration>,
 }
 
 impl NodeConfig {
@@ -217,6 +248,8 @@ impl NodeConfig {
             naive_takeover: false,
             notify_interval: None,
             notify_cost: SimDuration::from_millis(25),
+            monitor_interval: None,
+            cache_refresh_interval: None,
         }
     }
 }
@@ -320,6 +353,15 @@ pub struct GlareNode {
     // --- notification state ---
     sinks: Vec<ActorId>,
     notify_seq: u64,
+    // --- durability state ---
+    /// Set by [`GlareNode::recover_from_store`]: the node restarted from
+    /// its durable store and owes its next super-peer an anti-entropy
+    /// round.
+    pending_rejoin: bool,
+    /// When the post-crash recovery began; taken when the node is back in
+    /// sync (first anti-entropy response, or winning office) to feed
+    /// `glare_recovery_ms`.
+    recovery_started: Option<SimTime>,
 }
 
 impl GlareNode {
@@ -360,6 +402,8 @@ impl GlareNode {
             breakers: BreakerBank::default(),
             sinks: Vec::new(),
             notify_seq: 0,
+            pending_rejoin: false,
+            recovery_started: None,
             cfg,
         }
     }
@@ -1106,6 +1150,220 @@ impl GlareNode {
             ctx.send(sp, NodeMsg::Takeover);
         }
     }
+
+    // --- durability & anti-entropy (every path gated on the store) ---
+
+    /// Append one registry mutation to the site's durable journal,
+    /// compacting once the journal passes the configured threshold.
+    /// No-op — no appends, no metrics — when the store is disabled.
+    fn journal(&mut self, ctx: &mut Ctx<'_>, m: &RegistryMutation) {
+        if !ctx.store_enabled() {
+            return;
+        }
+        if ctx.store_append(m.kind(), &m.payload()).is_some() {
+            let site_label = format!("site{}", ctx.self_site.0);
+            ctx.metrics()
+                .counter_labeled(
+                    "glare_store_appends_total",
+                    &Labels::of(&[("site", &site_label)]),
+                )
+                .inc();
+        }
+        let every = ctx.store_config().compact_every;
+        if every > 0 && ctx.store_journal_len() >= every as usize {
+            self.write_snapshot(ctx);
+        }
+    }
+
+    /// Serialize the node's full registry state — types, deployments,
+    /// uninstall tombstones — into the store's snapshot slot, clearing
+    /// the journal.
+    fn write_snapshot(&mut self, ctx: &mut Ctx<'_>) {
+        if !ctx.store_enabled() {
+            return;
+        }
+        let now = ctx.now();
+        let mut state = durable::SnapshotState::default();
+        for name in self.atr.names(now) {
+            if let Some(r) = self.atr.lookup(&name, now) {
+                state.types.push(r.value);
+            }
+        }
+        for key in self.adr.keys(now) {
+            if let Some(r) = self.adr.lookup(&key, now) {
+                state.deployments.push(r.value);
+            }
+        }
+        state.tombstones = self.adr.tombstones();
+        if let Some(compacted) = ctx.store_snapshot(&durable::encode_snapshot(&state)) {
+            let site_label = format!("site{}", ctx.self_site.0);
+            ctx.metrics()
+                .counter_labeled(
+                    "glare_store_snapshots_total",
+                    &Labels::of(&[("site", &site_label)]),
+                )
+                .inc();
+            ctx.emit_event("store.compacted", "store", &[("records", &compacted.to_string())]);
+        }
+    }
+
+    /// Rebuild the registries from the durable store after a crash:
+    /// snapshot first, then journal replay *in record order* (a replayed
+    /// uninstall tombstones unconditionally; a later replayed register
+    /// legitimately supersedes it — journal order, not timestamps, is the
+    /// source of truth during replay).
+    fn recover_from_store(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(recovered) = ctx.store_recover() else {
+            return;
+        };
+        let now = ctx.now();
+        let mut had_snapshot = false;
+        if let Some(state) = recovered.snapshot.as_deref().and_then(durable::decode_snapshot) {
+            had_snapshot = true;
+            for t in state.types {
+                let _ = self.atr.register(t, now);
+            }
+            self.adr.restore_tombstones(state.tombstones);
+            for d in state.deployments {
+                let _ = self.adr.register(d, &self.atr, now);
+            }
+        }
+        let replayed = recovered.replayed_records();
+        for (kind, payload) in &recovered.records {
+            match RegistryMutation::decode(kind, payload) {
+                Some(RegistryMutation::AtrRegister(t)) => {
+                    let _ = self.atr.register(*t, now);
+                }
+                Some(RegistryMutation::AtrRemove(name)) => {
+                    let _ = self.atr.remove(&name);
+                }
+                Some(RegistryMutation::AdrRegister(d)) => {
+                    let _ = self.adr.register(*d, &self.atr, now);
+                }
+                Some(RegistryMutation::AdrRemove(key)) => {
+                    let _ = self.adr.remove(&key);
+                }
+                Some(RegistryMutation::AdrUninstall { key, at }) => {
+                    if self.adr.uninstall(&key, at).is_err() {
+                        self.adr.restore_tombstones([(key, at)]);
+                    }
+                }
+                // Lease records belong to the synchronous Grid harness;
+                // the distributed node keeps no lease table.
+                Some(RegistryMutation::LeaseGrant(_))
+                | Some(RegistryMutation::LeaseRelease(_))
+                | None => {}
+            }
+        }
+        let site_label = format!("site{}", ctx.self_site.0);
+        let labels = Labels::of(&[("site", &site_label)]);
+        ctx.metrics()
+            .counter_labeled("glare_store_replayed_records_total", &labels)
+            .add(replayed);
+        if recovered.truncated_records > 0 {
+            ctx.metrics()
+                .counter_labeled("glare_store_truncated_records_total", &labels)
+                .add(recovered.truncated_records);
+        }
+        // Mirror the modeled replay cost (already charged to the site's
+        // CPU by the kernel) into an observable latency distribution.
+        let store_cfg = ctx.store_config();
+        let mut replay_cost = store_cfg.replay_cost_per_record.mul_f64(replayed as f64);
+        if had_snapshot {
+            replay_cost += store_cfg.snapshot_load_cost;
+        }
+        ctx.metrics()
+            .histogram_labeled("glare_store_replay_ms", &labels)
+            .record(replay_cost);
+        ctx.emit_event(
+            "store.recovered",
+            "store",
+            &[
+                ("replayed", &replayed.to_string()),
+                ("truncated_records", &recovered.truncated_records.to_string()),
+                ("snapshot", if had_snapshot { "1" } else { "0" }),
+            ],
+        );
+        self.pending_rejoin = true;
+        self.recovery_started = Some(now);
+        // Re-snapshot the rebuilt state so the next crash replays from a
+        // compact journal.
+        self.write_snapshot(ctx);
+    }
+
+    /// Member → super-peer: open an anti-entropy round by shipping the
+    /// member's full durable ADR view (live entries with their LUTs, and
+    /// uninstall tombstones). No-op for super-peers, ungrouped nodes and
+    /// disabled stores.
+    fn start_antientropy(&mut self, ctx: &mut Ctx<'_>) {
+        if !ctx.store_enabled() {
+            return;
+        }
+        let Some(sp) = self.super_peer.filter(|&sp| sp != self.me) else {
+            return;
+        };
+        let now = ctx.now();
+        let mut keys = self.adr.keys(now);
+        keys.sort_unstable();
+        let mut entries = Vec::new();
+        for key in keys {
+            let Some(resp) = self.adr.lookup(&key, now) else {
+                continue;
+            };
+            let lut = self
+                .adr
+                .epr_of(&key, now)
+                .map(|e| e.last_update_time.as_nanos())
+                .unwrap_or(0);
+            entries.push((resp.value, lut));
+        }
+        let tombstones: Vec<(String, u64)> = self
+            .adr
+            .tombstones()
+            .into_iter()
+            .map(|(k, t)| (k, t.as_nanos()))
+            .collect();
+        let site_label = format!("site{}", ctx.self_site.0);
+        ctx.metrics()
+            .counter_labeled(
+                "glare_antientropy_rounds_total",
+                &Labels::of(&[("site", &site_label)]),
+            )
+            .inc();
+        ctx.emit_event(
+            "antientropy.round",
+            "node",
+            &[
+                ("entries", &entries.len().to_string()),
+                ("tombstones", &tombstones.len().to_string()),
+            ],
+        );
+        let bytes = 256 + DEPLOYMENT_WIRE_BYTES * entries.len().max(1) as u64;
+        ctx.send_sized(sp, NodeMsg::AntiEntropySummary { entries, tombstones }, bytes);
+    }
+
+    /// Deterministic digest over the node's registry state: types,
+    /// deployments (volatile status/metrics masked) and tombstone keys.
+    /// The crash-replay verification gate compares this between a
+    /// crashed-recovered-rejoined run and a never-crashed run of the same
+    /// seed.
+    pub fn registry_digest(&self, now: SimTime) -> u64 {
+        let mut types = Vec::new();
+        for name in self.atr.names(now) {
+            if let Some(r) = self.atr.lookup(&name, now) {
+                types.push(r.value);
+            }
+        }
+        let mut deployments = Vec::new();
+        for key in self.adr.keys(now) {
+            if let Some(r) = self.adr.lookup(&key, now) {
+                deployments.push(r.value);
+            }
+        }
+        let tomb_keys: Vec<String> =
+            self.adr.tombstones().into_iter().map(|(k, _)| k).collect();
+        durable::registry_digest(&types, &deployments, &tomb_keys)
+    }
 }
 
 impl Actor for GlareNode {
@@ -1122,6 +1380,18 @@ impl Actor for GlareNode {
         ctx.timer_after(self.cfg.heartbeat_timeout, "hb-check");
         if let Some(interval) = self.cfg.notify_interval {
             ctx.timer_after(interval, "notify");
+        }
+        if let Some(interval) = self.cfg.monitor_interval {
+            ctx.timer_after(interval, "status-monitor");
+        }
+        if let Some(interval) = self.cfg.cache_refresh_interval {
+            ctx.timer_after(interval, "cache-refresh");
+        }
+        if ctx.store_enabled() {
+            // Capture seed-hook registrations that never passed through
+            // the journal, so a crash before the first mutation still
+            // recovers the seeded state.
+            self.write_snapshot(ctx);
         }
     }
 
@@ -1199,6 +1469,24 @@ impl Actor for GlareNode {
                     // role check in the timer handler.
                     self.role = Role::Member;
                 }
+                if self.pending_rejoin && ctx.store_enabled() {
+                    self.pending_rejoin = false;
+                    if won {
+                        // Back in office: this node is the group's
+                        // authority again; there is nobody to pull from.
+                        if let Some(started) = self.recovery_started.take() {
+                            let elapsed = ctx.now().saturating_since(started);
+                            ctx.metrics()
+                                .histogram_labeled(
+                                    "glare_recovery_ms",
+                                    &Labels::of(&[("site", &site_label)]),
+                                )
+                                .record(elapsed);
+                        }
+                    } else {
+                        self.start_antientropy(ctx);
+                    }
+                }
             }
             NodeMsg::Heartbeat => {
                 if Some(from) == self.super_peer {
@@ -1237,17 +1525,176 @@ impl Actor for GlareNode {
                     if let Some(old) = old {
                         self.group.retain(|&id| id != old);
                     }
+                    if self.pending_rejoin && ctx.store_enabled() {
+                        self.pending_rejoin = false;
+                        self.start_antientropy(ctx);
+                    }
                 } else if self.role == Role::SuperPeer
                     && !self.other_super_peers.contains(&from) {
                         self.other_super_peers.push(from);
                     }
             }
             NodeMsg::RegisterType(t) => {
-                let _ = self.atr.register(*t, ctx.now());
+                let journal = if ctx.store_enabled() { Some(t.clone()) } else { None };
+                let ok = self.atr.register(*t, ctx.now()).is_ok();
+                if let Some(t) = journal.filter(|_| ok) {
+                    self.journal(ctx, &RegistryMutation::AtrRegister(t));
+                }
                 self.notify_seq += 1;
             }
             NodeMsg::RegisterDeployment(d) => {
-                let _ = self.adr.register(*d, &self.atr, ctx.now());
+                let journal = if ctx.store_enabled() { Some(d.clone()) } else { None };
+                let ok = self.adr.register(*d, &self.atr, ctx.now()).is_ok();
+                if let Some(d) = journal.filter(|_| ok) {
+                    self.journal(ctx, &RegistryMutation::AdrRegister(d));
+                }
+            }
+            NodeMsg::UninstallDeployment { key } => {
+                // Remove (if live) and tombstone unconditionally: deletes
+                // win even when the entry is unknown here, so a concurrent
+                // register elsewhere cannot resurrect it via anti-entropy.
+                let now = ctx.now();
+                if self.adr.uninstall(&key, now).is_err() {
+                    self.adr.restore_tombstones([(key.clone(), now)]);
+                }
+                self.cache.evict_deployment(&key);
+                ctx.emit_event("deployment.tombstoned", "node", &[("key", &key)]);
+                self.journal(ctx, &RegistryMutation::AdrUninstall { key, at: now });
+            }
+            NodeMsg::AntiEntropySummary { entries, tombstones } => {
+                // Super-peer side: absorb the member's durable view into
+                // the group cache, apply its tombstones, and push back the
+                // member-origin entries the group still holds but the
+                // member lost (torn tail, pre-snapshot crash).
+                let now = ctx.now();
+                let member_site = format!("site{}", from.0);
+                let member_keys: HashSet<String> =
+                    entries.iter().map(|(d, _)| d.key.clone()).collect();
+                let mut absorbed = 0u64;
+                for (d, lut) in entries {
+                    let key = d.key.clone();
+                    // A local tombstone at least as new as the entry wins.
+                    if self
+                        .adr
+                        .tombstone_of(&key)
+                        .is_some_and(|t| t.as_nanos() >= lut)
+                    {
+                        continue;
+                    }
+                    if self.cfg.use_cache && self.cache.peek_deployment(&key).is_none() {
+                        let epr = d.epr(&self.adr.address, SimTime::from_nanos(lut));
+                        let origin = d.site.clone();
+                        self.cache.put_deployment(d, &origin, epr, now);
+                        absorbed += 1;
+                    }
+                }
+                let mut applied = 0u64;
+                for (key, at_ns) in tombstones {
+                    let at = SimTime::from_nanos(at_ns);
+                    let newly = self.adr.tombstone_of(&key).is_none_or(|t| t < at);
+                    self.adr.apply_tombstone(&key, at, now);
+                    self.cache.evict_deployment(&key);
+                    if newly {
+                        applied += 1;
+                        self.journal(ctx, &RegistryMutation::AdrUninstall { key, at });
+                    }
+                }
+                let mut push = Vec::new();
+                let mut origins = self.cache.deployment_origins();
+                origins.sort_unstable();
+                for (key, origin) in origins {
+                    if origin != member_site
+                        || member_keys.contains(&key)
+                        || self.adr.tombstone_of(&key).is_some()
+                    {
+                        continue;
+                    }
+                    if let Some(entry) = self.cache.peek_deployment(&key) {
+                        push.push(entry.value.clone());
+                    }
+                }
+                let site_label = format!("site{}", ctx.self_site.0);
+                let labels = Labels::of(&[("site", &site_label)]);
+                if absorbed > 0 {
+                    ctx.metrics()
+                        .counter_labeled("glare_antientropy_pushes_total", &labels)
+                        .add(absorbed);
+                }
+                if applied > 0 {
+                    ctx.metrics()
+                        .counter_labeled("glare_antientropy_tombstones_total", &labels)
+                        .add(applied);
+                }
+                let sp_tombs: Vec<(String, u64)> = self
+                    .adr
+                    .tombstones()
+                    .into_iter()
+                    .map(|(k, t)| (k, t.as_nanos()))
+                    .collect();
+                let bytes = 256 + DEPLOYMENT_WIRE_BYTES * push.len().max(1) as u64;
+                ctx.send_sized(
+                    from,
+                    NodeMsg::AntiEntropyResponse { push, tombstones: sp_tombs },
+                    bytes,
+                );
+            }
+            NodeMsg::AntiEntropyResponse { push, tombstones } => {
+                // Member side: tombstones first (a pushed entry must never
+                // outrun the delete that killed it), then restore lost
+                // entries the group preserved.
+                let now = ctx.now();
+                let mut learned = 0u64;
+                for (key, at_ns) in tombstones {
+                    let at = SimTime::from_nanos(at_ns);
+                    let newly = self.adr.tombstone_of(&key).is_none_or(|t| t < at);
+                    if self.adr.apply_tombstone(&key, at, now) {
+                        ctx.emit_event("deployment.tombstoned", "node", &[("key", &key)]);
+                    }
+                    self.cache.evict_deployment(&key);
+                    if newly {
+                        learned += 1;
+                        self.journal(ctx, &RegistryMutation::AdrUninstall { key, at });
+                    }
+                }
+                let mut pulls = 0u64;
+                for d in push {
+                    let key = d.key.clone();
+                    if self.adr.tombstone_of(&key).is_some()
+                        || self.adr.lookup(&key, now).is_some()
+                    {
+                        continue;
+                    }
+                    let journal = if ctx.store_enabled() {
+                        Some(Box::new(d.clone()))
+                    } else {
+                        None
+                    };
+                    if self.adr.register(d, &self.atr, now).is_ok() {
+                        pulls += 1;
+                        if let Some(d) = journal {
+                            self.journal(ctx, &RegistryMutation::AdrRegister(d));
+                        }
+                    }
+                }
+                let site_label = format!("site{}", ctx.self_site.0);
+                let labels = Labels::of(&[("site", &site_label)]);
+                if pulls > 0 {
+                    ctx.metrics()
+                        .counter_labeled("glare_antientropy_pulls_total", &labels)
+                        .add(pulls);
+                }
+                if learned > 0 {
+                    ctx.metrics()
+                        .counter_labeled("glare_antientropy_tombstones_total", &labels)
+                        .add(learned);
+                }
+                if let Some(started) = self.recovery_started.take() {
+                    // First anti-entropy answer after a rejoin: the node is
+                    // converged with its group — recovery is over.
+                    ctx.metrics()
+                        .histogram_labeled("glare_recovery_ms", &labels)
+                        .record(now.saturating_since(started));
+                }
             }
             NodeMsg::QueryDeployments {
                 activity,
@@ -1414,6 +1861,49 @@ impl Actor for GlareNode {
                     ctx.timer_after(interval, "notify");
                 }
             }
+            "status-monitor" => {
+                // Deployment Status Monitor (§3.2): drop expired entries
+                // and heartbeat the survivors' LUTs so peers can judge
+                // cached copies' freshness.
+                let now = ctx.now();
+                let swept = self.adr.sweep_expired(now);
+                let mut keys = self.adr.keys(now);
+                keys.sort_unstable();
+                for k in &keys {
+                    let _ = self.adr.touch(k, now);
+                }
+                let site_label = format!("site{}", ctx.self_site.0);
+                ctx.metrics()
+                    .counter_labeled(
+                        "glare_monitor_ticks_total",
+                        &Labels::of(&[("site", &site_label)]),
+                    )
+                    .inc();
+                ctx.emit_event(
+                    "monitor.tick",
+                    "node",
+                    &[
+                        ("live", &keys.len().to_string()),
+                        ("swept", &swept.len().to_string()),
+                    ],
+                );
+                if let Some(interval) = self.cfg.monitor_interval {
+                    ctx.timer_after(interval, "status-monitor");
+                }
+            }
+            "cache-refresh" => {
+                // Cache Refresher (§3.2): age out stale entries; with the
+                // durable store on, members also run a periodic
+                // anti-entropy round so divergence heals without waiting
+                // for the next crash.
+                self.cache.discard_outdated(ctx.now());
+                if self.role == Role::Member {
+                    self.start_antientropy(ctx);
+                }
+                if let Some(interval) = self.cfg.cache_refresh_interval {
+                    ctx.timer_after(interval, "cache-refresh");
+                }
+            }
             _ => {}
         }
     }
@@ -1451,6 +1941,46 @@ impl Actor for GlareNode {
         Some(self)
     }
 
+    fn on_site_crash(&mut self, ctx: &mut Ctx<'_>) {
+        if !ctx.store_enabled() {
+            // Legacy behaviour: volatile state survives the crash (the
+            // pre-durability model every existing seed reproduces).
+            return;
+        }
+        // Amnesia: everything volatile dies with the process; only the
+        // durable store (snapshot + journal) survives, and
+        // `on_site_restart` rebuilds from it.
+        let atr_addr = self.atr.address.clone();
+        let atr_tp = self.atr.transport;
+        let adr_addr = self.adr.address.clone();
+        let adr_tp = self.adr.transport;
+        self.atr = ActivityTypeRegistry::new(&atr_addr, atr_tp);
+        self.adr = ActivityDeploymentRegistry::new(&adr_addr, adr_tp);
+        self.cache = RegistryCache::new(crate::grid::DEFAULT_CACHE_AGE);
+        self.role = Role::Member;
+        self.group.clear();
+        self.super_peer = None;
+        self.other_super_peers.clear();
+        self.last_heartbeat = SimTime::ZERO;
+        self.preferred_coordinator = None;
+        self.election_acks.clear();
+        self.tally = None;
+        self.verification_sent = false;
+        // `next_req` deliberately survives: a QueryResponse from the
+        // previous incarnation still in flight must never alias a new
+        // correlation id.
+        self.pending.clear();
+        self.deferred.clear();
+        self.deadline_to_req.clear();
+        self.backoff_to_req.clear();
+        self.breakers = BreakerBank::default();
+        self.sinks.clear();
+        self.notify_seq = 0;
+        self.pending_rejoin = false;
+        self.recovery_started = None;
+        ctx.emit_event("site.amnesia", "node", &[]);
+    }
+
     fn on_site_restart(&mut self, ctx: &mut Ctx<'_>) {
         // Re-arm the liveness/notification loops lost in the crash.
         self.last_heartbeat = ctx.now();
@@ -1463,6 +1993,15 @@ impl Actor for GlareNode {
         }
         if let Some(interval) = self.cfg.notify_interval {
             ctx.timer_after(interval, "notify");
+        }
+        if let Some(interval) = self.cfg.monitor_interval {
+            ctx.timer_after(interval, "status-monitor");
+        }
+        if let Some(interval) = self.cfg.cache_refresh_interval {
+            ctx.timer_after(interval, "cache-refresh");
+        }
+        if ctx.store_enabled() {
+            self.recover_from_store(ctx);
         }
     }
 }
@@ -1811,5 +2350,148 @@ mod tests {
         let s = stats.lock();
         assert_eq!(s.responses, 4, "all queries answered despite SP crash");
         assert_eq!(s.hits, 4, "deployment on a surviving site stays findable");
+    }
+
+    #[test]
+    fn crash_with_store_recovers_and_digests_match() {
+        // A crashed site forgets everything volatile, rebuilds from its
+        // durable store, and ends the run with registries byte-identical
+        // (digest-wise) to a never-crashed run of the same seed.
+        let build = || {
+            let mut b = OverlayBuilder::new(4, 42);
+            b.configure(|_, cfg| {
+                cfg.max_group_size = 4;
+            });
+            b.seed(|i, node| {
+                for t in example_hierarchy(SimTime::ZERO) {
+                    node.atr.register(t, SimTime::ZERO).unwrap();
+                }
+                let d = ActivityDeployment::executable(
+                    "JPOVray",
+                    &format!("site{i}"),
+                    "/opt/deployments/jpovray/bin/jpovray",
+                    "/opt/deployments/jpovray",
+                );
+                node.adr.register(d, &node.atr, SimTime::ZERO).unwrap();
+            });
+            let (mut sim, ids) = b.build();
+            sim.enable_store(glare_fabric::StoreConfig::standard());
+            (sim, ids)
+        };
+        let horizon = SimTime::from_secs(300);
+        let (mut reference, ref_ids) = build();
+        reference.start();
+        reference.run_until(horizon);
+        let (mut sim, ids) = build();
+        sim.enable_events(100_000);
+        sim.schedule_crash(SimTime::from_secs(30), glare_fabric::SiteId(1));
+        sim.schedule_restart(SimTime::from_secs(50), glare_fabric::SiteId(1));
+        sim.start();
+        sim.run_until(horizon);
+        let ev = sim.events().expect("events enabled");
+        assert!(ev.of_kind("site.amnesia").count() >= 1, "crash wiped volatile state");
+        assert!(ev.of_kind("store.recovered").count() >= 1, "restart replayed the store");
+        for i in 0..4 {
+            let a: &GlareNode = sim.actor_as(ids[i]).unwrap();
+            let b: &GlareNode = reference.actor_as(ref_ids[i]).unwrap();
+            assert_eq!(
+                a.registry_digest(horizon),
+                b.registry_digest(horizon),
+                "site{i} diverged from the never-crashed run"
+            );
+        }
+        assert_eq!(sim.metrics().lint_metric_names(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn torn_journal_truncates_at_last_valid_record() {
+        let mut b = OverlayBuilder::new(2, 7);
+        b.configure(|_, cfg| {
+            cfg.max_group_size = 2;
+        });
+        b.seed(|_, node| {
+            for t in example_hierarchy(SimTime::ZERO) {
+                node.atr.register(t, SimTime::ZERO).unwrap();
+            }
+        });
+        let (mut sim, ids) = b.build();
+        sim.enable_store(glare_fabric::StoreConfig::standard());
+        sim.enable_events(100_000);
+        // Four registrations journal four records on site 1...
+        for (k, name) in ["alpha", "beta", "gamma", "delta"].iter().enumerate() {
+            let d = ActivityDeployment::executable(
+                "JPOVray",
+                "site1",
+                &format!("/opt/{name}/bin/{name}"),
+                &format!("/opt/{name}"),
+            );
+            sim.inject(
+                SimTime::from_secs(5 + k as u64),
+                ids[1],
+                ids[1],
+                NodeMsg::RegisterDeployment(Box::new(d)),
+            );
+        }
+        // ...and the crash tears the last two off the tail: recovery must
+        // truncate at the last valid record, not die on the corruption.
+        sim.schedule_crash_torn(SimTime::from_secs(30), glare_fabric::SiteId(1), 2);
+        sim.schedule_restart(SimTime::from_secs(45), glare_fabric::SiteId(1));
+        sim.start();
+        sim.run_until(SimTime::from_secs(60));
+        let node: &GlareNode = sim.actor_as(ids[1]).unwrap();
+        let mut keys = node.adr.keys(SimTime::from_secs(60));
+        keys.sort_unstable();
+        assert_eq!(keys, vec!["alpha@site1".to_owned(), "beta@site1".to_owned()]);
+        assert_eq!(
+            sim.metrics().counter_labeled_value(
+                "glare_store_truncated_records_total",
+                &glare_fabric::Labels::of(&[("site", "site1")]),
+            ),
+            2
+        );
+        let ev = sim.events().expect("events enabled");
+        let rec = ev.of_kind("store.recovered").next().expect("recovery event");
+        assert!(
+            rec.fields
+                .iter()
+                .any(|(k, v)| k == "truncated_records" && v == "2"),
+            "recovery reports the torn tail: {:?}",
+            rec.fields
+        );
+        assert!(ev.of_kind("store.torn").count() >= 1, "kernel recorded the tear");
+    }
+
+    #[test]
+    fn monitors_keep_ticking_after_crash_restart() {
+        // Regression: a restart used to re-arm only hb-check/election/
+        // heartbeat/notify; the Deployment Status Monitor and Cache
+        // Refresher loops died with the crash.
+        let mut b = OverlayBuilder::new(2, 9);
+        b.configure(|_, cfg| {
+            cfg.monitor_interval = Some(SimDuration::from_secs(10));
+            cfg.cache_refresh_interval = Some(SimDuration::from_secs(15));
+        });
+        b.seed(|_, node| {
+            for t in example_hierarchy(SimTime::ZERO) {
+                node.atr.register(t, SimTime::ZERO).unwrap();
+            }
+        });
+        let (mut sim, _ids) = b.build();
+        sim.schedule_crash(SimTime::from_secs(60), glare_fabric::SiteId(1));
+        sim.schedule_restart(SimTime::from_secs(80), glare_fabric::SiteId(1));
+        sim.start();
+        sim.run_until(SimTime::from_secs(100));
+        let labels = glare_fabric::Labels::of(&[("site", "site1")]);
+        let at_100 = sim
+            .metrics()
+            .counter_labeled_value("glare_monitor_ticks_total", &labels);
+        sim.run_until(SimTime::from_secs(200));
+        let at_200 = sim
+            .metrics()
+            .counter_labeled_value("glare_monitor_ticks_total", &labels);
+        assert!(
+            at_200 >= at_100 + 8,
+            "status monitor must keep firing after restart: {at_100} -> {at_200}"
+        );
     }
 }

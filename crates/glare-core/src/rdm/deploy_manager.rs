@@ -366,7 +366,7 @@ fn install_package_traced(
     // and validation).
     let site_name = grid.site(site).name.clone();
     if !grid.site(site).atr.contains(&t.name, now) {
-        grid.site_mut(site).atr.register(t.clone(), now)?;
+        grid.register_type(site, t.clone(), now)?;
     }
     breakdown.type_addition += TYPE_ADDITION_COST;
     trace.record(
@@ -613,13 +613,11 @@ fn install_package_traced(
     }
 
     let keys: Vec<String> = deployments.iter().map(|d| d.key.clone()).collect();
-    {
-        let site_ref = grid.site_mut(site);
-        for d in deployments {
-            // Type is present (registered above); tolerate re-registration
-            // of the same key on repeated installs.
-            let _ = site_ref.adr.register(d, &site_ref.atr, now);
-        }
+    for d in deployments {
+        // Type is present (registered above); tolerate re-registration
+        // of the same key on repeated installs. Goes through the Grid so
+        // the registration is journaled when the site is durable.
+        let _ = grid.register_deployment(site, d, now);
     }
     let reg_cost = DEPLOYMENT_REGISTRATION_COST + SimDuration::from_millis(2) * keys.len() as u64;
     breakdown.deployment_registration += reg_cost;

@@ -100,7 +100,7 @@ pub fn undeploy(
         let mut package = None;
         for k in &keys {
             found_any = true;
-            if let Ok(d) = grid.site_mut(i).adr.remove(k) {
+            if let Ok(d) = grid.remove_deployment(i, k, now) {
                 if let DeploymentAccess::Executable { home, .. } = &d.access {
                     let _ = home;
                 }
@@ -123,7 +123,7 @@ pub fn undeploy(
             }
         }
         if retire_type {
-            let _ = grid.site_mut(i).atr.remove(type_name);
+            let _ = grid.remove_type(i, type_name, now);
         }
     }
     if retire_type {
@@ -185,10 +185,7 @@ pub fn generate_wrapper_service(
         .service_address(&service_name)
         .expect("just installed");
     let wrapper = ActivityDeployment::service(&d.type_name, &site_name, &service_name, &address);
-    {
-        let s = grid.site_mut(site);
-        s.adr.register(wrapper.clone(), &s.atr, now)?;
-    }
+    grid.register_deployment(site, wrapper.clone(), now)?;
     Ok((wrapper, WRAPPER_GENERATION_COST))
 }
 

@@ -296,7 +296,7 @@ impl DeploymentStatusMonitor {
                 .iter()
                 .any(|(i, _)| *i != site)
             {
-                let _ = grid.site_mut(site).adr.remove(&key);
+                let _ = grid.remove_deployment(site, &key, now);
                 continue;
             }
             let Some((t, _, _)) = grid.find_type(site, &type_name, now) else {
@@ -326,7 +326,7 @@ impl DeploymentStatusMonitor {
                     ],
                 );
             }
-            let _ = grid.site_mut(site).adr.remove(&key);
+            let _ = grid.remove_deployment(site, &key, now);
         }
         Ok(installs)
     }

@@ -9,7 +9,11 @@
 #      produced, parse as JSON, and carry zero metric-name lint violations
 #   7. chaos soak smoke (fixed seed, one ≥1% loss point): BENCH_chaos.json
 #      must parse and report zero invariant violations and lint-clean
-#      retry/breaker metric names
+#      retry/breaker metric names; BENCH_recovery.json must parse and
+#      carry completed crash-to-rejoin recoveries with nonzero percentiles
+#   8. crash-replay smoke: after a crash, store recovery and anti-entropy
+#      rejoin must converge to registries byte-identical (digest match,
+#      zero tombstone resurrections) to a never-crashed same-seed run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,7 +61,7 @@ echo "==> smoke: chaos --smoke (writes BENCH_chaos.json + events)"
 chaos_dir=$(mktemp -d)
 (cd "$chaos_dir" && cargo run --release -q -p glare-bench \
     --manifest-path "$OLDPWD/Cargo.toml" --bin chaos -- --smoke >/dev/null)
-for artifact in BENCH_chaos.json CHAOS_events.jsonl; do
+for artifact in BENCH_chaos.json BENCH_recovery.json CHAOS_events.jsonl; do
     test -s "$chaos_dir/$artifact" || { echo "missing $artifact"; exit 1; }
 done
 python3 - "$chaos_dir/BENCH_chaos.json" <<'EOF'
@@ -70,6 +74,20 @@ assert report["violations_total"] == 0, \
     f"chaos invariant violations: {report['invariant_violations']}"
 assert report["lint"] == [], f"metric-name lint violations: {report['lint']}"
 EOF
+python3 - "$chaos_dir/BENCH_recovery.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["experiment"] == "recovery", "unexpected experiment tag"
+assert report["overall"]["recoveries"] > 0, "no crash-to-rejoin recoveries completed"
+assert report["overall"]["p95_ms"] > 0, "recovery percentiles are empty"
+assert report["grid"]["replayed_records"] > 0, "grid restart replayed nothing"
+EOF
 rm -rf "$chaos_dir"
+
+echo "==> crash-replay smoke: recovered registries match a never-crashed same-seed run"
+cargo test --release -q -p glare-core --lib \
+    crash_with_store_recovers_and_digests_match >/dev/null
+cargo test --release -q --test fault_tolerance \
+    missed_uninstall_tombstone_wins_on_rejoin >/dev/null
 
 echo "verify: OK"

@@ -3,8 +3,9 @@
 //! continuity, and determinism of whole runs.
 
 use glare::core::model::{example_hierarchy, ActivityDeployment};
+use glare::core::node::{GlareNode, NodeMsg};
 use glare::core::overlay::{ClientStats, OverlayBuilder, QueryClient};
-use glare::fabric::{FaultPlan, SimDuration, SimTime, SiteId, Topology};
+use glare::fabric::{FaultPlan, Labels, SimDuration, SimTime, SiteId, StoreConfig, Topology};
 
 fn seeded(n: usize, deploy_on: &[usize], seed: u64) -> (glare::fabric::Simulation, Vec<glare::fabric::ActorId>) {
     let mut b = OverlayBuilder::new(n, seed);
@@ -193,6 +194,87 @@ fn random_outage_storm_replays_deterministically() {
     );
     let c = run(18);
     assert_ne!(a.2, c.2, "a different seed draws a different schedule");
+}
+
+/// Anti-entropy "deletes win": the super-peer misses an uninstall that
+/// happens while the owning member is partitioned away from it. When the
+/// member crashes and rejoins, its journaled tombstone flows to the
+/// super-peer on the anti-entropy round; the stale cached copy is evicted
+/// and never pushed back — the uninstalled deployment must not resurrect
+/// on either side.
+#[test]
+fn missed_uninstall_tombstone_wins_on_rejoin() {
+    let ranked = ranks(2);
+    let sp = ranked[0].0; // higher rank: the stable super-peer
+    let member = ranked[1].0;
+    let (mut sim, ids) = seeded(2, &[member], 31);
+    sim.enable_store(StoreConfig::standard());
+    sim.enable_events(glare::fabric::DEFAULT_MAX_EVENTS);
+    let key = format!("jpovray@site{member}");
+
+    // Round 1: a member crash/restart triggers an anti-entropy round whose
+    // summary hands the member's deployment to the super-peer's cache —
+    // the stale copy a later rejoin could wrongly resurrect.
+    sim.schedule_crash(SimTime::from_secs(20), SiteId(member as u32));
+    sim.schedule_restart(SimTime::from_secs(30), SiteId(member as u32));
+
+    // Partition the pair, uninstall at the member (the super-peer misses
+    // it), then heal.
+    sim.schedule_call(SimTime::from_secs(60), |s| {
+        s.set_partitioned(SiteId(0), SiteId(1), true);
+    });
+    sim.inject(
+        SimTime::from_secs(70),
+        ids[member],
+        ids[member],
+        NodeMsg::UninstallDeployment { key: key.clone() },
+    );
+    sim.schedule_call(SimTime::from_secs(100), |s| {
+        s.set_partitioned(SiteId(0), SiteId(1), false);
+    });
+
+    // Round 2: crash + rejoin. Recovery replays the journaled tombstone
+    // and the anti-entropy round must propagate it.
+    sim.schedule_crash(SimTime::from_secs(120), SiteId(member as u32));
+    sim.schedule_restart(SimTime::from_secs(130), SiteId(member as u32));
+
+    sim.start();
+    sim.run_until(SimTime::from_secs(300));
+    let horizon = SimTime::from_secs(300);
+
+    let m: &GlareNode = sim.actor_as(ids[member]).expect("member alive");
+    assert!(
+        m.adr.lookup(&key, horizon).is_none(),
+        "uninstalled deployment resurrected at the member"
+    );
+    assert_eq!(
+        m.adr.tombstone_of(&key),
+        Some(SimTime::from_secs(70)),
+        "journaled tombstone survives the crash"
+    );
+    let s: &GlareNode = sim.actor_as(ids[sp]).expect("super-peer alive");
+    assert!(
+        s.cache.peek_deployment(&key).is_none(),
+        "super-peer evicted its stale cached copy"
+    );
+    assert!(
+        s.adr.tombstone_of(&key).is_some(),
+        "tombstone propagated to the super-peer"
+    );
+    let ev = sim.events().expect("events enabled");
+    assert!(
+        ev.of_kind("antientropy.round").count() >= 2,
+        "both rejoins ran anti-entropy"
+    );
+    let sp_label = format!("site{sp}");
+    assert!(
+        sim.metrics().counter_labeled_value(
+            "glare_antientropy_tombstones_total",
+            &Labels::of(&[("site", &sp_label)]),
+        ) >= 1,
+        "the super-peer counted the learned tombstone"
+    );
+    assert_eq!(sim.metrics().lint_metric_names(), Vec::<String>::new());
 }
 
 #[test]

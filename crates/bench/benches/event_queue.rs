@@ -1,0 +1,80 @@
+//! Event-queue microbenchmark: calendar queue vs the reference binary
+//! heap under a kernel-shaped workload — steady-state churn with a large
+//! pending set mixing short message delays with long periodic timers.
+//!
+//! This isolates the scheduler from actor processing: the scale bench's
+//! whole-simulation events/sec folds in routing and registry work, so
+//! the queue delta shows up much more sharply here.
+
+use std::time::Duration;
+
+use glare_bench::timing::time_it;
+use glare_fabric::rng::SimRng;
+use glare_fabric::{EventKey, EventQueue, SchedulerKind, SimTime};
+
+/// One churn round: pop an event, schedule a replacement — the sim's
+/// steady state. Delay mix mirrors the overlay: mostly sub-millisecond
+/// message hops, a slice of ~100 ms probe deadlines, and a tail of
+/// 10–30 s heartbeat/election timers.
+fn churn(q: &mut EventQueue, rng: &mut SimRng, seq: &mut u64, ops: usize) -> u64 {
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let key = q.pop().expect("steady-state queue never drains");
+        acc ^= key.seq;
+        let now = key.at.as_nanos();
+        let delay = match rng.range(0, 100) {
+            0..=69 => rng.range(10_000, 2_000_000),            // wire hops
+            70..=89 => rng.range(1_000_000, 200_000_000),      // deadlines
+            _ => rng.range(10_000_000_000, 30_000_000_000),    // heartbeats
+        };
+        q.push(EventKey {
+            at: SimTime::from_nanos(now + delay),
+            seq: *seq,
+            slot: 0,
+        });
+        *seq += 1;
+    }
+    acc
+}
+
+fn bench_kind(kind: SchedulerKind, label: &str, pending: usize) -> f64 {
+    let mut q = EventQueue::new(kind, pending);
+    let mut rng = SimRng::from_seed(99).fork("queue-bench");
+    let mut seq = 0u64;
+    for _ in 0..pending {
+        let at = rng.range(0, 30_000_000_000);
+        q.push(EventKey {
+            at: SimTime::from_nanos(at),
+            seq,
+            slot: 0,
+        });
+        seq += 1;
+    }
+    // Warm past the initial transient so the width estimate settles.
+    churn(&mut q, &mut rng, &mut seq, pending);
+    const OPS: usize = 10_000;
+    let per_batch = time_it(label, Duration::from_millis(300), || {
+        churn(&mut q, &mut rng, &mut seq, OPS)
+    });
+    per_batch / OPS as f64
+}
+
+fn main() {
+    println!("event queue churn (pop + push), ns per op:");
+    for &pending in &[1_000usize, 10_000, 100_000] {
+        let cal = bench_kind(
+            SchedulerKind::Calendar,
+            &format!("calendar, {pending} pending"),
+            pending,
+        );
+        let heap = bench_kind(
+            SchedulerKind::BinaryHeap,
+            &format!("binary heap, {pending} pending"),
+            pending,
+        );
+        println!(
+            "  -> {pending} pending: calendar {cal:.0} ns/op, heap {heap:.0} ns/op ({:.2}x)",
+            heap / cal
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Scale sweep driver: 1k → 10k sites (or `--smoke` for a CI-sized
+//! 100/200-site pass). Prints the table on stdout and always writes
+//! `BENCH_scale.json`.
+//!
+//! Flags:
+//!   --smoke          CI-sized sweep (100 and 200 sites)
+//!   --queue KIND     event queue: `calendar` (default) or `heap`
+//!   --sites LIST     comma-separated site counts (default 1000,2500,5000,10000)
+//!   --depth N        super-peer tree depth for the tree rows (default 3)
+//!   --no-flood       skip the flat-broadcast baseline rows
+//!   --json           machine-readable output on stdout instead of the table
+
+use glare_bench::scale::{render, run, to_json, ScaleParams};
+use glare_fabric::SchedulerKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut p = if args.iter().any(|a| a == "--smoke") {
+        ScaleParams::smoke()
+    } else {
+        ScaleParams::default()
+    };
+    if args.iter().any(|a| a == "--no-flood") {
+        p.flood_baseline = false;
+    }
+    let json_out = args.iter().any(|a| a == "--json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--queue" => match it.next().map(String::as_str) {
+                Some("calendar") => p.scheduler = SchedulerKind::Calendar,
+                Some("heap") => p.scheduler = SchedulerKind::BinaryHeap,
+                other => {
+                    eprintln!("--queue expects `calendar` or `heap`, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--sites" => {
+                let parsed: Option<Vec<usize>> = it
+                    .next()
+                    .map(|v| v.split(',').map(|s| s.trim().parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(sites) if !sites.is_empty() && sites.iter().all(|&n| n > 0) => {
+                        p.sites = sites;
+                    }
+                    _ => {
+                        eprintln!("--sites expects a comma-separated list of positive integers");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--depth" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(d) if d >= 2 => p.tree_depth = d,
+                _ => {
+                    eprintln!("--depth expects an integer >= 2");
+                    std::process::exit(2);
+                }
+            },
+            _ => {}
+        }
+    }
+
+    let points = run(&p);
+    let doc = to_json(&p, &points);
+    match std::fs::write("BENCH_scale.json", doc.to_string_pretty()) {
+        Ok(()) => eprintln!("wrote BENCH_scale.json"),
+        Err(e) => eprintln!("could not write BENCH_scale.json: {e}"),
+    }
+    if json_out {
+        print!("{}", doc.to_string_pretty());
+    } else {
+        print!("{}", render(&p, &points));
+    }
+}

@@ -12,6 +12,8 @@
 //!   load average reported in the paper's Fig. 13.
 //! * [`sim`] — the event kernel: actors, messages, timers, CPU work,
 //!   crashes, partitions.
+//! * [`queue`] — the kernel's calendar/bucket event queue, payload pool
+//!   and the [`SchedulerKind`] ablation switch.
 //! * [`store`] — per-site simulated persistent storage: write-ahead
 //!   journal + snapshot/compaction, with torn-tail crash corruption.
 //! * [`fault`] — declarative failure scripts.
@@ -30,6 +32,7 @@
 pub mod events;
 pub mod fault;
 pub mod metrics;
+pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod site;
@@ -45,6 +48,7 @@ pub use metrics::{
     Counter, GaugeBucket, Histogram, Labels, MetricsRegistry, TimeSeries, WindowedGauge,
     DEFAULT_GAUGE_WINDOW,
 };
+pub use queue::{CalendarQueue, EventKey, EventPool, EventQueue, SchedulerKind};
 pub use rng::SimRng;
 pub use sim::{Actor, ActorId, Ctx, Envelope, Msg, NetworkConfig, Simulation, TimerToken};
 pub use site::{SiteRuntime, WorkTicket};

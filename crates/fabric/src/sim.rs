@@ -12,11 +12,11 @@
 //! [`SimRng`] forks.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::events::EventLog;
 use crate::metrics::{Labels, MetricsRegistry, DEFAULT_GAUGE_WINDOW};
+use crate::queue::{EventKey, EventPool, EventQueue, SchedulerKind};
 use crate::rng::SimRng;
 use crate::site::{SiteRuntime, WorkTicket, LOAD_SAMPLE_INTERVAL};
 use crate::store::{RecoveredState, SiteStore, StoreConfig};
@@ -154,28 +154,30 @@ enum EventKind {
         until: SimTime,
     },
     Call(Box<dyn FnOnce(&mut Simulation) + Send>),
+    /// Tombstone left by a cancelled timer. The key still pops (advancing
+    /// time and counting as a processed event, exactly like the old
+    /// cancellation-set design) but dispatches nothing; its pool slot is
+    /// reclaimed at pop like any other event's.
+    Cancelled,
 }
 
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
+/// Interned per-site drop labels, built once at kernel construction so
+/// [`Kernel::count_drop`] allocates nothing on the hot path.
+struct DropLabels {
+    partition: Labels,
+    loss: Labels,
+    site_down: Labels,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+impl DropLabels {
+    fn for_site(site: usize) -> DropLabels {
+        let site = format!("site{site}");
+        let of = |reason: &str| Labels::of(&[("reason", reason), ("site", &site)]);
+        DropLabels {
+            partition: of("partition"),
+            loss: of("loss"),
+            site_down: of("site_down"),
+        }
     }
 }
 
@@ -191,11 +193,22 @@ struct TraceState {
 pub struct Kernel {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: EventQueue,
+    /// Payload slab; keys in `queue` index into it. Occupancy always
+    /// equals `queue.len()` (asserted), so cancel-heavy workloads cannot
+    /// grow it without bound.
+    pool: EventPool<EventKind>,
+    /// Live timers: token → pool slot, for direct cancellation. Entries
+    /// are removed both at fire and at cancel, so the map tracks only
+    /// pending timers.
+    timer_slots: HashMap<u64, u32>,
+    /// Per-site interned drop labels (indexed by site).
+    drop_labels: Vec<DropLabels>,
+    /// High-water mark of concurrent pending events.
+    peak_queue: usize,
     topology: Topology,
     sites: Vec<SiteRuntime>,
     actor_sites: Vec<SiteId>,
-    cancelled: HashSet<u64>,
     next_token: u64,
     rng: SimRng,
     metrics: MetricsRegistry,
@@ -231,10 +244,17 @@ impl Kernel {
         }
     }
 
-    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+    fn schedule(&mut self, at: SimTime, kind: EventKind) -> u32 {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+        let slot = self.pool.insert(kind);
+        self.queue.push(EventKey { at, seq, slot });
+        let len = self.queue.len();
+        if len > self.peak_queue {
+            self.peak_queue = len;
+        }
+        debug_assert_eq!(self.pool.len(), len, "pool/queue occupancy diverged");
+        slot
     }
 
     fn partition_key(a: SiteId, b: SiteId) -> (SiteId, SiteId) {
@@ -250,11 +270,17 @@ impl Kernel {
     }
 
     /// Per-site labeled drop counter, alongside the flat reason counters,
-    /// so the health report can show which links degrade.
+    /// so the health report can show which links degrade. Labels are
+    /// interned per site at construction; no allocation per drop.
     fn count_drop(&mut self, site: SiteId, reason: &str) {
-        let labels = Labels::of(&[("reason", reason), ("site", &format!("site{}", site.0))]);
+        let dl = &self.drop_labels[site.index()];
+        let labels = match reason {
+            "partition" => &dl.partition,
+            "loss" => &dl.loss,
+            _ => &dl.site_down,
+        };
         self.metrics
-            .counter_labeled("glare_net_dropped_total", &labels)
+            .counter_labeled("glare_net_dropped_total", labels)
             .inc();
     }
 
@@ -346,7 +372,7 @@ impl<'a> Ctx<'a> {
         let at = self.kernel.now + after;
         let actor = self.self_id;
         let tctx = self.kernel.ambient();
-        self.kernel.schedule(
+        let slot = self.kernel.schedule(
             at,
             EventKind::Timer {
                 actor,
@@ -355,12 +381,21 @@ impl<'a> Ctx<'a> {
                 tctx,
             },
         );
+        self.kernel.timer_slots.insert(token.0, slot);
         token
     }
 
     /// Cancel a pending timer (no-op if already fired).
+    ///
+    /// Cancellation tombstones the timer's pool slot in place: the slot's
+    /// payload (tag string, trace context) is dropped immediately, the key
+    /// still pops at its due time (counting as a processed event, exactly
+    /// as before), and the slot is reclaimed at that pop — so repeated
+    /// arm/cancel cycles hold zero residual state.
     pub fn cancel_timer(&mut self, token: TimerToken) {
-        self.kernel.cancelled.insert(token.0);
+        if let Some(slot) = self.kernel.timer_slots.remove(&token.0) {
+            self.kernel.pool.replace(slot, EventKind::Cancelled);
+        }
     }
 
     /// Submit CPU-bound work costing `cost` reference-CPU time on the
@@ -657,21 +692,36 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Build a simulation over `topology` with the given master seed.
+    /// Build a simulation over `topology` with the given master seed and
+    /// the default (calendar) scheduler.
     pub fn new(topology: Topology, seed: u64) -> Self {
-        let sites = topology
+        Simulation::with_scheduler(topology, seed, SchedulerKind::default())
+    }
+
+    /// Build a simulation with an explicit event-queue implementation
+    /// (the scale bench's ablation flag; results are byte-identical
+    /// either way, only throughput differs).
+    pub fn with_scheduler(topology: Topology, seed: u64, scheduler: SchedulerKind) -> Self {
+        let sites: Vec<SiteRuntime> = topology
             .site_ids()
             .map(|s| SiteRuntime::new(topology.site(s)))
             .collect();
+        let drop_labels = (0..sites.len()).map(DropLabels::for_site).collect();
+        // Pre-size for a handful of in-flight events per site; both the
+        // pool and the queue grow transparently past this.
+        let expected = (sites.len() * 4).max(256);
         Simulation {
             kernel: Kernel {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(scheduler, expected),
+                pool: EventPool::with_capacity(expected),
+                timer_slots: HashMap::new(),
+                drop_labels,
+                peak_queue: 0,
                 topology,
                 sites,
                 actor_sites: Vec::new(),
-                cancelled: HashSet::new(),
                 next_token: 0,
                 rng: SimRng::from_seed(seed).fork("kernel"),
                 metrics: MetricsRegistry::new(),
@@ -815,6 +865,28 @@ impl Simulation {
         self.kernel.now
     }
 
+    /// Which event-queue implementation this simulation runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.kernel.queue.kind()
+    }
+
+    /// Events currently pending in the queue (tombstones included).
+    pub fn queue_len(&self) -> usize {
+        self.kernel.queue.len()
+    }
+
+    /// High-water mark of concurrent pending events over the whole run —
+    /// the "peak queue occupancy" column of the scale bench.
+    pub fn peak_queue_occupancy(&self) -> usize {
+        self.kernel.peak_queue
+    }
+
+    /// Live (pending, uncancelled) timers the kernel tracks. Bounded by
+    /// queue occupancy; cancel-heavy workloads cannot grow it.
+    pub fn pending_timers(&self) -> usize {
+        self.kernel.timer_slots.len()
+    }
+
     /// Immutable metrics access for the harness.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.kernel.metrics
@@ -918,7 +990,7 @@ impl Simulation {
         let mut n = 0;
         while !self.kernel.stopped {
             match self.kernel.queue.peek() {
-                Some(Reverse(ev)) if ev.at <= horizon => {}
+                Some(key) if key.at <= horizon => {}
                 _ => break,
             }
             self.step();
@@ -941,7 +1013,7 @@ impl Simulation {
     pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
         assert!(self.started, "call start() before running");
         let mut n = 0;
-        while !self.kernel.stopped && self.kernel.queue.peek().is_some() {
+        while !self.kernel.stopped && !self.kernel.queue.is_empty() {
             self.step();
             n += 1;
             assert!(
@@ -954,12 +1026,18 @@ impl Simulation {
 
     /// Execute exactly one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.kernel.queue.pop() else {
+        let Some(key) = self.kernel.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.kernel.now, "time went backwards");
-        self.kernel.now = ev.at;
-        match ev.kind {
+        let kind = self.kernel.pool.take(key.slot);
+        debug_assert_eq!(
+            self.kernel.pool.len(),
+            self.kernel.queue.len(),
+            "pool/queue occupancy diverged"
+        );
+        debug_assert!(key.at >= self.kernel.now, "time went backwards");
+        self.kernel.now = key.at;
+        match kind {
             EventKind::Deliver {
                 to,
                 from,
@@ -984,15 +1062,18 @@ impl Simulation {
                     );
                 });
             }
+            EventKind::Cancelled => {
+                // Tombstoned timer: the pop above already advanced time
+                // and reclaimed the slot; nothing dispatches.
+                return true;
+            }
             EventKind::Timer {
                 actor,
                 token,
                 tag,
                 tctx,
             } => {
-                if self.kernel.cancelled.remove(&token.0) {
-                    return true;
-                }
+                self.kernel.timer_slots.remove(&token.0);
                 let site = self.kernel.actor_sites[actor.index()];
                 if !self.kernel.sites[site.index()].is_up() {
                     return true;
@@ -1648,6 +1729,110 @@ mod tests {
         assert_eq!(sim.actor_as::<Inspectable>(a).map(|i| i.answer), Some(42));
         assert!(sim.actor_as::<Sleeper>(b).is_none(), "opaque by default");
         assert!(sim.actor_as::<Inspectable>(ActorId(99)).is_none());
+    }
+
+    #[test]
+    fn cancelled_timers_leave_no_residue() {
+        // Satellite regression: cancelling — before or after the fire —
+        // must not grow kernel state. The old design kept an unbounded
+        // HashSet of tokens whose timers had already fired.
+        struct Rearmer {
+            rounds: u32,
+            stale: Vec<TimerToken>,
+        }
+        impl Actor for Rearmer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.timer_after(SimDuration::from_millis(1), "tick");
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _env: Envelope) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken, tag: &str) {
+                if tag != "tick" {
+                    return;
+                }
+                // Cancel a token that already fired (the retry-layer
+                // pattern): must be a clean no-op.
+                for t in self.stale.drain(..) {
+                    ctx.cancel_timer(t);
+                }
+                self.stale.push(token);
+                // Arm-and-cancel a decoy every round: its tombstone must
+                // be reclaimed when the key pops.
+                let decoy = ctx.timer_after(SimDuration::from_millis(5), "decoy");
+                ctx.cancel_timer(decoy);
+                if self.rounds > 0 {
+                    self.rounds -= 1;
+                    ctx.timer_after(SimDuration::from_millis(1), "tick");
+                }
+            }
+        }
+        let mut sim = Simulation::new(Topology::uniform(1), 8);
+        sim.add_actor(
+            SiteId(0),
+            Box::new(Rearmer {
+                rounds: 500,
+                stale: Vec::new(),
+            }),
+        );
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.queue_len(), 0, "tombstones must drain with the queue");
+        assert_eq!(sim.pending_timers(), 0, "timer map must not leak");
+        assert_eq!(sim.metrics().counter_value("timer.decoy"), 0);
+    }
+
+    #[test]
+    fn schedulers_are_event_identical() {
+        // The ablation flag flips throughput, never results: same seed,
+        // same final clock, same message counts, same event count.
+        let run = |kind: crate::queue::SchedulerKind| {
+            let mut topo = Topology::uniform(2);
+            topo.set_default_link(LinkSpec {
+                latency: SimDuration::from_millis(10),
+                bandwidth_bps: 1_000_000,
+                jitter: 0.3,
+            });
+            let mut sim = Simulation::with_scheduler(topo, 77, kind);
+            let b = sim.add_actor(
+                SiteId(1),
+                Box::new(Ping {
+                    peer: None,
+                    remaining: 50,
+                    got: 0,
+                }),
+            );
+            sim.add_actor(
+                SiteId(0),
+                Box::new(Ping {
+                    peer: Some(b),
+                    remaining: 50,
+                    got: 0,
+                }),
+            );
+            sim.start();
+            let events = sim.run_to_quiescence(10_000);
+            (
+                sim.now(),
+                events,
+                sim.metrics().counter_value("net.msgs_sent"),
+                sim.metrics().counter_value("net.bytes_sent"),
+            )
+        };
+        assert_eq!(
+            run(crate::queue::SchedulerKind::Calendar),
+            run(crate::queue::SchedulerKind::BinaryHeap)
+        );
+    }
+
+    #[test]
+    fn peak_queue_occupancy_tracks_high_water() {
+        let (mut sim, a, _b) = two_site_sim();
+        sim.start();
+        for i in 0..32 {
+            sim.inject(SimTime::from_secs(1 + i), ActorId(0), a, Tick);
+        }
+        assert!(sim.peak_queue_occupancy() >= 32);
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.queue_len(), 0);
     }
 
     #[test]

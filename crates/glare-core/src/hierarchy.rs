@@ -5,6 +5,12 @@
 //! Discovery walks *down* the hierarchy: a request for `Imaging` finds
 //! `JPOVray` because JPOVray (transitively) extends Imaging. The hierarchy
 //! is a DAG — Fig. 2's JPOVray extends both POVray and Imaging.
+//!
+//! Not to be confused with the *super-peer tree* (`superpeer` module,
+//! DESIGN.md §9b): this hierarchy relates activity *types* to one another,
+//! while the overlay tree groups *sites* under elected super-peers for
+//! query routing. The two are orthogonal — a query names a type from this
+//! DAG and travels along the overlay tree.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 

@@ -33,7 +33,7 @@ pub use hierarchy::TypeHierarchy;
 pub use node::{GlareNode, NodeConfig, NodeMsg, QueryScope};
 pub use overlay::{ClientStats, NotificationSink, OverlayBuilder, QueryClient};
 pub use retry::{BreakerBank, BreakerState, CircuitBreaker, RetryPolicy};
-pub use superpeer::{Group, MajorityTally, Role};
+pub use superpeer::{plan_tree, Group, MajorityTally, Role, TreeParent, TreePlan};
 pub use lease::{LeaseKind, LeaseManager, LeaseTicket};
 pub use model::{
     ActivityDeployment, ActivityType, DeploymentAccess, DeploymentStatus, InstallConstraints,

@@ -28,6 +28,7 @@
 
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use glare_fabric::{
     Actor, ActorId, Ctx, Envelope, Labels, SimDuration, SimTime, SpanHandle, SpanKind,
@@ -42,7 +43,7 @@ use crate::cache::RegistryCache;
 use crate::durable::{self, RegistryMutation};
 use crate::model::{ActivityDeployment, ActivityType};
 use crate::retry::{BreakerBank, RetryPolicy};
-use crate::superpeer::{highest_ranked, partition_groups, MajorityTally, Role};
+use crate::superpeer::{highest_ranked, plan_tree, MajorityTally, Role, TreeParent};
 
 /// How far a query may travel from the handling node.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,6 +60,24 @@ pub enum QueryScope {
     /// The full ladder: local → cache → group → super-peer → other
     /// super-peers (a client request).
     Full,
+    /// Multi-level tree descent: the receiving super-peer resolves
+    /// against everything *beneath* it down to the leaves — its leaf
+    /// group plus, for every tier up to `level` it leads, the subtrees of
+    /// that tier's members — and never forwards up or sideways
+    /// (loop-free, like [`QueryScope::SpForwarded`] but depth-aware).
+    Subtree {
+        /// Tree level whose subtree the receiver must cover (1 = its
+        /// leaf group only; `Subtree { level: 1 }` ≡ `SpForwarded`).
+        level: u8,
+    },
+    /// Multi-level tree ascent: a level-`level - 1` super-peer's miss
+    /// escalated to its level-`level` parent. The parent covers its own
+    /// subtree and, on a miss, keeps climbing (or forwards across the
+    /// top tier, terminally).
+    TreeUp {
+        /// Tree level handling the escalation.
+        level: u8,
+    },
 }
 
 /// Stable label of a [`QueryScope`] for span attributes.
@@ -68,6 +87,8 @@ fn scope_label(scope: QueryScope) -> &'static str {
         QueryScope::GroupProbe => "group-probe",
         QueryScope::SpForwarded => "sp-forwarded",
         QueryScope::Full => "full",
+        QueryScope::Subtree { .. } => "subtree",
+        QueryScope::TreeUp { .. } => "tree-up",
     }
 }
 
@@ -94,8 +115,19 @@ pub enum NodeMsg {
         group: Vec<ActorId>,
         /// The elected super-peer.
         super_peer: ActorId,
-        /// Super-peers of the other groups.
+        /// Super-peers of the other groups. At tree depth 2 this is every
+        /// other leaf super-peer (the paper's flat super group); at depth
+        /// ≥ 3 it is the leaf super-peer's *siblings* in its level-2
+        /// group, so a takeover heir still has nearby peers to reach.
         other_super_peers: Vec<ActorId>,
+        /// Higher-level tree placement of the receiving node (empty for
+        /// plain members and for the flat `depth = 2` overlay).
+        parents: Vec<TreeParent>,
+        /// Fellow top-tier super-peers (nonempty only for top-tier
+        /// super-peers of a depth ≥ 3 tree).
+        tree_others: Vec<ActorId>,
+        /// Grouping tiers realized by the election (1 = flat two-level).
+        tree_tiers: u8,
     },
     /// Super-peer liveness beacon.
     Heartbeat,
@@ -188,6 +220,15 @@ pub struct NodeConfig {
     pub heartbeat_timeout: SimDuration,
     /// Maximum group size used by the coordinator.
     pub max_group_size: usize,
+    /// Levels of the super-peer tree the coordinator builds: `2` (the
+    /// default) is the paper's flat two-level overlay — leaf groups plus
+    /// one fully connected super group; `3` and beyond recursively group
+    /// the super-peers (groups-of-groups, §3's MDS index hierarchy) so
+    /// election fan-out and query routing stay logarithmic in sites.
+    pub tree_depth: usize,
+    /// Branching factor of the tiers above the leaf level; `None` reuses
+    /// `max_group_size`.
+    pub tree_branching: Option<usize>,
     /// Whether the node caches remote results (Fig. 12's switch).
     pub use_cache: bool,
     /// CPU cost of accepting/parsing any request.
@@ -238,6 +279,8 @@ impl NodeConfig {
             heartbeat_interval: SimDuration::from_secs(5),
             heartbeat_timeout: SimDuration::from_secs(16),
             max_group_size: 4,
+            tree_depth: 2,
+            tree_branching: None,
             use_cache: true,
             request_cost: REQUEST_BASE_COST,
             registry_cost: SimDuration::from_millis(4),
@@ -262,6 +305,13 @@ enum Stage {
     SpEscalate,
     /// A super-peer waiting on the other super-peers.
     SpForward,
+    /// Waiting on the node's level-`N` parent super-peer (tree ascent).
+    TreeEscalate(u8),
+    /// A level-`N` super-peer waiting on its level-`N` group's subtrees.
+    TreeProbe(u8),
+    /// A top-tier super-peer waiting on the other top-tier super-peers
+    /// (terminal, like [`Stage::SpForward`]).
+    TreeForward,
 }
 
 struct PendingQuery {
@@ -275,6 +325,10 @@ struct PendingQuery {
     /// Scope the probe messages carried (needed to re-send them verbatim
     /// on a retry).
     probe_scope: QueryScope,
+    /// Per-target scope overrides for mixed-scope tree probes (empty for
+    /// the uniform probes of the flat ladder; retries fall back to
+    /// `probe_scope` for targets not listed here).
+    target_scopes: Vec<(ActorId, QueryScope)>,
     deadline: TimerToken,
     /// Probe attempt number, 1-based.
     attempt: u32,
@@ -320,8 +374,9 @@ enum Deferred {
 pub struct GlareNode {
     cfg: NodeConfig,
     /// Full roster of overlay nodes `(id, rank)` — what the MDS community
-    /// index would provide.
-    roster: Vec<(ActorId, u64)>,
+    /// index would provide. Shared: at thousands of sites a per-node copy
+    /// would cost O(n²) memory.
+    roster: Arc<Vec<(ActorId, u64)>>,
     /// The node's own actor id (fixed at overlay build time).
     me: ActorId,
     // --- registries ---
@@ -336,6 +391,12 @@ pub struct GlareNode {
     group: Vec<ActorId>,
     super_peer: Option<ActorId>,
     other_super_peers: Vec<ActorId>,
+    /// Higher-level tree placement (empty for members / flat overlays).
+    tree_parents: Vec<TreeParent>,
+    /// Fellow top-tier super-peers (top-tier super-peers only).
+    tree_others: Vec<ActorId>,
+    /// Grouping tiers of the overlay tree (1 = flat two-level).
+    tree_tiers: u8,
     last_heartbeat: SimTime,
     preferred_coordinator: Option<(ActorId, u32)>,
     election_acks: Vec<(ActorId, u64)>,
@@ -367,7 +428,7 @@ pub struct GlareNode {
 impl GlareNode {
     /// Create a node. `me` must equal the actor id this node will receive
     /// from the simulation (the [`crate::overlay::OverlayBuilder`] guarantees this).
-    pub fn new(cfg: NodeConfig, me: ActorId, roster: Vec<(ActorId, u64)>) -> GlareNode {
+    pub fn new(cfg: NodeConfig, me: ActorId, roster: Arc<Vec<(ActorId, u64)>>) -> GlareNode {
         let atr = ActivityTypeRegistry::new(
             &format!("https://{}:8084/wsrf/services/ActivityTypeRegistry", cfg.site_name),
             Transport::Http,
@@ -389,6 +450,9 @@ impl GlareNode {
             group: Vec::new(),
             super_peer: None,
             other_super_peers: Vec::new(),
+            tree_parents: Vec::new(),
+            tree_others: Vec::new(),
+            tree_tiers: 1,
             last_heartbeat: SimTime::ZERO,
             preferred_coordinator: None,
             election_acks: Vec::new(),
@@ -421,6 +485,43 @@ impl GlareNode {
     /// The node's group (empty before the first election).
     pub fn group(&self) -> &[ActorId] {
         &self.group
+    }
+
+    /// Higher-level tree placement (empty for plain members and for the
+    /// flat `depth = 2` overlay).
+    pub fn tree_parents(&self) -> &[TreeParent] {
+        &self.tree_parents
+    }
+
+    /// Fellow top-tier super-peers (nonempty only on top-tier super-peers
+    /// of a depth ≥ 3 tree).
+    pub fn tree_others(&self) -> &[ActorId] {
+        &self.tree_others
+    }
+
+    /// Grouping tiers of the overlay tree this node was appointed into
+    /// (1 = flat two-level).
+    pub fn tree_tiers(&self) -> u8 {
+        self.tree_tiers
+    }
+
+    /// Whether this node is the unique root of a converged multi-level
+    /// tree: super-peer of its topmost group with no fellow top-tier
+    /// super-peers.
+    pub fn is_tree_root(&self) -> bool {
+        self.in_tree()
+            && self.tree_others.is_empty()
+            && self
+                .tree_parents
+                .iter()
+                .find(|t| t.level == self.tree_tiers)
+                .is_some_and(|t| t.super_peer == self.me)
+    }
+
+    /// Whether routing should walk the multi-level tree instead of the
+    /// flat super group.
+    fn in_tree(&self) -> bool {
+        self.tree_tiers >= 2
     }
 
     fn group_peers(&self) -> Vec<ActorId> {
@@ -589,6 +690,62 @@ impl GlareNode {
                 stage,
                 scope,
                 probe_scope,
+                target_scopes: Vec::new(),
+                deadline,
+                attempt: 1,
+                prev_backoff: SimDuration::ZERO,
+                started: ctx.now(),
+                probes_failed,
+                span,
+            },
+        );
+    }
+
+    /// Like [`GlareNode::start_probe`], but each target carries its own
+    /// scope — the mixed-depth fan-out of a tree stage (leaf peers probed
+    /// `LocalOnly`, lower-tier super-peers probed `Subtree`).
+    #[allow(clippy::too_many_arguments)]
+    fn start_probe_multi(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        activity: String,
+        orig_req_id: u64,
+        reply_to: ActorId,
+        targets: Vec<(ActorId, QueryScope)>,
+        stage: Stage,
+        scope: QueryScope,
+        probes_failed: bool,
+        span: SpanHandle,
+    ) {
+        let local_id = self.next_req;
+        self.next_req += 1;
+        let deadline = ctx.timer_after(self.cfg.probe_timeout, &format!("qdl:{local_id}"));
+        self.deadline_to_req.insert(deadline, local_id);
+        let mut awaiting = HashSet::new();
+        for &(t, target_scope) in &targets {
+            awaiting.insert(t);
+            ctx.send(
+                t,
+                NodeMsg::QueryDeployments {
+                    activity: activity.clone(),
+                    req_id: local_id,
+                    reply_to: ctx.self_id,
+                    scope: target_scope,
+                },
+            );
+        }
+        self.pending.insert(
+            local_id,
+            PendingQuery {
+                activity,
+                orig_req_id,
+                reply_to,
+                awaiting,
+                collected: Vec::new(),
+                stage,
+                scope,
+                probe_scope: QueryScope::LocalOnly,
+                target_scopes: targets,
                 deadline,
                 attempt: 1,
                 prev_backoff: SimDuration::ZERO,
@@ -723,16 +880,22 @@ impl GlareNode {
         };
         let activity = p.activity.clone();
         let probe_scope = p.probe_scope;
+        let target_scopes = p.target_scopes.clone();
         let deadline = ctx.timer_after(self.cfg.probe_timeout, &format!("qdl:{local_id}"));
         p.deadline = deadline;
         for &t in &resend {
+            let scope = target_scopes
+                .iter()
+                .find(|(id, _)| *id == t)
+                .map(|&(_, s)| s)
+                .unwrap_or(probe_scope);
             ctx.send(
                 t,
                 NodeMsg::QueryDeployments {
                     activity: activity.clone(),
                     req_id: local_id,
                     reply_to: ctx.self_id,
-                    scope: probe_scope,
+                    scope,
                 },
             );
         }
@@ -786,6 +949,106 @@ impl GlareNode {
         self.reply(ctx, p.reply_to, p.orig_req_id, Vec::new(), p.span, "miss");
     }
 
+    /// Continue a concluded stage `p` as a new probe stage with the given
+    /// mixed-scope targets.
+    fn begin_stage(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        p: PendingQuery,
+        targets: Vec<(ActorId, QueryScope)>,
+        stage: Stage,
+    ) {
+        self.start_probe_multi(
+            ctx,
+            p.activity,
+            p.orig_req_id,
+            p.reply_to,
+            targets,
+            stage,
+            p.scope,
+            p.probes_failed,
+            p.span,
+        );
+    }
+
+    /// Fan-out for a node asked to resolve against its subtree as a
+    /// level-`level` super-peer: the members of every tier it leads up to
+    /// `level` (each covering its own subtree), plus its leaf peers.
+    fn tree_probe_targets(&self, level: u8) -> Vec<(ActorId, QueryScope)> {
+        let mut out = Vec::new();
+        for j in 2..=level {
+            let Some(tp) = self.tree_parents.iter().find(|t| t.level == j) else {
+                continue;
+            };
+            if tp.super_peer != self.me {
+                // Not the leader at this tier: its members' subtrees are
+                // siblings, not descendants.
+                continue;
+            }
+            for &id in &tp.group {
+                if id != self.me {
+                    out.push((id, QueryScope::Subtree { level: j - 1 }));
+                }
+            }
+        }
+        for id in self.group_peers() {
+            out.push((id, QueryScope::LocalOnly));
+        }
+        out
+    }
+
+    /// A tree node's group miss at `from_level`: climb toward the root.
+    /// At each tier, either hand the query to the parent super-peer
+    /// (`TreeUp`) or — when this node *is* that parent — probe the
+    /// tier's member subtrees directly. A miss at the top tier forwards
+    /// sideways to the other top super-peers, terminally.
+    fn escalate_tree(&mut self, ctx: &mut Ctx<'_>, p: PendingQuery, from_level: u8) {
+        let top = self.tree_tiers;
+        let mut lvl = from_level;
+        while lvl < top {
+            lvl += 1;
+            let Some(tp) = self.tree_parents.iter().find(|t| t.level == lvl) else {
+                // Placement lost (post-takeover heir, mid-election churn):
+                // nothing above to ask.
+                self.reply_miss(ctx, p);
+                return;
+            };
+            if tp.super_peer != self.me {
+                let parent = tp.super_peer;
+                self.begin_stage(
+                    ctx,
+                    p,
+                    vec![(parent, QueryScope::TreeUp { level: lvl })],
+                    Stage::TreeEscalate(lvl),
+                );
+                return;
+            }
+            let targets: Vec<(ActorId, QueryScope)> = tp
+                .group
+                .iter()
+                .copied()
+                .filter(|&id| id != self.me)
+                .map(|id| (id, QueryScope::Subtree { level: lvl - 1 }))
+                .collect();
+            if !targets.is_empty() {
+                self.begin_stage(ctx, p, targets, Stage::TreeProbe(lvl));
+                return;
+            }
+            // Sole member of this tier's group: keep climbing.
+        }
+        let others: Vec<(ActorId, QueryScope)> = self
+            .tree_others
+            .iter()
+            .copied()
+            .map(|id| (id, QueryScope::Subtree { level: top }))
+            .collect();
+        if others.is_empty() {
+            self.reply_miss(ctx, p);
+        } else {
+            self.begin_stage(ctx, p, others, Stage::TreeForward);
+        }
+    }
+
     fn conclude_stage(&mut self, ctx: &mut Ctx<'_>, local_id: u64) {
         let Some(p) = self.pending.remove(&local_id) else {
             return;
@@ -807,6 +1070,9 @@ impl GlareNode {
                 Stage::PeerProbe => "probe.group",
                 Stage::SpEscalate => "probe.superpeer",
                 Stage::SpForward => "probe.forwarded",
+                Stage::TreeEscalate(_) => "probe.parent",
+                Stage::TreeProbe(_) => "probe.subtree",
+                Stage::TreeForward => "probe.forwarded",
             };
             self.reply(ctx, p.reply_to, p.orig_req_id, deployments, p.span, source);
             return;
@@ -831,6 +1097,10 @@ impl GlareNode {
                         p.probes_failed,
                         p.span,
                     );
+                } else if self.in_tree() {
+                    // A tree super-peer fielding its own client's miss:
+                    // climb instead of flat-broadcasting the super group.
+                    self.escalate_tree(ctx, p, 1);
                 } else if !self.other_super_peers.is_empty() && self.role == Role::SuperPeer {
                     let sps = self.other_super_peers.clone();
                     self.start_probe(
@@ -850,10 +1120,13 @@ impl GlareNode {
                 }
             }
             (Stage::PeerProbe, QueryScope::GroupProbe) if self.role == Role::SuperPeer => {
-                // A super-peer handling an escalation: own group missed;
-                // forward to the other super-peers, whose handling is
-                // terminal (they probe their groups but don't re-forward).
-                if self.other_super_peers.is_empty() {
+                // A super-peer handling an escalation: own group missed.
+                // Flat overlay: forward to the other super-peers, whose
+                // handling is terminal (they probe their groups but don't
+                // re-forward). Tree overlay: climb toward the root.
+                if self.in_tree() {
+                    self.escalate_tree(ctx, p, 1);
+                } else if self.other_super_peers.is_empty() {
                     self.reply_miss(ctx, p);
                 } else {
                     let sps = self.other_super_peers.clone();
@@ -870,6 +1143,14 @@ impl GlareNode {
                         p.span,
                     );
                 }
+            }
+            (
+                Stage::TreeProbe(level),
+                QueryScope::Full | QueryScope::GroupProbe | QueryScope::TreeUp { .. },
+            ) => {
+                // This tier's subtrees missed; keep climbing (terminal
+                // only once the top tier has been forwarded across).
+                self.escalate_tree(ctx, p, level);
             }
             _ => {
                 self.reply_miss(ctx, p);
@@ -952,6 +1233,7 @@ impl GlareNode {
                             stage: Stage::PeerProbe,
                             scope,
                             probe_scope: QueryScope::LocalOnly,
+                            target_scopes: Vec::new(),
                             deadline,
                             attempt: 1,
                             prev_backoff: SimDuration::ZERO,
@@ -971,6 +1253,52 @@ impl GlareNode {
                         Stage::PeerProbe,
                         scope,
                         QueryScope::LocalOnly,
+                        false,
+                        span,
+                    );
+                }
+            }
+            QueryScope::Subtree { level } | QueryScope::TreeUp { level } => {
+                // Cover this node's subtree as a level-`level` super-peer:
+                // each led tier's member subtrees plus the leaf peers. A
+                // `TreeUp` miss then climbs further; a `Subtree` miss is
+                // terminal.
+                let targets = self.tree_probe_targets(level);
+                if targets.is_empty() {
+                    let local_id = self.next_req;
+                    self.next_req += 1;
+                    let deadline = ctx.timer_after(SimDuration::ZERO, &format!("qdl:{local_id}"));
+                    self.deadline_to_req.insert(deadline, local_id);
+                    self.pending.insert(
+                        local_id,
+                        PendingQuery {
+                            activity,
+                            orig_req_id: req_id,
+                            reply_to,
+                            awaiting: HashSet::new(),
+                            collected: Vec::new(),
+                            stage: Stage::TreeProbe(level),
+                            scope,
+                            probe_scope: QueryScope::LocalOnly,
+                            target_scopes: Vec::new(),
+                            deadline,
+                            attempt: 1,
+                            prev_backoff: SimDuration::ZERO,
+                            started: now,
+                            probes_failed: false,
+                            span,
+                        },
+                    );
+                    self.conclude_stage(ctx, local_id);
+                } else {
+                    self.start_probe_multi(
+                        ctx,
+                        activity,
+                        req_id,
+                        reply_to,
+                        targets,
+                        Stage::TreeProbe(level),
+                        scope,
                         false,
                         span,
                     );
@@ -1002,7 +1330,7 @@ impl GlareNode {
         let span = ctx.span("election.round", SpanKind::Internal);
         ctx.span_attr(span, "community", &self.roster.len().to_string());
         let size = self.roster.len() as u32;
-        for &(id, _) in &self.roster {
+        for &(id, _) in self.roster.iter() {
             ctx.send(
                 id,
                 NodeMsg::ElectionNotice {
@@ -1436,10 +1764,16 @@ impl Actor for GlareNode {
                 group,
                 super_peer,
                 other_super_peers,
+                parents,
+                tree_others,
+                tree_tiers,
             } => {
                 self.group = group;
                 self.super_peer = Some(super_peer);
                 self.other_super_peers = other_super_peers;
+                self.tree_parents = parents;
+                self.tree_others = tree_others;
+                self.tree_tiers = tree_tiers;
                 self.last_heartbeat = ctx.now();
                 self.verification_sent = false;
                 self.tally = None;
@@ -1775,7 +2109,7 @@ impl Actor for GlareNode {
         match tag {
             "election-second" => {
                 let size = self.roster.len() as u32;
-                for &(id, _) in &self.roster {
+                for &(id, _) in self.roster.iter() {
                     ctx.send(
                         id,
                         NodeMsg::ElectionNotice {
@@ -1787,17 +2121,66 @@ impl Actor for GlareNode {
                 }
             }
             "election-close" => {
-                let groups = partition_groups(&self.election_acks, self.cfg.max_group_size);
+                let branching = self.cfg.tree_branching.unwrap_or(self.cfg.max_group_size);
+                let plan = plan_tree(
+                    &self.election_acks,
+                    self.cfg.max_group_size,
+                    branching,
+                    self.cfg.tree_depth,
+                );
+                let leaf: &[crate::superpeer::Group] =
+                    plan.levels.first().map(Vec::as_slice).unwrap_or(&[]);
+                let tiers = plan.tiers().max(1);
                 let span = ctx.span("election.close", SpanKind::Internal);
-                ctx.span_attr(span, "groups", &groups.len().to_string());
+                ctx.span_attr(span, "groups", &leaf.len().to_string());
                 ctx.span_attr(span, "acks", &self.election_acks.len().to_string());
-                let sps: Vec<ActorId> = groups.iter().map(|g| g.super_peer).collect();
-                for g in &groups {
-                    let others: Vec<ActorId> = sps
-                        .iter()
-                        .copied()
-                        .filter(|&s| s != g.super_peer)
-                        .collect();
+                if tiers >= 2 {
+                    ctx.span_attr(span, "tiers", &tiers.to_string());
+                }
+                // Placement above the leaf tier (all empty on a flat plan,
+                // which keeps the depth-2 appointments byte-identical to
+                // the pre-tree protocol).
+                let mut parents: HashMap<ActorId, Vec<TreeParent>> = HashMap::new();
+                let mut siblings: HashMap<ActorId, Vec<ActorId>> = HashMap::new();
+                let mut top_others: HashMap<ActorId, Vec<ActorId>> = HashMap::new();
+                if tiers >= 2 {
+                    for (li, level_groups) in plan.levels.iter().enumerate().skip(1) {
+                        let level = (li + 1) as u8;
+                        for g in level_groups {
+                            for m in g.all() {
+                                parents.entry(m).or_default().push(TreeParent {
+                                    level,
+                                    group: g.all(),
+                                    super_peer: g.super_peer,
+                                });
+                                if level == 2 {
+                                    siblings.insert(
+                                        m,
+                                        g.all().into_iter().filter(|&s| s != m).collect(),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    let top_sps = plan.top_super_peers();
+                    for &sp in &top_sps {
+                        top_others.insert(
+                            sp,
+                            top_sps.iter().copied().filter(|&s| s != sp).collect(),
+                        );
+                    }
+                }
+                let flat_sps: Vec<ActorId> = leaf.iter().map(|g| g.super_peer).collect();
+                for g in leaf {
+                    let others: Vec<ActorId> = if tiers >= 2 {
+                        siblings.get(&g.super_peer).cloned().unwrap_or_default()
+                    } else {
+                        flat_sps
+                            .iter()
+                            .copied()
+                            .filter(|&s| s != g.super_peer)
+                            .collect()
+                    };
                     for &m in &g.all() {
                         ctx.send(
                             m,
@@ -1805,6 +2188,9 @@ impl Actor for GlareNode {
                                 group: g.all(),
                                 super_peer: g.super_peer,
                                 other_super_peers: others.clone(),
+                                parents: parents.get(&m).cloned().unwrap_or_default(),
+                                tree_others: top_others.get(&m).cloned().unwrap_or_default(),
+                                tree_tiers: tiers,
                             },
                         );
                     }
@@ -1961,6 +2347,9 @@ impl Actor for GlareNode {
         self.group.clear();
         self.super_peer = None;
         self.other_super_peers.clear();
+        self.tree_parents.clear();
+        self.tree_others.clear();
+        self.tree_tiers = 1;
         self.last_heartbeat = SimTime::ZERO;
         self.preferred_coordinator = None;
         self.election_acks.clear();
@@ -2493,5 +2882,216 @@ mod tests {
             at_200 >= at_100 + 8,
             "status monitor must keep firing after restart: {at_100} -> {at_200}"
         );
+    }
+
+    /// Mirror of the chaos harness's overlay invariants: every node names
+    /// a super-peer, named super-peers hold the office, office holders
+    /// name themselves, members point back, and the distinct-super-peer
+    /// count matches the office-holder count.
+    fn assert_overlay_invariants(sim: &Simulation, ids: &[ActorId], skip: &[ActorId]) {
+        let node = |id: ActorId| sim.actor_as::<GlareNode>(id).expect("GlareNode");
+        let mut named = std::collections::BTreeSet::new();
+        let mut office_holders = 0usize;
+        for &id in ids {
+            if skip.contains(&id) {
+                continue;
+            }
+            let n = node(id);
+            if n.role() == Role::SuperPeer {
+                office_holders += 1;
+            }
+            let sp = n.super_peer().unwrap_or_else(|| panic!("node {} ungrouped", id.0));
+            named.insert(sp);
+            assert_eq!(node(sp).role(), Role::SuperPeer, "named SP {} holds office", sp.0);
+            if n.role() == Role::SuperPeer {
+                assert_eq!(sp, id, "office holder {} defers to {}", id.0, sp.0);
+                for &m in n.group() {
+                    if skip.contains(&m) {
+                        continue;
+                    }
+                    assert_eq!(
+                        node(m).super_peer(),
+                        Some(id),
+                        "member {} of {}'s group points elsewhere",
+                        m.0,
+                        id.0
+                    );
+                }
+            }
+        }
+        assert_eq!(named.len(), office_holders, "one super-peer per group");
+    }
+
+    #[test]
+    fn depth_three_election_converges_to_single_root() {
+        // 121 sites, groups of 12: ceil(121/12) = 11 leaf groups, whose
+        // 11 super-peers re-partition (branching = 12) into one level-2
+        // group — exactly one root over two grouping tiers.
+        let mut b = OverlayBuilder::new(121, 11);
+        b.configure(|_, cfg| {
+            cfg.max_group_size = 12;
+            cfg.tree_depth = 3;
+            cfg.election_interval = None;
+        });
+        let (mut sim, ids) = b.build();
+        sim.start();
+        sim.run_until(SimTime::from_secs(30));
+        assert_overlay_invariants(&sim, &ids, &[]);
+        let mut roots = Vec::new();
+        let mut leaf_sps = std::collections::BTreeSet::new();
+        for &id in &ids {
+            let n = sim.actor_as::<GlareNode>(id).expect("GlareNode");
+            assert_eq!(n.tree_tiers(), 2, "node {} saw a two-tier plan", id.0);
+            if n.role() == Role::SuperPeer {
+                leaf_sps.insert(id);
+                assert!(
+                    n.tree_parents().iter().any(|t| t.level == 2),
+                    "leaf super-peer {} knows its level-2 parent",
+                    id.0
+                );
+            } else {
+                assert!(n.tree_parents().is_empty(), "plain member {} has no parents", id.0);
+            }
+            if n.is_tree_root() {
+                roots.push(id);
+            }
+        }
+        assert_eq!(leaf_sps.len(), 11, "one super-peer per leaf group");
+        assert_eq!(roots.len(), 1, "exactly one tree root: {roots:?}");
+        // The root leads its level-2 group, so every other leaf SP points
+        // up at it.
+        let root = roots[0];
+        for &sp in &leaf_sps {
+            let n = sim.actor_as::<GlareNode>(sp).expect("GlareNode");
+            let parent = n
+                .tree_parents()
+                .iter()
+                .find(|t| t.level == 2)
+                .expect("level-2 parent");
+            assert_eq!(parent.super_peer, root, "leaf SP {} reports to the root", sp.0);
+            assert!(n.tree_others().is_empty(), "single top group has no siblings");
+        }
+    }
+
+    #[test]
+    fn depth_three_query_resolves_across_subtrees() {
+        // 12 sites, groups of 3 with branching 3: 4 leaf groups whose
+        // super-peers split into two level-2 subtrees. Deploy only on a
+        // plain member under one top-level subtree and query from a plain
+        // member under the other: with the cache off, a hit requires the
+        // full ladder — up to the querier's top super-peer, sideways to
+        // the other top super-peer, and down through its subtree.
+        let n = 12usize;
+        let topo = glare_fabric::Topology::uniform(n);
+        let responders: Vec<(ActorId, u64)> = (0..n as u32)
+            .map(|i| (ActorId(i), topo.site(glare_fabric::SiteId(i)).rank_hashcode()))
+            .collect();
+        let plan = plan_tree(&responders, 3, 3, 3);
+        assert_eq!(plan.levels.len(), 2, "two grouping tiers");
+        assert!(plan.levels[1].len() >= 2, "need two top-level subtrees");
+        let leaf_of = |sp: ActorId| {
+            plan.levels[0]
+                .iter()
+                .find(|g| g.super_peer == sp)
+                .expect("every level-2 member leads a leaf group")
+        };
+        let pick_member = |top: &crate::superpeer::Group| {
+            // A plain (non-super-peer) member of a leaf group inside this
+            // top-level subtree, so the query cannot short-circuit.
+            top.all()
+                .iter()
+                .flat_map(|&sp| leaf_of(sp).members.clone())
+                .next()
+                .expect("subtree has a plain member")
+        };
+        let client_site = pick_member(&plan.levels[1][0]).0 as usize;
+        let deploy_site = pick_member(&plan.levels[1][1]).0 as usize;
+        assert_ne!(client_site, deploy_site);
+
+        let mut b = OverlayBuilder::new(n, 17);
+        b.configure(|_, cfg| {
+            cfg.max_group_size = 3;
+            cfg.tree_branching = Some(3);
+            cfg.tree_depth = 3;
+            cfg.use_cache = false;
+            cfg.election_interval = None;
+        });
+        b.seed(move |i, node| {
+            for t in example_hierarchy(SimTime::ZERO) {
+                node.atr.register(t, SimTime::ZERO).unwrap();
+            }
+            if i == deploy_site {
+                let d = ActivityDeployment::executable(
+                    "JPOVray",
+                    &format!("site{i}"),
+                    "/opt/deployments/jpovray/bin/jpovray",
+                    "/opt/deployments/jpovray",
+                );
+                node.adr.register(d, &node.atr, SimTime::ZERO).unwrap();
+            }
+        });
+        let (mut sim, ids) = b.build();
+        let stats = ClientStats::shared();
+        let client = QueryClient::new(
+            ids[client_site],
+            "Imaging",
+            SimDuration::from_secs(5),
+            3,
+            stats.clone(),
+        );
+        sim.add_actor(glare_fabric::SiteId(client_site as u32), Box::new(client));
+        sim.start();
+        sim.run_until(SimTime::from_secs(120));
+        let s = stats.lock();
+        assert_eq!(s.responses, 3);
+        assert_eq!(s.hits, 3, "deployment found across top-level subtrees");
+    }
+
+    #[test]
+    fn mid_level_super_peer_crash_heals_on_reelection() {
+        // 25 sites, groups of 5: 5 leaf groups, their super-peers form one
+        // level-2 group under a single root. Crash the root: its own leaf
+        // group heals by heartbeat takeover, and the next periodic
+        // election re-plans the whole tree around the survivors.
+        let mut b = OverlayBuilder::new(25, 13);
+        b.configure(|_, cfg| {
+            cfg.max_group_size = 5;
+            cfg.tree_depth = 3;
+            cfg.election_interval = Some(SimDuration::from_secs(60));
+        });
+        let (mut sim, ids) = b.build();
+        sim.start();
+        sim.run_until(SimTime::from_secs(10));
+        let root = ids
+            .iter()
+            .copied()
+            .find(|&id| {
+                sim.actor_as::<GlareNode>(id)
+                    .expect("GlareNode")
+                    .is_tree_root()
+            })
+            .expect("depth-3 election produced a root");
+        // The coordinator (node 0) must survive to run the re-election.
+        assert_ne!(root, ActorId(0), "test setup: root is not the coordinator");
+        sim.schedule_crash(SimTime::from_secs(20), glare_fabric::SiteId(root.0));
+        // Run past the next periodic election (re-opens every 60s).
+        sim.run_until(SimTime::from_secs(200));
+        let survivors: Vec<ActorId> = ids.iter().copied().filter(|&id| id != root).collect();
+        assert_overlay_invariants(&sim, &ids, &[root]);
+        let mut roots = Vec::new();
+        for &id in &survivors {
+            let n = sim.actor_as::<GlareNode>(id).expect("GlareNode");
+            assert_ne!(n.super_peer(), Some(root), "node {} still follows the dead root", id.0);
+            assert!(
+                n.tree_parents().iter().all(|t| t.super_peer != root),
+                "node {} keeps the dead root as a parent",
+                id.0
+            );
+            assert_eq!(n.tree_tiers(), 2, "re-election restored the two-tier plan");
+            if n.is_tree_root() {
+                roots.push(id);
+            }
+        }
+        assert_eq!(roots.len(), 1, "tree healed to exactly one new root: {roots:?}");
     }
 }

@@ -9,8 +9,8 @@ use std::sync::Arc;
 
 use glare_fabric::sync::Mutex;
 use glare_fabric::{
-    Actor, ActorId, Ctx, Envelope, SimDuration, SimTime, Simulation, SiteId, SpanHandle, SpanKind,
-    TimerToken, Topology,
+    Actor, ActorId, Ctx, Envelope, SchedulerKind, SimDuration, SimTime, Simulation, SiteId,
+    SpanHandle, SpanKind, TimerToken, Topology,
 };
 
 use crate::node::{GlareNode, NodeConfig, NodeMsg, QueryScope};
@@ -25,6 +25,7 @@ pub struct OverlayBuilder {
     n: usize,
     seed: u64,
     topology: Topology,
+    scheduler: SchedulerKind,
     configure: Option<ConfigureFn>,
     seed_fn: Option<SeedFn>,
 }
@@ -37,6 +38,7 @@ impl OverlayBuilder {
             n,
             seed,
             topology: Topology::uniform(n),
+            scheduler: SchedulerKind::default(),
             configure: None,
             seed_fn: None,
         }
@@ -46,6 +48,14 @@ impl OverlayBuilder {
     pub fn with_topology(mut self, topology: Topology) -> Self {
         assert!(topology.len() >= self.n, "topology smaller than overlay");
         self.topology = topology;
+        self
+    }
+
+    /// Pick the kernel's event-queue implementation (the scale bench's
+    /// calendar-vs-binary-heap ablation; results are event-identical,
+    /// only wall-clock throughput differs).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -71,10 +81,12 @@ impl OverlayBuilder {
         let ranks: Vec<u64> = (0..self.n)
             .map(|i| self.topology.site(SiteId(i as u32)).rank_hashcode())
             .collect();
-        let roster: Vec<(ActorId, u64)> = (0..self.n)
-            .map(|i| (ActorId(i as u32), ranks[i]))
-            .collect();
-        let mut sim = Simulation::new(self.topology, self.seed);
+        let roster: Arc<Vec<(ActorId, u64)>> = Arc::new(
+            (0..self.n)
+                .map(|i| (ActorId(i as u32), ranks[i]))
+                .collect(),
+        );
+        let mut sim = Simulation::with_scheduler(self.topology, self.seed, self.scheduler);
         let mut ids = Vec::with_capacity(self.n);
         for (i, &rank) in ranks.iter().enumerate() {
             let site_name = format!("site{i}");

@@ -84,6 +84,90 @@ pub fn highest_ranked(candidates: &[(ActorId, u64)], exclude: ActorId) -> Option
         .map(|&(id, _)| id)
 }
 
+/// One node's membership in a group *above* the leaf level of the
+/// super-peer tree: the level (2 = groups of leaf super-peers), the full
+/// group roster and that group's elected super-peer.
+///
+/// Leaf placement stays in the `Appointment`'s `group`/`super_peer`
+/// fields; a plain member carries no `TreeParent`s at all, which is what
+/// keeps the `depth = 2` overlay byte-identical to the pre-tree protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeParent {
+    /// Tree level of this group (2-based; leaf groups are level 1).
+    pub level: u8,
+    /// Every node of the group, super-peer included.
+    pub group: Vec<ActorId>,
+    /// The group's elected super-peer.
+    pub super_peer: ActorId,
+}
+
+/// A planned multi-level super-peer tree.
+///
+/// `levels[0]` holds the leaf groups (level 1, identical to what
+/// [`partition_groups`] produces), `levels[1]` groups the leaf
+/// super-peers, and so on. The super-peers of the last level form the
+/// (flat, fully connected) top tier; when the population shrinks to a
+/// single super-peer before the depth budget is exhausted, that node is
+/// the unique tree root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreePlan {
+    /// Groups per level, leaf level first.
+    pub levels: Vec<Vec<Group>>,
+}
+
+impl TreePlan {
+    /// Number of grouping tiers actually realized (1 = flat two-level
+    /// overlay — today's paper protocol).
+    pub fn tiers(&self) -> u8 {
+        self.levels.len() as u8
+    }
+
+    /// Super-peers of the topmost level (the flat top tier; a single
+    /// entry when the tree converged to one root).
+    pub fn top_super_peers(&self) -> Vec<ActorId> {
+        self.levels
+            .last()
+            .map(|gs| gs.iter().map(|g| g.super_peer).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Plan a multi-level super-peer tree over ranked responders.
+///
+/// The leaf level is exactly [`partition_groups`] with `max_group_size`;
+/// every higher level re-partitions the previous level's super-peers with
+/// `branching` until either `depth - 1` tiers exist or a single
+/// super-peer remains (the root). `depth = 2` therefore degenerates to
+/// the flat single-tier plan the paper describes. Deterministic given the
+/// input.
+pub fn plan_tree(
+    responders: &[(ActorId, u64)],
+    max_group_size: usize,
+    branching: usize,
+    depth: usize,
+) -> TreePlan {
+    let tiers = depth.saturating_sub(1).max(1);
+    let mut levels: Vec<Vec<Group>> = Vec::new();
+    let rank_of: std::collections::HashMap<ActorId, u64> = responders.iter().copied().collect();
+    let mut pop: Vec<(ActorId, u64)> = responders.to_vec();
+    for tier in 0..tiers {
+        if pop.is_empty() {
+            break;
+        }
+        let size = if tier == 0 { max_group_size } else { branching };
+        let groups = partition_groups(&pop, size);
+        pop = groups
+            .iter()
+            .map(|g| (g.super_peer, rank_of.get(&g.super_peer).copied().unwrap_or(0)))
+            .collect();
+        levels.push(groups);
+        if pop.len() <= 1 {
+            break;
+        }
+    }
+    TreePlan { levels }
+}
+
 /// A simple-majority acknowledgement tally.
 #[derive(Clone, Debug)]
 pub struct MajorityTally {
@@ -167,6 +251,56 @@ mod tests {
         assert_eq!(highest_ranked(&c, ActorId(1)), Some(ActorId(2)));
         assert_eq!(highest_ranked(&c, ActorId(9)), Some(ActorId(1)));
         assert_eq!(highest_ranked(&ids(&[(3, 1)]), ActorId(3)), None);
+    }
+
+    #[test]
+    fn plan_tree_depth_two_is_flat_partition() {
+        let responders = ids(&[(0, 10), (1, 20), (2, 30), (3, 40), (4, 50), (5, 60), (6, 70)]);
+        let plan = plan_tree(&responders, 3, 3, 2);
+        assert_eq!(plan.tiers(), 1);
+        assert_eq!(plan.levels[0], partition_groups(&responders, 3));
+        assert_eq!(
+            plan.top_super_peers(),
+            vec![ActorId(6), ActorId(5), ActorId(4)]
+        );
+    }
+
+    #[test]
+    fn plan_tree_depth_three_builds_groups_of_groups() {
+        // 12 responders, leaf groups of 3 -> 4 leaf super-peers; branching
+        // 4 folds them into a single level-2 group with one root.
+        let responders: Vec<(ActorId, u64)> =
+            (0..12u32).map(|i| (ActorId(i), 100 + i as u64)).collect();
+        let plan = plan_tree(&responders, 3, 4, 3);
+        assert_eq!(plan.tiers(), 2);
+        assert_eq!(plan.levels[0].len(), 4);
+        assert_eq!(plan.levels[1].len(), 1);
+        let leaf_sps: Vec<ActorId> = plan.levels[0].iter().map(|g| g.super_peer).collect();
+        let mut l2_all = plan.levels[1][0].all();
+        l2_all.sort_unstable();
+        let mut sps_sorted = leaf_sps.clone();
+        sps_sorted.sort_unstable();
+        assert_eq!(l2_all, sps_sorted, "level 2 regroups exactly the leaf SPs");
+        assert_eq!(plan.top_super_peers().len(), 1, "single root");
+        assert_eq!(plan.top_super_peers()[0], ActorId(11), "highest rank roots");
+    }
+
+    #[test]
+    fn plan_tree_stops_early_at_single_super_peer() {
+        // A population that collapses to one super-peer after the leaf
+        // tier never grows useless upper tiers, whatever the depth.
+        let responders = ids(&[(0, 5), (1, 9), (2, 3)]);
+        let plan = plan_tree(&responders, 10, 4, 5);
+        assert_eq!(plan.tiers(), 1);
+        assert_eq!(plan.top_super_peers(), vec![ActorId(1)]);
+    }
+
+    #[test]
+    fn plan_tree_deterministic() {
+        let a: Vec<(ActorId, u64)> = (0..50u32).map(|i| (ActorId(i), (i as u64 * 37) % 41)).collect();
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(plan_tree(&a, 4, 4, 4), plan_tree(&b, 4, 4, 4));
     }
 
     #[test]

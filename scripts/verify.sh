@@ -14,6 +14,9 @@
 #   8. crash-replay smoke: after a crash, store recovery and anti-entropy
 #      rejoin must converge to registries byte-identical (digest match,
 #      zero tombstone resurrections) to a never-crashed same-seed run
+#   9. scale smoke: BENCH_scale.json must parse, the kernel must report
+#      nonzero events/sec, every query must hit, and the depth-3 tree's
+#      hops per query must be strictly below the flat-broadcast baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -83,6 +86,29 @@ assert report["overall"]["p95_ms"] > 0, "recovery percentiles are empty"
 assert report["grid"]["replayed_records"] > 0, "grid restart replayed nothing"
 EOF
 rm -rf "$chaos_dir"
+
+echo "==> smoke: scale --smoke (writes BENCH_scale.json)"
+scale_dir=$(mktemp -d)
+(cd "$scale_dir" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin scale -- --smoke >/dev/null)
+test -s "$scale_dir/BENCH_scale.json" || { echo "missing BENCH_scale.json"; exit 1; }
+python3 - "$scale_dir/BENCH_scale.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "glare.scale.v1", "unexpected schema tag"
+det = report["deterministic"]["points"]
+wall = report["wall_clock"]["points"]
+assert det and wall, "scale report has no sweep points"
+assert all(p["events_per_sec"] > 0 for p in wall), "kernel reported zero throughput"
+assert all(p["hits"] == p["queries"] > 0 for p in det), "unresolved queries"
+tree = {p["sites"]: p for p in det if not p["flood"]}
+flood = {p["sites"]: p for p in det if p["flood"]}
+assert tree and flood, "missing tree or flood rows"
+for n, t in tree.items():
+    assert t["hops_per_query"] < flood[n]["hops_per_query"], \
+        f"{n} sites: tree hops {t['hops_per_query']} not below flood {flood[n]['hops_per_query']}"
+EOF
+rm -rf "$scale_dir"
 
 echo "==> crash-replay smoke: recovered registries match a never-crashed same-seed run"
 cargo test --release -q -p glare-core --lib \

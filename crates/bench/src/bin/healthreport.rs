@@ -12,6 +12,9 @@
 //!   overrides (defaults: 5 sites, 15 clients, 12 queries, seed 4711).
 //! * `--loss N`  — drop N per-mille of overlay messages (default 0), so
 //!   the per-site dropped-by-loss column shows a degraded network.
+//! * `--tenants N` — attach N multi-tenant load lanes (classes cycle
+//!   gold/silver/best-effort) behind a tiny bounded inbox at site 0, so
+//!   the report grows per-class admitted/shed/retry-after columns.
 //! * `--smoke`   — small fixed configuration for CI.
 //!
 //! Always writes three artifacts to the working directory:
@@ -52,6 +55,9 @@ fn main() {
     }
     if let Some(n) = flag_value(&args, "--loss") {
         p.loss = n as f64 / 1000.0;
+    }
+    if let Some(n) = flag_value(&args, "--tenants") {
+        p.tenants = n as usize;
     }
 
     let r = run(p);

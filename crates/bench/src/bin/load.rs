@@ -1,0 +1,81 @@
+//! Load sweep driver: offered load vs. per-tenant goodput past
+//! saturation (or `--smoke` for a CI-sized pass). Prints the table on
+//! stdout and always writes `BENCH_load.json`.
+//!
+//! Flags:
+//!   --smoke          CI-sized sweep (factors 0.5/1.0/2.0, short window)
+//!   --sites N        overlay size (default 8)
+//!   --seed N         master seed (default 4207)
+//!   --capacity N     bounded-inbox capacity (default 32)
+//!   --factors LIST   comma-separated rate multipliers (default 0.5,1,1.5,2)
+//!   --no-backpressure  disable admission control (observe-only check)
+//!   --json           machine-readable output on stdout instead of the table
+
+use glare_bench::load::{render, run, to_json, LoadParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut p = if args.iter().any(|a| a == "--smoke") {
+        LoadParams::smoke()
+    } else {
+        LoadParams::default()
+    };
+    if args.iter().any(|a| a == "--no-backpressure") {
+        p.backpressure = false;
+    }
+    let json_out = args.iter().any(|a| a == "--json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sites" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => p.sites = n,
+                _ => {
+                    eprintln!("--sites expects a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => p.seed = s,
+                None => {
+                    eprintln!("--seed expects an integer");
+                    std::process::exit(2);
+                }
+            },
+            "--capacity" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(c) if c > 0 => p.capacity = c,
+                _ => {
+                    eprintln!("--capacity expects a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--factors" => {
+                let parsed: Option<Vec<f64>> = it
+                    .next()
+                    .map(|v| v.split(',').map(|s| s.trim().parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(fs) if !fs.is_empty() && fs.iter().all(|&f| f > 0.0) => {
+                        p.factors = fs;
+                    }
+                    _ => {
+                        eprintln!("--factors expects a comma-separated list of positive numbers");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let points = run(&p);
+    let doc = to_json(&p, &points);
+    match std::fs::write("BENCH_load.json", doc.to_string_pretty()) {
+        Ok(()) => eprintln!("wrote BENCH_load.json"),
+        Err(e) => eprintln!("could not write BENCH_load.json: {e}"),
+    }
+    if json_out {
+        print!("{}", doc.to_string_pretty());
+    } else {
+        print!("{}", render(&p, &points));
+    }
+}

@@ -20,6 +20,9 @@
 //! Everything is deterministic: same params → byte-identical expositions,
 //! event JSONL and report JSON.
 
+use std::sync::Arc;
+
+use glare_core::admission::{AdmissionConfig, TenantClass};
 use glare_core::grid::Grid;
 use glare_core::lease::LeaseKind;
 use glare_core::model::{example_hierarchy, ActivityDeployment, ActivityType};
@@ -27,10 +30,13 @@ use glare_core::overlay::{ClientStats, OverlayBuilder, QueryClient};
 use glare_core::rdm::{
     provision, CacheRefresher, DeploymentStatusMonitor, IndexMonitor, ProvisionRequest,
 };
+use glare_core::retry::RetryPolicy;
+use glare_fabric::sync::Mutex;
 use glare_fabric::{
     Labels, MetricsRegistry, SimDuration, SimTime, SiteId, StoreConfig, DEFAULT_MAX_EVENTS,
 };
 use glare_services::{ChannelKind, Transport};
+use glare_workload::{TenantLoad, TenantSpec, TenantStats, WorkloadSpec};
 
 /// Scenario parameters.
 #[derive(Clone, Copy, Debug)]
@@ -52,6 +58,11 @@ pub struct HealthParams {
     /// Uniform overlay message-loss probability (0.0 = reliable network,
     /// the default; the drop columns in the site table then read zero).
     pub loss: f64,
+    /// Multi-tenant load actors attached to site 0 (classes cycle
+    /// gold/silver/best-effort) with a small bounded inbox, populating
+    /// the per-tenant admission columns. 0 (the default) leaves the
+    /// legacy scenario byte-identical.
+    pub tenants: usize,
 }
 
 impl Default for HealthParams {
@@ -65,6 +76,7 @@ impl Default for HealthParams {
             horizon_secs: 600,
             monitor_ticks: 12,
             loss: 0.0,
+            tenants: 0,
         }
     }
 }
@@ -81,6 +93,7 @@ impl HealthParams {
             horizon_secs: 300,
             monitor_ticks: 6,
             loss: 0.0,
+            tenants: 0,
         }
     }
 }
@@ -135,6 +148,25 @@ pub struct GroupHealth {
     pub hit_ratio: f64,
 }
 
+/// One tenant class's admission row (only populated with `--tenants`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantHealth {
+    /// Tenant class label (`gold` / `silver` / `best_effort`).
+    pub class: String,
+    /// Arrivals the tenant actors offered to the entry site.
+    pub offered: u64,
+    /// Requests the entry site admitted (server-side counter).
+    pub admitted: u64,
+    /// Requests the entry site shed with a retry-after hint.
+    pub shed: u64,
+    /// Shed requests the clients re-offered after honoring retry-after.
+    pub retry_after_honored: u64,
+    /// Shed requests the clients gave up on (retry budget exhausted).
+    pub dropped: u64,
+    /// Responses that made it back to the tenant actors.
+    pub responses: u64,
+}
+
 /// One windowed-gauge sample for `--watch` mode.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WatchRow {
@@ -161,6 +193,8 @@ pub struct HealthReport {
     pub sites: Vec<SiteHealth>,
     /// Per-peer-group rows, label order.
     pub groups: Vec<GroupHealth>,
+    /// Per-tenant-class admission rows (empty unless `tenants > 0`).
+    pub tenant_classes: Vec<TenantHealth>,
     /// Windowed-gauge samples (sim-time ordered within each family/site).
     pub watch: Vec<WatchRow>,
     /// Super-peer takeovers over the overlay run.
@@ -222,15 +256,43 @@ pub struct OverlayProbe {
     pub takeovers: u64,
 }
 
+/// One tenant load generator's identity plus its shared client-side
+/// stats, returned by [`run_overlay_with_tenants`].
+pub struct TenantLane {
+    /// Tenant name from the workload spec.
+    pub name: String,
+    /// Tenant class.
+    pub class: TenantClass,
+    /// Client-observed stats (offered/responses/shed/retries/dropped).
+    pub stats: Arc<Mutex<TenantStats>>,
+}
+
 /// Run the overlay phase. With `instrument` the structured event log and
 /// kernel tracing are enabled; without it the simulation runs bare. The
 /// returned probe must be identical either way (observe-only invariant).
 pub fn run_overlay(p: HealthParams, instrument: bool) -> (glare_fabric::Simulation, OverlayProbe) {
+    let (sim, probe, _lanes) = run_overlay_with_tenants(p, instrument);
+    (sim, probe)
+}
+
+/// [`run_overlay`] plus the tenant load lanes (empty when
+/// `p.tenants == 0`, which also leaves the legacy scenario untouched:
+/// admission stays disabled and no extra actors are attached).
+pub fn run_overlay_with_tenants(
+    p: HealthParams,
+    instrument: bool,
+) -> (glare_fabric::Simulation, OverlayProbe, Vec<TenantLane>) {
     assert!(p.sites >= 3, "the scenario needs at least 3 sites");
     let mut builder = OverlayBuilder::new(p.sites, p.seed);
-    builder.configure(|_, cfg| {
+    let tenants = p.tenants;
+    builder.configure(move |_, cfg| {
         cfg.use_cache = true;
         cfg.max_group_size = 4;
+        if tenants > 0 {
+            // A deliberately tiny inbox so the modest tenant rates still
+            // trip class-aware shedding and populate the report columns.
+            cfg.admission = AdmissionConfig::bounded(2);
+        }
     });
     let types = p.types;
     let sites = p.sites;
@@ -309,6 +371,39 @@ pub fn run_overlay(p: HealthParams, instrument: bool) -> (glare_fabric::Simulati
         );
         sim.add_actor(SiteId(site as u32), Box::new(client));
     }
+
+    // Tenant load lanes: open-loop Poisson arrivals against site 0's
+    // node, classes cycling gold → silver → best-effort, all querying the
+    // same registered T* types. Site 0 is never one of the scripted
+    // crash/restart victims, so the admission counters read there cover
+    // the whole run.
+    let mut lanes = Vec::with_capacity(p.tenants);
+    if p.tenants > 0 {
+        let classes = [TenantClass::Gold, TenantClass::Silver, TenantClass::BestEffort];
+        let names: Vec<String> = (0..p.types).map(|t| format!("T{t}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let mut spec = WorkloadSpec::new(p.seed, SimDuration::from_secs(p.horizon_secs), 1)
+            .with_activities(&name_refs);
+        for i in 0..p.tenants {
+            let class = classes[i % classes.len()];
+            spec = spec.tenant(TenantSpec::open(
+                &format!("tenant{i}-{}", class.label()),
+                class,
+                15.0,
+            ));
+        }
+        for i in 0..p.tenants {
+            let stats = TenantStats::shared();
+            lanes.push(TenantLane {
+                name: spec.tenants[i].name.clone(),
+                class: spec.tenants[i].class,
+                stats: stats.clone(),
+            });
+            let load = TenantLoad::new(&spec, i, ids[0], RetryPolicy::standard(), stats);
+            sim.add_actor(SiteId(0), Box::new(load));
+        }
+    }
+
     sim.start();
     sim.run_until(horizon);
     let probe = {
@@ -321,13 +416,13 @@ pub fn run_overlay(p: HealthParams, instrument: bool) -> (glare_fabric::Simulati
             takeovers: sim.metrics().counter_value("glare.superpeer_takeovers"),
         }
     };
-    (sim, probe)
+    (sim, probe, lanes)
 }
 
 /// Run the scenario and assemble the report.
 pub fn run(p: HealthParams) -> HealthReport {
     // ---- Phase 1: overlay under client load with a super-peer crash ----
-    let (mut sim, _probe) = run_overlay(p, true);
+    let (mut sim, _probe, lanes) = run_overlay_with_tenants(p, true);
     let overlay_events = sim.take_events().expect("events were enabled");
 
     // ---- Phase 2: provisioned Grid driven through monitor ticks ----
@@ -470,6 +565,36 @@ pub fn run(p: HealthParams) -> HealthReport {
         }
     }
 
+    // Tenant admission rows: server-side admitted/shed counters at the
+    // entry site, client-side offered/retry/drop tallies, aggregated per
+    // class in gold → silver → best-effort order.
+    let mut tenant_rows = Vec::new();
+    if !lanes.is_empty() {
+        for class in TenantClass::ALL {
+            if !lanes.iter().any(|l| l.class == class) {
+                continue;
+            }
+            let clabels = Labels::of(&[("class", class.label()), ("site", "site0")]);
+            let (mut offered, mut responses, mut retries, mut dropped) = (0u64, 0u64, 0u64, 0u64);
+            for lane in lanes.iter().filter(|l| l.class == class) {
+                let s = lane.stats.lock();
+                offered += s.offered;
+                responses += s.responses;
+                retries += s.retries;
+                dropped += s.dropped;
+            }
+            tenant_rows.push(TenantHealth {
+                class: class.label().to_owned(),
+                offered,
+                admitted: om.counter_labeled_value("glare_admission_admitted_total", &clabels),
+                shed: om.counter_labeled_value("glare_admission_shed_total", &clabels),
+                retry_after_honored: retries,
+                dropped,
+                responses,
+            });
+        }
+    }
+
     let mut lint = om.lint_metric_names();
     lint.extend(gm.lint_metric_names());
 
@@ -477,6 +602,7 @@ pub fn run(p: HealthParams) -> HealthReport {
         params: p,
         sites: site_rows,
         groups: group_rows,
+        tenant_classes: tenant_rows,
         watch,
         takeovers: om.counter_value("glare.superpeer_takeovers"),
         leases_granted: gm.counter_labeled_value(
@@ -533,6 +659,23 @@ pub fn render(r: &HealthReport) -> String {
             row.group, row.hits, row.misses, row.hit_ratio
         ));
     }
+    if !r.tenant_classes.is_empty() {
+        s.push_str(
+            "\nTenant admission (site0 entry)\nclass       | offered | admitted | shed | retry-after | dropped | responses\n",
+        );
+        for row in &r.tenant_classes {
+            s.push_str(&format!(
+                "{:<12}| {:>7} | {:>8} | {:>4} | {:>11} | {:>7} | {:>9}\n",
+                row.class,
+                row.offered,
+                row.admitted,
+                row.shed,
+                row.retry_after_honored,
+                row.dropped,
+                row.responses,
+            ));
+        }
+    }
     s.push_str(&format!(
         "\nsuper-peer takeovers: {}   leases granted/rejected: {}/{}   events dropped: {}\n",
         r.takeovers, r.leases_granted, r.leases_rejected, r.events_dropped
@@ -571,6 +714,7 @@ impl HealthReport {
                     ("horizon_secs", Json::from(self.params.horizon_secs)),
                     ("monitor_ticks", Json::from(self.params.monitor_ticks)),
                     ("loss", Json::from(self.params.loss)),
+                    ("tenants", Json::from(self.params.tenants)),
                 ]),
             ),
             (
@@ -604,6 +748,20 @@ impl HealthReport {
                         ("hits", Json::from(g.hits)),
                         ("misses", Json::from(g.misses)),
                         ("hit_ratio", Json::from(g.hit_ratio)),
+                    ])
+                })),
+            ),
+            (
+                "tenant_classes",
+                Json::arr(self.tenant_classes.iter().map(|t| {
+                    Json::obj([
+                        ("class", Json::from(t.class.as_str())),
+                        ("offered", Json::from(t.offered)),
+                        ("admitted", Json::from(t.admitted)),
+                        ("shed", Json::from(t.shed)),
+                        ("retry_after_honored", Json::from(t.retry_after_honored)),
+                        ("dropped", Json::from(t.dropped)),
+                        ("responses", Json::from(t.responses)),
                     ])
                 })),
             ),
@@ -675,6 +833,35 @@ mod tests {
         let r = run(p);
         let dropped: u64 = r.sites.iter().map(|s| s.dropped_loss).sum();
         assert!(dropped > 0, "5% loss must drop some overlay messages");
+    }
+
+    #[test]
+    fn tenant_lanes_populate_admission_columns() {
+        let mut p = HealthParams::smoke();
+        p.tenants = 3;
+        let r = run(p);
+        assert_eq!(r.tenant_classes.len(), 3, "one row per class");
+        assert_eq!(r.tenant_classes[0].class, "gold");
+        let offered: u64 = r.tenant_classes.iter().map(|t| t.offered).sum();
+        let admitted: u64 = r.tenant_classes.iter().map(|t| t.admitted).sum();
+        assert!(offered > 0, "tenant actors offered load");
+        assert!(admitted > 0, "the entry site admitted tenant queries");
+        // Class-aware shedding: gold never sheds more than best-effort.
+        let gold = &r.tenant_classes[0];
+        let be = r.tenant_classes.iter().find(|t| t.class == "best_effort").unwrap();
+        assert!(gold.shed <= be.shed, "gold shed {} > best-effort {}", gold.shed, be.shed);
+        assert!(r.lint.is_empty(), "metric-name lint: {:?}", r.lint);
+        // The JSON view carries the rows.
+        let json = r.to_json().to_string_pretty();
+        assert!(json.contains("\"tenant_classes\""));
+        assert!(json.contains("\"retry_after_honored\""));
+    }
+
+    #[test]
+    fn tenant_free_runs_ignore_the_admission_path() {
+        let r = run(HealthParams::smoke());
+        assert!(r.tenant_classes.is_empty());
+        assert!(!r.overlay_exposition.contains("glare_admission_"));
     }
 
     #[test]

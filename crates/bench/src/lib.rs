@@ -16,6 +16,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod health;
 pub mod json;
+pub mod load;
 pub mod scale;
 pub mod table1;
 pub mod timing;

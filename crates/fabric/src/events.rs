@@ -4,7 +4,9 @@
 //! "where did the latency go", events answer "what notable state
 //! transitions happened" — election won/lost, failure suspected/confirmed,
 //! cache entry discarded as outdated, deploy-file step failed/retried,
-//! lease granted/rejected. The log is strictly observe-only: emitting an
+//! lease granted/rejected, query shed by admission control
+//! (`query.shed`, carrying the tenant class and the retry-after hint).
+//! The log is strictly observe-only: emitting an
 //! event never consults the RNG, never schedules simulation work, and
 //! sequence numbers are allocated in emission order, so an instrumented
 //! run is event-for-event identical to a plain run and the rendered JSONL

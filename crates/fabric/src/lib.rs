@@ -45,8 +45,8 @@ pub mod trace;
 pub use events::{EventLog, EventRecord, DEFAULT_MAX_EVENTS};
 pub use fault::{Fault, FaultPlan};
 pub use metrics::{
-    Counter, GaugeBucket, Histogram, Labels, MetricsRegistry, TimeSeries, WindowedGauge,
-    DEFAULT_GAUGE_WINDOW,
+    Counter, GaugeBucket, Histogram, Labels, MetricsRegistry, TenantLabels, TimeSeries,
+    WindowedGauge, DEFAULT_GAUGE_WINDOW,
 };
 pub use queue::{CalendarQueue, EventKey, EventPool, EventQueue, SchedulerKind};
 pub use rng::SimRng;

@@ -253,6 +253,46 @@ impl Labels {
     }
 }
 
+/// Interned per-site tenant-class label sets.
+///
+/// The admission path tallies every request into per-class families
+/// (`glare_admission_admitted_total{class,site}` and friends); building a
+/// [`Labels`] per request would allocate on the hot path. Like the
+/// kernel's per-site drop labels, the three label sets are built once at
+/// construction and selected by a branch — zero allocation per event.
+///
+/// The class vocabulary is fixed (`gold`, `silver`, `best_effort`);
+/// unknown class strings fold into `best_effort`, matching the admission
+/// layer's "unclassified traffic is scavenger traffic" rule.
+#[derive(Clone, Debug)]
+pub struct TenantLabels {
+    gold: Labels,
+    silver: Labels,
+    best_effort: Labels,
+}
+
+impl TenantLabels {
+    /// Build the three `{class, site}` label sets for one site.
+    pub fn for_site(site: &str) -> TenantLabels {
+        let of = |class: &str| Labels::of(&[("class", class), ("site", site)]);
+        TenantLabels {
+            gold: of("gold"),
+            silver: of("silver"),
+            best_effort: of("best_effort"),
+        }
+    }
+
+    /// The interned label set for `class` (`gold` / `silver` / anything
+    /// else → `best_effort`).
+    pub fn get(&self, class: &str) -> &Labels {
+        match class {
+            "gold" => &self.gold,
+            "silver" => &self.silver,
+            _ => &self.best_effort,
+        }
+    }
+}
+
 /// One sim-time bucket of a [`WindowedGauge`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GaugeBucket {
@@ -1001,6 +1041,31 @@ mod tests {
         assert_eq!(v.len(), 2, "violations: {v:?}");
         assert!(v.iter().any(|s| s.contains("ad-hoc family name")));
         assert!(v.iter().any(|s| s.contains("unlabeled instrument")));
+    }
+
+    #[test]
+    fn tenant_labels_intern_and_fold_unknown_classes() {
+        let t = TenantLabels::for_site("site3");
+        assert_eq!(
+            *t.get("gold"),
+            Labels::of(&[("class", "gold"), ("site", "site3")])
+        );
+        assert_eq!(
+            *t.get("silver"),
+            Labels::of(&[("class", "silver"), ("site", "site3")])
+        );
+        // Unknown classes fold into best_effort, and repeated lookups
+        // return the same interned set (pointer equality — no allocation).
+        assert_eq!(
+            *t.get("mystery"),
+            Labels::of(&[("class", "best_effort"), ("site", "site3")])
+        );
+        assert!(std::ptr::eq(t.get("gold"), t.get("gold")));
+        // The interned sets pass the naming lint when used on a family.
+        let mut m = MetricsRegistry::new();
+        m.counter_labeled("glare_admission_shed_total", t.get("best_effort"))
+            .inc();
+        assert_eq!(m.lint_metric_names(), Vec::<String>::new());
     }
 
     #[test]

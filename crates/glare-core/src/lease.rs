@@ -201,6 +201,16 @@ impl LeaseManager {
         &self.leases
     }
 
+    /// Number of active leases on a deployment at `at` — the allocation-
+    /// free counterpart of [`LeaseManager::active_leases`], sized for hot
+    /// paths (the admission controller checks it on every request).
+    pub fn active_count(&self, deployment: &str, at: SimTime) -> usize {
+        self.leases
+            .iter()
+            .filter(|l| l.deployment == deployment && l.covers(at))
+            .count()
+    }
+
     /// Active leases on a deployment at `at`.
     pub fn active_leases(&self, deployment: &str, at: SimTime) -> Vec<&LeaseTicket> {
         self.leases
@@ -322,5 +332,8 @@ mod tests {
         assert_eq!(m.active_leases("d", t(7)).len(), 2);
         assert_eq!(m.active_leases("d", t(12)).len(), 1);
         assert_eq!(m.active_leases("other", t(7)).len(), 0);
+        assert_eq!(m.active_count("d", t(7)), 2);
+        assert_eq!(m.active_count("d", t(12)), 1);
+        assert_eq!(m.active_count("other", t(7)), 0);
     }
 }

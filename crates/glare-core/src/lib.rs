@@ -5,6 +5,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod adr;
 pub mod atr;
 pub mod cache;
@@ -21,6 +22,9 @@ pub mod rdm;
 pub mod retry;
 pub mod superpeer;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats, TenantClass,
+};
 pub use adr::ActivityDeploymentRegistry;
 pub use atr::{ActivityTypeRegistry, TypedResponse};
 pub use cache::{CachedEntry, Freshness, RegistryCache};

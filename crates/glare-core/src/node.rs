@@ -32,11 +32,12 @@ use std::sync::Arc;
 
 use glare_fabric::{
     Actor, ActorId, Ctx, Envelope, Labels, SimDuration, SimTime, SpanHandle, SpanKind,
-    TimerToken, DEFAULT_GAUGE_WINDOW,
+    TenantLabels, TimerToken, DEFAULT_GAUGE_WINDOW,
 };
 use glare_services::mds::REQUEST_BASE_COST;
 use glare_services::Transport;
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, TenantClass};
 use crate::adr::{ActivityDeploymentRegistry, DEPLOYMENT_WIRE_BYTES};
 use crate::atr::ActivityTypeRegistry;
 use crate::cache::RegistryCache;
@@ -165,6 +166,10 @@ pub enum NodeMsg {
         reply_to: ActorId,
         /// How far this request may travel.
         scope: QueryScope,
+        /// Originating tenant's request class. Internal probes inherit the
+        /// class of the request they serve; admission only gates the
+        /// client-facing entry ([`QueryScope::Full`]).
+        class: TenantClass,
     },
     /// Answer to a query.
     QueryResponse {
@@ -172,6 +177,16 @@ pub enum NodeMsg {
         req_id: u64,
         /// Deployments found (empty = miss).
         deployments: Vec<ActivityDeployment>,
+    },
+    /// The handling node's admission controller shed the request before
+    /// any work was charged. Clients feed the hint to
+    /// [`RetryPolicy::next_backoff_after`]; a node receiving one for a
+    /// pending probe treats it like an empty answer.
+    QueryRejected {
+        /// Correlation id echoed back.
+        req_id: u64,
+        /// Server-suggested minimum wait before retrying.
+        retry_after: SimDuration,
     },
     /// Uninstall a deployment at this node: the entry is removed and a
     /// tombstone recorded so anti-entropy can never resurrect it.
@@ -244,6 +259,12 @@ pub struct NodeConfig {
     /// to [`RetryPolicy::disabled`], under which a deadline miss concludes
     /// the stage immediately — byte-for-byte the legacy behaviour.
     pub retry: RetryPolicy,
+    /// Backpressure at the front door: a bounded, lease-accounted inbox
+    /// with class-tiered shedding (best-effort first, gold reserved).
+    /// Defaults to [`AdmissionConfig::disabled`], under which the request
+    /// path — messages, timers, RNG — is byte-for-byte the legacy
+    /// behaviour.
+    pub admission: AdmissionConfig,
     /// Coordinator's re-election period (the Index Monitor "periodically
     /// probes the GT4 Default Index", §3.3); `None` = single election.
     pub election_interval: Option<SimDuration>,
@@ -286,6 +307,7 @@ impl NodeConfig {
             registry_cost: SimDuration::from_millis(4),
             probe_timeout: SimDuration::from_millis(500),
             retry: RetryPolicy::disabled(),
+            admission: AdmissionConfig::disabled(),
             election_interval: Some(SimDuration::from_secs(120)),
             flood_mode: false,
             naive_takeover: false,
@@ -318,6 +340,8 @@ struct PendingQuery {
     activity: String,
     orig_req_id: u64,
     reply_to: ActorId,
+    /// Originating tenant's class, echoed into every probe of the ladder.
+    class: TenantClass,
     awaiting: HashSet<ActorId>,
     collected: Vec<ActivityDeployment>,
     stage: Stage,
@@ -351,6 +375,7 @@ enum Deferred {
         req_id: u64,
         reply_to: ActorId,
         scope: QueryScope,
+        class: TenantClass,
         span: SpanHandle,
     },
     ReplyAfterRegistry {
@@ -411,6 +436,15 @@ pub struct GlareNode {
     /// Per-remote-peer circuit breakers fed by probe deadline misses
     /// (only consulted when `cfg.retry` enables retries).
     breakers: BreakerBank<ActorId>,
+    // --- admission state ---
+    /// Bounded-inbox admission controller (inert unless `cfg.admission`
+    /// is enabled).
+    admission: AdmissionController,
+    /// Interned `{class, site}` label sets for the admission families.
+    tenant_labels: TenantLabels,
+    /// Ticket of each admitted, still-unanswered client request, keyed by
+    /// `(reply_to, req_id)`; released when the reply goes out.
+    admitted: HashMap<(ActorId, u64), u64>,
     // --- notification state ---
     sinks: Vec<ActorId>,
     notify_seq: u64,
@@ -464,6 +498,9 @@ impl GlareNode {
             deadline_to_req: HashMap::new(),
             backoff_to_req: HashMap::new(),
             breakers: BreakerBank::default(),
+            admission: AdmissionController::new(cfg.admission),
+            tenant_labels: TenantLabels::for_site(&cfg.site_name),
+            admitted: HashMap::new(),
             sinks: Vec::new(),
             notify_seq: 0,
             pending_rejoin: false,
@@ -503,6 +540,12 @@ impl GlareNode {
     /// (1 = flat two-level).
     pub fn tree_tiers(&self) -> u8 {
         self.tree_tiers
+    }
+
+    /// Per-class admission counters (admitted/shed) and peak inbox
+    /// occupancy. All-zero when backpressure is disabled.
+    pub fn admission_stats(&self) -> crate::admission::AdmissionStats {
+        self.admission.stats()
     }
 
     /// Whether this node is the unique root of a converged multi-level
@@ -646,6 +689,13 @@ impl GlareNode {
             2_048,
         );
         ctx.end_span(span);
+        if self.admission.is_enabled() {
+            // Probe replies were never admitted and miss the map; only the
+            // original client request holds an inbox ticket.
+            if let Some(ticket) = self.admitted.remove(&(reply_to, req_id)) {
+                self.admission.release(ticket);
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -655,6 +705,7 @@ impl GlareNode {
         activity: String,
         orig_req_id: u64,
         reply_to: ActorId,
+        class: TenantClass,
         targets: Vec<ActorId>,
         stage: Stage,
         scope: QueryScope,
@@ -676,6 +727,7 @@ impl GlareNode {
                     req_id: local_id,
                     reply_to: ctx.self_id,
                     scope: probe_scope,
+                    class,
                 },
             );
         }
@@ -685,6 +737,7 @@ impl GlareNode {
                 activity,
                 orig_req_id,
                 reply_to,
+                class,
                 awaiting,
                 collected: Vec::new(),
                 stage,
@@ -711,6 +764,7 @@ impl GlareNode {
         activity: String,
         orig_req_id: u64,
         reply_to: ActorId,
+        class: TenantClass,
         targets: Vec<(ActorId, QueryScope)>,
         stage: Stage,
         scope: QueryScope,
@@ -731,6 +785,7 @@ impl GlareNode {
                     req_id: local_id,
                     reply_to: ctx.self_id,
                     scope: target_scope,
+                    class,
                 },
             );
         }
@@ -740,6 +795,7 @@ impl GlareNode {
                 activity,
                 orig_req_id,
                 reply_to,
+                class,
                 awaiting,
                 collected: Vec::new(),
                 stage,
@@ -880,6 +936,7 @@ impl GlareNode {
         };
         let activity = p.activity.clone();
         let probe_scope = p.probe_scope;
+        let class = p.class;
         let target_scopes = p.target_scopes.clone();
         let deadline = ctx.timer_after(self.cfg.probe_timeout, &format!("qdl:{local_id}"));
         p.deadline = deadline;
@@ -896,6 +953,7 @@ impl GlareNode {
                     req_id: local_id,
                     reply_to: ctx.self_id,
                     scope,
+                    class,
                 },
             );
         }
@@ -963,6 +1021,7 @@ impl GlareNode {
             p.activity,
             p.orig_req_id,
             p.reply_to,
+            p.class,
             targets,
             stage,
             p.scope,
@@ -1090,6 +1149,7 @@ impl GlareNode {
                         p.activity,
                         p.orig_req_id,
                         p.reply_to,
+                        p.class,
                         vec![sp],
                         Stage::SpEscalate,
                         QueryScope::Full,
@@ -1108,6 +1168,7 @@ impl GlareNode {
                         p.activity,
                         p.orig_req_id,
                         p.reply_to,
+                        p.class,
                         sps,
                         Stage::SpForward,
                         QueryScope::Full,
@@ -1135,6 +1196,7 @@ impl GlareNode {
                         p.activity,
                         p.orig_req_id,
                         p.reply_to,
+                        p.class,
                         sps,
                         Stage::SpForward,
                         QueryScope::GroupProbe,
@@ -1166,6 +1228,7 @@ impl GlareNode {
         req_id: u64,
         reply_to: ActorId,
         scope: QueryScope,
+        class: TenantClass,
         span: SpanHandle,
     ) {
         let now = ctx.now();
@@ -1228,6 +1291,7 @@ impl GlareNode {
                             activity,
                             orig_req_id: req_id,
                             reply_to,
+                            class,
                             awaiting: HashSet::new(),
                             collected: Vec::new(),
                             stage: Stage::PeerProbe,
@@ -1249,6 +1313,7 @@ impl GlareNode {
                         activity,
                         req_id,
                         reply_to,
+                        class,
                         peers,
                         Stage::PeerProbe,
                         scope,
@@ -1275,6 +1340,7 @@ impl GlareNode {
                             activity,
                             orig_req_id: req_id,
                             reply_to,
+                            class,
                             awaiting: HashSet::new(),
                             collected: Vec::new(),
                             stage: Stage::TreeProbe(level),
@@ -1296,6 +1362,7 @@ impl GlareNode {
                         activity,
                         req_id,
                         reply_to,
+                        class,
                         targets,
                         Stage::TreeProbe(level),
                         scope,
@@ -2035,7 +2102,63 @@ impl Actor for GlareNode {
                 req_id,
                 reply_to,
                 scope,
+                class,
             } => {
+                // Backpressure at the front door: client-facing arrivals
+                // (scope Full) pass the bounded-inbox admission check
+                // before any CPU is charged. Internal probes were already
+                // admitted at their entry site and flow freely.
+                if self.admission.is_enabled() && scope == QueryScope::Full {
+                    let now = ctx.now();
+                    match self.admission.decide(class, now) {
+                        AdmissionDecision::Admit { ticket } => {
+                            self.admitted.insert((reply_to, req_id), ticket);
+                            ctx.metrics()
+                                .counter_labeled(
+                                    "glare_admission_admitted_total",
+                                    self.tenant_labels.get(class.label()),
+                                )
+                                .inc();
+                            let site_label = format!("site{}", ctx.self_site.0);
+                            ctx.metrics()
+                                .gauge(
+                                    "glare_inbox_occupancy",
+                                    &Labels::of(&[("site", &site_label)]),
+                                    DEFAULT_GAUGE_WINDOW,
+                                )
+                                .set(now, self.admission.occupancy(now) as f64);
+                        }
+                        AdmissionDecision::Shed { retry_after } => {
+                            ctx.metrics()
+                                .counter_labeled(
+                                    "glare_admission_shed_total",
+                                    self.tenant_labels.get(class.label()),
+                                )
+                                .inc();
+                            ctx.emit_event(
+                                "query.shed",
+                                "admission",
+                                &[
+                                    ("class", class.label()),
+                                    ("activity", &activity),
+                                    (
+                                        "retry_after_ms",
+                                        &format!("{}", retry_after.as_millis_f64()),
+                                    ),
+                                ],
+                            );
+                            ctx.send_sized(
+                                reply_to,
+                                NodeMsg::QueryRejected {
+                                    req_id,
+                                    retry_after,
+                                },
+                                512,
+                            );
+                            return;
+                        }
+                    }
+                }
                 // Charge the request's CPU cost; handle when it completes.
                 ctx.metrics().counter("glare.requests").inc();
                 // The query span covers arrival → reply; opened before the
@@ -2052,12 +2175,18 @@ impl Actor for GlareNode {
                                 req_id,
                                 reply_to,
                                 scope,
+                                class,
                                 span,
                             },
                         );
                     }
                     None => {
-                        // Site down; request lost.
+                        // Site down; request lost. An admitted request's
+                        // ticket dies with it (the TTL backstop would
+                        // reclaim it anyway).
+                        if let Some(ticket) = self.admitted.remove(&(reply_to, req_id)) {
+                            self.admission.release(ticket);
+                        }
                         ctx.end_span(span);
                     }
                 }
@@ -2070,6 +2199,21 @@ impl Actor for GlareNode {
                 if let Some(p) = self.pending.get_mut(&req_id) {
                     p.awaiting.remove(&from);
                     p.collected.extend(deployments);
+                    if p.awaiting.is_empty() {
+                        conclude = Some(req_id);
+                    }
+                }
+                if let Some(id) = conclude {
+                    self.conclude_stage(ctx, id);
+                }
+            }
+            NodeMsg::QueryRejected { req_id, .. } => {
+                // A probe we forwarded was shed downstream. Treat it like
+                // an empty answer so the ladder concludes with whatever the
+                // other peers return; the retry-after hint is for clients.
+                let mut conclude = None;
+                if let Some(p) = self.pending.get_mut(&req_id) {
+                    p.awaiting.remove(&from);
                     if p.awaiting.is_empty() {
                         conclude = Some(req_id);
                     }
@@ -2301,9 +2445,10 @@ impl Actor for GlareNode {
                 req_id,
                 reply_to,
                 scope,
+                class,
                 span,
             }) => {
-                self.handle_query(ctx, activity, req_id, reply_to, scope, span);
+                self.handle_query(ctx, activity, req_id, reply_to, scope, class, span);
             }
             Some(Deferred::ReplyAfterRegistry {
                 req_id,
@@ -2363,6 +2508,8 @@ impl Actor for GlareNode {
         self.deadline_to_req.clear();
         self.backoff_to_req.clear();
         self.breakers = BreakerBank::default();
+        self.admission = AdmissionController::new(self.cfg.admission);
+        self.admitted.clear();
         self.sinks.clear();
         self.notify_seq = 0;
         self.pending_rejoin = false;

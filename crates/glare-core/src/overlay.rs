@@ -13,6 +13,7 @@ use glare_fabric::{
     SpanHandle, SpanKind, TimerToken, Topology,
 };
 
+use crate::admission::TenantClass;
 use crate::node::{GlareNode, NodeConfig, NodeMsg, QueryScope};
 
 /// Per-node configuration hook.
@@ -116,6 +117,8 @@ pub struct ClientStats {
     pub responses: u64,
     /// Responses carrying at least one deployment.
     pub hits: u64,
+    /// Requests shed by admission control (a `QueryRejected` came back).
+    pub shed: u64,
     /// Per-response latencies in send order.
     pub latencies: Vec<SimDuration>,
 }
@@ -148,6 +151,7 @@ pub struct QueryClient {
     stats: Arc<Mutex<ClientStats>>,
     in_flight: Option<(u64, SimTime, SpanHandle)>,
     next_req: u64,
+    class: TenantClass,
 }
 
 impl QueryClient {
@@ -167,7 +171,15 @@ impl QueryClient {
             stats,
             in_flight: None,
             next_req: 0,
+            class: TenantClass::BestEffort,
         }
+    }
+
+    /// Tag this client's requests with a tenant class (admission control
+    /// tiers by it; irrelevant while backpressure is disabled).
+    pub fn with_class(mut self, class: TenantClass) -> QueryClient {
+        self.class = class;
+        self
     }
 
     fn fire(&mut self, ctx: &mut Ctx<'_>) {
@@ -191,6 +203,7 @@ impl QueryClient {
                 req_id,
                 reply_to: ctx.self_id,
                 scope: QueryScope::Full,
+                class: self.class,
             },
         );
     }
@@ -202,26 +215,43 @@ impl Actor for QueryClient {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
-        if let Ok((_, NodeMsg::QueryResponse { req_id, deployments })) =
-            env.downcast::<NodeMsg>()
-        {
-            if let Some((expected, sent_at, span)) = self.in_flight {
-                if expected == req_id {
-                    self.in_flight = None;
-                    ctx.span_attr(span, "hit", if deployments.is_empty() { "0" } else { "1" });
-                    ctx.end_span(span);
-                    let mut s = self.stats.lock();
-                    s.responses += 1;
-                    if !deployments.is_empty() {
-                        s.hits += 1;
-                    }
-                    s.latencies.push(ctx.now().since(sent_at));
-                    drop(s);
-                    if self.remaining > 0 {
-                        ctx.timer_after(self.interval, "next-query");
+        match env.downcast::<NodeMsg>() {
+            Ok((_, NodeMsg::QueryResponse { req_id, deployments })) => {
+                if let Some((expected, sent_at, span)) = self.in_flight {
+                    if expected == req_id {
+                        self.in_flight = None;
+                        ctx.span_attr(span, "hit", if deployments.is_empty() { "0" } else { "1" });
+                        ctx.end_span(span);
+                        let mut s = self.stats.lock();
+                        s.responses += 1;
+                        if !deployments.is_empty() {
+                            s.hits += 1;
+                        }
+                        s.latencies.push(ctx.now().since(sent_at));
+                        drop(s);
+                        if self.remaining > 0 {
+                            ctx.timer_after(self.interval, "next-query");
+                        }
                     }
                 }
             }
+            Ok((_, NodeMsg::QueryRejected { req_id, retry_after })) => {
+                // Shed at the front door. The request is over (the
+                // closed-loop client doesn't re-send it); honor the
+                // retry-after hint before offering the next one.
+                if let Some((expected, _, span)) = self.in_flight {
+                    if expected == req_id {
+                        self.in_flight = None;
+                        ctx.span_attr(span, "shed", "1");
+                        ctx.end_span(span);
+                        self.stats.lock().shed += 1;
+                        if self.remaining > 0 {
+                            ctx.timer_after(self.interval.max(retry_after), "next-query");
+                        }
+                    }
+                }
+            }
+            _ => {}
         }
     }
 

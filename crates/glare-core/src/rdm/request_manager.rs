@@ -9,6 +9,7 @@
 
 use glare_fabric::{Labels, SimDuration, SimTime, SiteId, SpanKind, TraceContext};
 
+use crate::admission::TenantClass;
 use crate::error::GlareError;
 use crate::grid::Grid;
 use crate::model::ActivityDeployment;
@@ -82,6 +83,48 @@ impl RequestManager {
             .trace
             .open(None, "rdm.request", SpanKind::Request, site, None, now);
         grid.trace.attr(root.span_id, "activity", activity);
+        let (out, end) = self.run_ladder(grid, from_site, activity, now, root);
+        let label = match &out {
+            Ok(o) => match o.source {
+                DiscoverySource::LocalRegistry => "registry",
+                DiscoverySource::LocalCache => "cache",
+                DiscoverySource::RemoteSite(_) => "remote",
+                DiscoverySource::DegradedCache => "degraded",
+            },
+            Err(_) => "not-found",
+        };
+        grid.trace.attr(root.span_id, "source", label);
+        grid.trace.close(root.span_id, end);
+        out
+    }
+
+    /// [`RequestManager::list_deployments`] with the request attributed to
+    /// a tenant class: the `rdm.request` root span gains a `class`
+    /// attribute and `glare_rdm_requests_total{class,site}` counts the
+    /// arrival. Purely observational — resolution, cost and caching are
+    /// identical to the unattributed path (backpressure lives in the DES
+    /// node's bounded inbox, not in this synchronous API).
+    pub fn list_deployments_as(
+        &self,
+        grid: &mut Grid,
+        from_site: usize,
+        activity: &str,
+        now: SimTime,
+        class: TenantClass,
+    ) -> Result<ResolveOutcome, GlareError> {
+        let from_label = Grid::site_label(from_site);
+        grid.metrics
+            .counter_labeled(
+                "glare_rdm_requests_total",
+                &Labels::of(&[("class", class.label()), ("site", &from_label)]),
+            )
+            .inc();
+        let site = Some(SiteId(from_site as u32));
+        let root = grid
+            .trace
+            .open(None, "rdm.request", SpanKind::Request, site, None, now);
+        grid.trace.attr(root.span_id, "activity", activity);
+        grid.trace.attr(root.span_id, "class", class.label());
         let (out, end) = self.run_ladder(grid, from_site, activity, now, root);
         let label = match &out {
             Ok(o) => match o.source {
@@ -492,6 +535,29 @@ mod tests {
             1
         );
         assert_eq!(g.metrics.lint_metric_names(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn tenant_attributed_path_is_observe_only() {
+        let mut g1 = grid_with_deployment(3, 2);
+        let mut g2 = grid_with_deployment(3, 2);
+        let rm = RequestManager::new(true);
+        let plain = rm.list_deployments(&mut g1, 0, "Imaging", t(1)).unwrap();
+        let tagged = rm
+            .list_deployments_as(&mut g2, 0, "Imaging", t(1), TenantClass::Gold)
+            .unwrap();
+        // Same ladder, same cost, same answer — only attribution differs.
+        assert_eq!(plain.source, tagged.source);
+        assert_eq!(plain.cost, tagged.cost);
+        assert_eq!(plain.deployments.len(), tagged.deployments.len());
+        assert_eq!(
+            g2.metrics.counter_labeled_value(
+                "glare_rdm_requests_total",
+                &Labels::of(&[("class", "gold"), ("site", "site0")]),
+            ),
+            1
+        );
+        assert_eq!(g2.metrics.lint_metric_names(), Vec::<String>::new());
     }
 
     #[test]

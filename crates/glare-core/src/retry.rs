@@ -90,6 +90,24 @@ impl RetryPolicy {
         };
         SimDuration::from_nanos(drawn)
     }
+
+    /// Like [`RetryPolicy::next_backoff`], but honoring a server-supplied
+    /// `RetryAfter` hint (an overloaded site's admission controller quotes
+    /// one when it sheds a request): the drawn backoff is floored at the
+    /// hint, and the hint may exceed `max_delay` — the server knows its
+    /// own congestion better than the client's static cap does.
+    ///
+    /// Consumes RNG exactly as [`RetryPolicy::next_backoff`] does (one
+    /// draw per actual retry), so a run that never sheds is byte-identical
+    /// with or without hint handling compiled in.
+    pub fn next_backoff_after(
+        &self,
+        rng: &mut SimRng,
+        prev: SimDuration,
+        retry_after: SimDuration,
+    ) -> SimDuration {
+        self.next_backoff(rng, prev).max(retry_after)
+    }
 }
 
 impl Default for RetryPolicy {
@@ -306,6 +324,22 @@ mod tests {
         let mut rng = SimRng::from_seed(1);
         let d = p.next_backoff(&mut rng, SimDuration::from_secs(10));
         assert_eq!(d, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn retry_after_hint_floors_the_backoff() {
+        let p = RetryPolicy::standard();
+        // A hint above the policy ceiling wins outright.
+        let big = SimDuration::from_secs(20);
+        let mut rng = SimRng::from_seed(3);
+        assert_eq!(p.next_backoff_after(&mut rng, SimDuration::ZERO, big), big);
+        // A tiny hint leaves the drawn backoff untouched: same seed, same
+        // draw sequence as the plain path.
+        let mut a = SimRng::from_seed(9);
+        let mut b = SimRng::from_seed(9);
+        let plain = p.next_backoff(&mut a, SimDuration::ZERO);
+        let hinted = p.next_backoff_after(&mut b, SimDuration::ZERO, SimDuration::from_nanos(1));
+        assert_eq!(plain, hinted);
     }
 
     #[test]

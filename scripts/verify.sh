@@ -17,6 +17,12 @@
 #   9. scale smoke: BENCH_scale.json must parse, the kernel must report
 #      nonzero events/sec, every query must hit, and the depth-3 tree's
 #      hops per query must be strictly below the flat-broadcast baseline
+#  10. load smoke: BENCH_load.json must parse, report zero admission-
+#      invariant violations and lint-clean shed counters, show gold
+#      holding goodput while best-effort sheds first past saturation,
+#      stay byte-identical across two same-seed runs (deterministic
+#      half), and with backpressure off two same-seed runs must be
+#      event-identical (same event digests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -109,6 +115,60 @@ for n, t in tree.items():
         f"{n} sites: tree hops {t['hops_per_query']} not below flood {flood[n]['hops_per_query']}"
 EOF
 rm -rf "$scale_dir"
+
+echo "==> smoke: load --smoke (writes BENCH_load.json)"
+load_dir=$(mktemp -d)
+load_dir2=$(mktemp -d)
+(cd "$load_dir" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin load -- --smoke >/dev/null)
+(cd "$load_dir2" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin load -- --smoke >/dev/null)
+test -s "$load_dir/BENCH_load.json" || { echo "missing BENCH_load.json"; exit 1; }
+python3 - "$load_dir/BENCH_load.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "glare.load.v1", "unexpected schema tag"
+det = report["deterministic"]["points"]
+assert det, "load report has no sweep points"
+assert all(p["invariant_violations"] == 0 for p in det), \
+    "admission-invariant violations in the sweep"
+assert all(p["lint_errors"] == 0 for p in det), "shed counters failed the metric-name lint"
+by_factor = {p["factor"]: p for p in det}
+top = by_factor[max(by_factor)]
+rows = {t["class"]: t for t in top["tenants"]}
+assert rows["best_effort"]["shed"] > 0, "past saturation best-effort must shed"
+assert rows["gold"]["shed"] <= rows["best_effort"]["shed"], "gold shed before best-effort"
+gold_pre = {t["class"]: t for t in by_factor[1.0]["tenants"]}["gold"]["goodput_hz"]
+assert rows["gold"]["goodput_hz"] >= 0.9 * gold_pre, \
+    f"gold goodput collapsed: {rows['gold']['goodput_hz']:.1f}/s at 2x vs {gold_pre:.1f}/s at 1x"
+EOF
+python3 - "$load_dir/BENCH_load.json" "$load_dir2/BENCH_load.json" <<'EOF'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+assert a["deterministic"] == b["deterministic"], \
+    "deterministic half of BENCH_load.json diverged across same-seed runs"
+EOF
+echo "==> load: backpressure off is event-identical to enabled-with-headroom"
+(cd "$load_dir" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin load -- \
+    --smoke --no-backpressure --factors 0.5 >/dev/null \
+    && mv BENCH_load.json BENCH_load_off.json)
+(cd "$load_dir" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin load -- \
+    --smoke --capacity 1000000 --factors 0.5 >/dev/null \
+    && mv BENCH_load.json BENCH_load_headroom.json)
+python3 - "$load_dir/BENCH_load_off.json" "$load_dir/BENCH_load_headroom.json" <<'EOF'
+import json, sys
+off, headroom = (json.load(open(p)) for p in sys.argv[1:3])
+po = off["deterministic"]["points"][0]
+ph = headroom["deterministic"]["points"][0]
+assert po["event_digest"] == ph["event_digest"], \
+    "admission with headroom perturbed the event stream"
+assert po["events"] == ph["events"], "event counts diverged"
+assert all(t["shed"] == 0 for t in po["tenants"] + ph["tenants"]), \
+    "headroom run unexpectedly shed"
+EOF
+rm -rf "$load_dir" "$load_dir2"
 
 echo "==> crash-replay smoke: recovered registries match a never-crashed same-seed run"
 cargo test --release -q -p glare-core --lib \

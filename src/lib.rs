@@ -10,6 +10,9 @@
 //! * [`core`] — the GLARE framework itself: activity registries, RDM
 //!   service, super-peer overlay, caching, leasing, on-demand deployment.
 //! * [`workflow`] — AGWL-lite composition, scheduling and enactment.
+//! * [`workload`] — deterministic open/closed-loop workload engine
+//!   (arrival processes, Zipf popularity, tenant classes) driving the
+//!   admission-control path.
 //!
 //! See `examples/` for runnable walkthroughs and `crates/bench` for the
 //! harness that regenerates every table and figure of the paper.
@@ -20,4 +23,5 @@ pub use glare_core as core;
 pub use glare_fabric as fabric;
 pub use glare_services as services;
 pub use glare_workflow as workflow;
+pub use glare_workload as workload;
 pub use glare_wsrf as wsrf;

@@ -1,0 +1,63 @@
+//! Autonomic healing driver: flash crowd + site crashes with the
+//! placement controller closing the telemetry loop (or not, with
+//! `--disabled` / `--absent`). Prints the summary on stdout and always
+//! writes `BENCH_autonomic.json`.
+//!
+//! Flags:
+//!   --smoke       CI-sized scenario (the default scenario, pinned seed)
+//!   --sites N     grid size (default 8, minimum 6)
+//!   --seed N      master seed (default 4213)
+//!   --disabled    construct the controllers but keep them off
+//!   --absent      never construct the controllers (baseline for the
+//!                 observe-only identity check)
+//!   --json        machine-readable output on stdout instead of the table
+
+use glare_bench::autonomic::{render, run, AutonomicParams, ControllerMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut p = if args.iter().any(|a| a == "--smoke") {
+        AutonomicParams::smoke()
+    } else {
+        AutonomicParams::default()
+    };
+    if args.iter().any(|a| a == "--disabled") {
+        p.mode = ControllerMode::Disabled;
+    }
+    if args.iter().any(|a| a == "--absent") {
+        p.mode = ControllerMode::Absent;
+    }
+    let json_out = args.iter().any(|a| a == "--json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sites" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 6 => p.sites = n,
+                _ => {
+                    eprintln!("--sites expects an integer >= 6");
+                    std::process::exit(2);
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => p.seed = s,
+                None => {
+                    eprintln!("--seed expects an integer");
+                    std::process::exit(2);
+                }
+            },
+            _ => {}
+        }
+    }
+
+    let report = run(&p);
+    let doc = report.to_json();
+    match std::fs::write("BENCH_autonomic.json", doc.to_string_pretty()) {
+        Ok(()) => eprintln!("wrote BENCH_autonomic.json"),
+        Err(e) => eprintln!("could not write BENCH_autonomic.json: {e}"),
+    }
+    if json_out {
+        print!("{}", doc.to_string_pretty());
+    } else {
+        print!("{}", render(&report));
+    }
+}

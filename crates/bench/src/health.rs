@@ -199,6 +199,10 @@ pub struct HealthReport {
     pub watch: Vec<WatchRow>,
     /// Super-peer takeovers over the overlay run.
     pub takeovers: u64,
+    /// Inbox tickets reclaimed by the admission TTL backstop instead of a
+    /// reply release, summed over sites (leaked slots — nonzero means
+    /// admitted requests died without answering).
+    pub inbox_ttl_released: u64,
     /// Lease grants and rejections from the Grid phase.
     pub leases_granted: u64,
     /// Lease rejections.
@@ -605,6 +609,10 @@ pub fn run(p: HealthParams) -> HealthReport {
         tenant_classes: tenant_rows,
         watch,
         takeovers: om.counter_value("glare.superpeer_takeovers"),
+        inbox_ttl_released: om
+            .labeled_counters_of("glare_inbox_ttl_released_total")
+            .map(|(_, v)| v)
+            .sum(),
         leases_granted: gm.counter_labeled_value(
             "glare_leases_total",
             &Labels::of(&[("site", "site0"), ("outcome", "granted")]),
@@ -677,8 +685,8 @@ pub fn render(r: &HealthReport) -> String {
         }
     }
     s.push_str(&format!(
-        "\nsuper-peer takeovers: {}   leases granted/rejected: {}/{}   events dropped: {}\n",
-        r.takeovers, r.leases_granted, r.leases_rejected, r.events_dropped
+        "\nsuper-peer takeovers: {}   leases granted/rejected: {}/{}   inbox TTL leaks: {}   events dropped: {}\n",
+        r.takeovers, r.leases_granted, r.leases_rejected, r.inbox_ttl_released, r.events_dropped
     ));
     s
 }
@@ -779,6 +787,7 @@ impl HealthReport {
                 })),
             ),
             ("takeovers", Json::from(self.takeovers)),
+            ("inbox_ttl_released", Json::from(self.inbox_ttl_released)),
             ("leases_granted", Json::from(self.leases_granted)),
             ("leases_rejected", Json::from(self.leases_rejected)),
             ("events_dropped", Json::from(self.events_dropped)),

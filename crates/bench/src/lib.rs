@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod autonomic;
 pub mod chaos;
 pub mod fig10;
 pub mod fig11;

@@ -5,7 +5,12 @@
 //! transitions happened" — election won/lost, failure suspected/confirmed,
 //! cache entry discarded as outdated, deploy-file step failed/retried,
 //! lease granted/rejected, query shed by admission control
-//! (`query.shed`, carrying the tenant class and the retry-after hint).
+//! (`query.shed`, carrying the tenant class and the retry-after hint),
+//! inbox slots reclaimed from expired admission tickets
+//! (`inbox.ttl_release`, carrying the reclaimed-slot count), and the
+//! autonomic placement controller's actions
+//! (`autonomic.provision` / `autonomic.retire` / `autonomic.reprovision`,
+//! carrying the controller identity, activity, target site and outcome).
 //! The log is strictly observe-only: emitting an
 //! event never consults the RNG, never schedules simulation work, and
 //! sequence numbers are allocated in emission order, so an instrumented

@@ -166,6 +166,10 @@ pub struct AdmissionStats {
     pub shed: [u64; 3],
     /// Highest concurrent occupancy observed.
     pub peak_occupancy: u32,
+    /// Tickets reclaimed by the TTL backstop instead of a reply release —
+    /// each one is a request that died holding an inbox slot (crashed
+    /// site, lost reply). Distinguishes leaks from normal drainage.
+    pub ttl_released: u64,
 }
 
 /// The bounded-inbox controller of one site.
@@ -174,6 +178,9 @@ pub struct AdmissionController {
     cfg: AdmissionConfig,
     leases: LeaseManager,
     stats: AdmissionStats,
+    /// TTL releases observed since the last [`AdmissionController::take_ttl_released`]
+    /// drain — the node turns these into metrics/events.
+    pending_ttl: u64,
 }
 
 impl AdmissionController {
@@ -187,6 +194,7 @@ impl AdmissionController {
             cfg,
             leases,
             stats: AdmissionStats::default(),
+            pending_ttl: 0,
         }
     }
 
@@ -201,8 +209,18 @@ impl AdmissionController {
     }
 
     /// Live admitted-request count at `now` (expired tickets swept).
+    ///
+    /// Tickets the sweep reclaims were *not* released by a reply — they
+    /// leaked (request died on a crashed site, reply lost). The count is
+    /// tallied in [`AdmissionStats::ttl_released`] and queued for
+    /// [`AdmissionController::take_ttl_released`] so callers can surface
+    /// the leak in metrics instead of it draining invisibly.
     pub fn occupancy(&mut self, now: SimTime) -> u32 {
-        self.leases.sweep_expired(now);
+        let swept = self.leases.sweep_expired(now);
+        if swept > 0 {
+            self.stats.ttl_released += swept as u64;
+            self.pending_ttl += swept as u64;
+        }
         self.leases.active_count(INBOX_KEY, now) as u32
     }
 
@@ -252,6 +270,14 @@ impl AdmissionController {
     /// Cumulative per-class tallies.
     pub fn stats(&self) -> AdmissionStats {
         self.stats
+    }
+
+    /// Drain the TTL releases observed since the last call. The node
+    /// calls this after every occupancy refresh and converts a nonzero
+    /// count into `glare_inbox_ttl_released_total` and an
+    /// `inbox.ttl_release` event.
+    pub fn take_ttl_released(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_ttl)
     }
 
     /// Deterministic `RetryAfter`: the base hint scaled by how far past
@@ -350,6 +376,23 @@ mod tests {
         assert_eq!(c.occupancy(t(1)), 1);
         // Default TTL is 2 s: the un-released ticket drains on its own.
         assert_eq!(c.occupancy(t(3)), 0);
+        // The leak is visible, and the pending count drains exactly once.
+        assert_eq!(c.stats().ttl_released, 1);
+        assert_eq!(c.take_ttl_released(), 1);
+        assert_eq!(c.take_ttl_released(), 0);
+    }
+
+    #[test]
+    fn reply_release_is_not_counted_as_ttl_leak() {
+        let mut c = AdmissionController::new(AdmissionConfig::bounded(2));
+        let ticket = match c.decide(TenantClass::Gold, t(0)) {
+            AdmissionDecision::Admit { ticket } => ticket,
+            other => panic!("expected admit, got {other:?}"),
+        };
+        c.release(ticket);
+        assert_eq!(c.occupancy(t(10)), 0);
+        assert_eq!(c.stats().ttl_released, 0, "reply release mistaken for a leak");
+        assert_eq!(c.take_ttl_released(), 0);
     }
 
     #[test]

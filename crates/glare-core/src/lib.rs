@@ -8,6 +8,7 @@
 pub mod admission;
 pub mod adr;
 pub mod atr;
+pub mod autonomic;
 pub mod cache;
 pub mod deployfile;
 pub mod durable;

@@ -2110,7 +2110,27 @@ impl Actor for GlareNode {
                 // admitted at their entry site and flow freely.
                 if self.admission.is_enabled() && scope == QueryScope::Full {
                     let now = ctx.now();
-                    match self.admission.decide(class, now) {
+                    let decision = self.admission.decide(class, now);
+                    // The decide() occupancy refresh sweeps TTL-expired
+                    // tickets; any it reclaimed are leaked slots (their
+                    // request died without a reply) — make them visible
+                    // instead of letting them drain silently.
+                    let leaked = self.admission.take_ttl_released();
+                    if leaked > 0 {
+                        let site_label = format!("site{}", ctx.self_site.0);
+                        ctx.metrics()
+                            .counter_labeled(
+                                "glare_inbox_ttl_released_total",
+                                &Labels::of(&[("site", &site_label)]),
+                            )
+                            .add(leaked);
+                        ctx.emit_event(
+                            "inbox.ttl_release",
+                            "admission",
+                            &[("count", &format!("{leaked}"))],
+                        );
+                    }
+                    match decision {
                         AdmissionDecision::Admit { ticket } => {
                             self.admitted.insert((reply_to, req_id), ticket);
                             ctx.metrics()

@@ -97,6 +97,13 @@ impl RetryPolicy {
     /// hint, and the hint may exceed `max_delay` — the server knows its
     /// own congestion better than the client's static cap does.
     ///
+    /// The hint is clamped against what is left of the overall deadline
+    /// budget (`deadline - elapsed`): a huge hint must not schedule the
+    /// retry past the point where [`RetryPolicy::may_attempt`] would
+    /// refuse it anyway — that wastes the attempt without ever sending it.
+    /// The clamp applies to the *hint floor* only; the jittered draw is
+    /// already bounded by `max_delay`.
+    ///
     /// Consumes RNG exactly as [`RetryPolicy::next_backoff`] does (one
     /// draw per actual retry), so a run that never sheds is byte-identical
     /// with or without hint handling compiled in.
@@ -105,8 +112,10 @@ impl RetryPolicy {
         rng: &mut SimRng,
         prev: SimDuration,
         retry_after: SimDuration,
+        elapsed: SimDuration,
     ) -> SimDuration {
-        self.next_backoff(rng, prev).max(retry_after)
+        let remaining = self.deadline.saturating_sub(elapsed);
+        self.next_backoff(rng, prev).max(retry_after.min(remaining))
     }
 }
 
@@ -329,17 +338,47 @@ mod tests {
     #[test]
     fn retry_after_hint_floors_the_backoff() {
         let p = RetryPolicy::standard();
-        // A hint above the policy ceiling wins outright.
+        // A hint above the policy ceiling wins outright (budget untouched).
         let big = SimDuration::from_secs(20);
         let mut rng = SimRng::from_seed(3);
-        assert_eq!(p.next_backoff_after(&mut rng, SimDuration::ZERO, big), big);
+        assert_eq!(
+            p.next_backoff_after(&mut rng, SimDuration::ZERO, big, SimDuration::ZERO),
+            big
+        );
         // A tiny hint leaves the drawn backoff untouched: same seed, same
         // draw sequence as the plain path.
         let mut a = SimRng::from_seed(9);
         let mut b = SimRng::from_seed(9);
         let plain = p.next_backoff(&mut a, SimDuration::ZERO);
-        let hinted = p.next_backoff_after(&mut b, SimDuration::ZERO, SimDuration::from_nanos(1));
+        let hinted = p.next_backoff_after(
+            &mut b,
+            SimDuration::ZERO,
+            SimDuration::from_nanos(1),
+            SimDuration::ZERO,
+        );
         assert_eq!(plain, hinted);
+    }
+
+    #[test]
+    fn retry_after_hint_is_clamped_to_remaining_deadline() {
+        // standard(): 30s deadline. With 25s already spent, a 20s hint
+        // would schedule the retry at t=45s — 15s past the budget, where
+        // may_attempt refuses it. The clamp caps the floor at the 5s that
+        // remain (the jittered draw can still come in below it).
+        let p = RetryPolicy::standard();
+        let hint = SimDuration::from_secs(20);
+        let elapsed = SimDuration::from_secs(25);
+        let mut rng = SimRng::from_seed(3);
+        let d = p.next_backoff_after(&mut rng, SimDuration::ZERO, hint, elapsed);
+        assert!(d <= SimDuration::from_secs(5), "hint escaped the budget: {d:?}");
+        // Same seed, hint fully consumed by the clamp: identical to the
+        // plain draw — the clamp adds no RNG consumption.
+        let mut a = SimRng::from_seed(7);
+        let mut b = SimRng::from_seed(7);
+        let plain = p.next_backoff(&mut a, SimDuration::ZERO);
+        let clamped =
+            p.next_backoff_after(&mut b, SimDuration::ZERO, hint, SimDuration::from_secs(30));
+        assert_eq!(plain, clamped, "spent budget must zero the hint floor");
     }
 
     #[test]

@@ -326,11 +326,13 @@ impl Actor for TenantLoad {
                         && self.retry.may_attempt(next_attempt, elapsed)
                     {
                         // Honour the server's hint: back off at least
-                        // retry_after, plus the policy's jitter.
+                        // retry_after (clamped to the remaining deadline
+                        // budget), plus the policy's jitter.
                         let delay = self.retry.next_backoff_after(
                             &mut self.rng,
                             f.prev_backoff,
                             retry_after,
+                            elapsed,
                         );
                         let token = ctx.timer_after(delay, "reoffer");
                         self.retry_timers.insert(token, req_id);

@@ -238,6 +238,31 @@ impl WorkloadSpec {
                 total_rate_hz * 0.5,
             ))
     }
+
+    /// The hot-spot scenario: [`WorkloadSpec::three_tier`] with every
+    /// tenant's rate multiplied by `multiplier` inside the
+    /// `[at, at + flash)` window. The Zipf skew concentrates the surge on
+    /// the head of the catalogue, so the spike lands on whichever sites
+    /// host the popular types — the flash crowd the autonomic placement
+    /// controller must spread back out.
+    pub fn flash_crowd(
+        seed: u64,
+        duration: SimDuration,
+        total_rate_hz: f64,
+        at: SimTime,
+        flash: SimDuration,
+        multiplier: f64,
+    ) -> WorkloadSpec {
+        let mut spec = WorkloadSpec::three_tier(seed, duration, total_rate_hz);
+        for t in &mut spec.tenants {
+            t.modulation.flash = Some(Flash {
+                at,
+                duration: flash,
+                multiplier,
+            });
+        }
+        spec
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +336,24 @@ mod tests {
         };
         // Trough of a full-amplitude sine would be 0; the floor holds.
         assert!(m.factor(SimTime::from_secs(3)) > 0.0);
+    }
+
+    #[test]
+    fn flash_crowd_spikes_every_tenant() {
+        let spec = WorkloadSpec::flash_crowd(
+            1,
+            SimDuration::from_secs(100),
+            100.0,
+            SimTime::from_secs(20),
+            SimDuration::from_secs(30),
+            4.0,
+        );
+        assert_eq!(spec.tenants.len(), 3);
+        for t in &spec.tenants {
+            assert_eq!(t.modulation.factor(SimTime::from_secs(10)), 1.0);
+            assert_eq!(t.modulation.factor(SimTime::from_secs(25)), 4.0);
+            assert_eq!(t.modulation.factor(SimTime::from_secs(50)), 1.0);
+        }
     }
 
     #[test]

@@ -23,6 +23,13 @@
 #      stay byte-identical across two same-seed runs (deterministic
 #      half), and with backpressure off two same-seed runs must be
 #      event-identical (same event digests)
+#  11. autonomic smoke: BENCH_autonomic.json must parse, report zero
+#      safety-invariant violations (replica bounds, dead-site actions,
+#      double-provisions), show gold p99 recovering to within 25% of its
+#      pre-spike baseline with the controller enabled and NOT recovering
+#      with it disabled, stay byte-identical across two same-seed runs
+#      (deterministic half), and a disabled-controller run must be
+#      event-identical to a controller-never-constructed run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -169,6 +176,61 @@ assert all(t["shed"] == 0 for t in po["tenants"] + ph["tenants"]), \
     "headroom run unexpectedly shed"
 EOF
 rm -rf "$load_dir" "$load_dir2"
+
+echo "==> smoke: autonomic --smoke (writes BENCH_autonomic.json)"
+auto_dir=$(mktemp -d)
+auto_dir2=$(mktemp -d)
+(cd "$auto_dir" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin autonomic -- --smoke >/dev/null)
+(cd "$auto_dir2" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin autonomic -- --smoke >/dev/null)
+test -s "$auto_dir/BENCH_autonomic.json" || { echo "missing BENCH_autonomic.json"; exit 1; }
+python3 - "$auto_dir/BENCH_autonomic.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "glare.autonomic.v1", "unexpected schema tag"
+det = report["deterministic"]
+assert det["invariant_violations"] == 0, \
+    f"autonomic safety-invariant violations: {det['violations']}"
+assert det["lint_errors"] == 0, "controller metrics failed the metric-name lint"
+gold = det["gold"]
+assert gold["recovered"], \
+    f"gold p99 did not recover: pre {gold['p99_pre_ms']} post {gold['p99_post_ms']}"
+assert gold["p99_post_ms"] <= 1.25 * gold["p99_pre_ms"], "recovery bound violated"
+assert gold["recovery_after_flash_ms"] is not None, "flash spike never registered"
+assert det["crash"]["types_lost"], "the late crash orphaned nothing"
+assert det["crash"]["recovery_p95_ms"] > 0, "replica-floor restoration unmeasured"
+applied = {(a["action"], a["outcome"]): a["count"] for a in det["actions"]}
+assert applied.get(("provision", "applied"), 0) > 0, "no replicas were provisioned"
+assert applied.get(("retire", "applied"), 0) > 0, "no cold replicas were retired"
+assert applied.get(("reprovision", "applied"), 0) > 0, "no crash re-provisioning"
+assert any(o == "lease_denied" for (_, o) in applied), \
+    "the dueling controller never hit the lease guard"
+EOF
+python3 - "$auto_dir/BENCH_autonomic.json" "$auto_dir2/BENCH_autonomic.json" <<'EOF'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+assert a["deterministic"] == b["deterministic"], \
+    "deterministic half of BENCH_autonomic.json diverged across same-seed runs"
+EOF
+echo "==> autonomic: disabled must not recover; disabled == absent event stream"
+(cd "$auto_dir" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin autonomic -- --smoke --disabled >/dev/null \
+    && mv BENCH_autonomic.json BENCH_autonomic_disabled.json)
+(cd "$auto_dir" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin autonomic -- --smoke --absent >/dev/null \
+    && mv BENCH_autonomic.json BENCH_autonomic_absent.json)
+python3 - "$auto_dir/BENCH_autonomic_disabled.json" "$auto_dir/BENCH_autonomic_absent.json" <<'EOF'
+import json, sys
+disabled, absent = (json.load(open(p)) for p in sys.argv[1:3])
+gold = disabled["deterministic"]["gold"]
+assert not gold["recovered"], "without the controller the hot-spot must persist"
+assert disabled["deterministic"]["event_digest"] == absent["deterministic"]["event_digest"], \
+    "a disabled controller perturbed the event stream"
+assert disabled["deterministic"]["events"] == absent["deterministic"]["events"], \
+    "event counts diverged between disabled and absent"
+EOF
+rm -rf "$auto_dir" "$auto_dir2"
 
 echo "==> crash-replay smoke: recovered registries match a never-crashed same-seed run"
 cargo test --release -q -p glare-core --lib \

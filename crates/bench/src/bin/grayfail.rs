@@ -1,0 +1,54 @@
+//! Gray-failure resilience driver: a slow super-peer and a degraded
+//! trunk link under closed-loop query load, run in all three modes
+//! (hedging+suspicion enabled / disabled / absent). Prints the summary
+//! on stdout and always writes `BENCH_grayfail.json`.
+//!
+//! Flags:
+//!   --smoke       CI-sized scenario (the default scenario, pinned seed)
+//!   --seed N      master seed (default 2026)
+//!   --slow F      gray-phase compute slowdown factor (default 150)
+//!   --json        machine-readable output on stdout instead of the table
+
+use glare_bench::grayfail::{render, run, GrayfailParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut p = if args.iter().any(|a| a == "--smoke") {
+        GrayfailParams::smoke()
+    } else {
+        GrayfailParams::default()
+    };
+    let json_out = args.iter().any(|a| a == "--json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => p.seed = s,
+                None => {
+                    eprintln!("--seed expects an integer");
+                    std::process::exit(2);
+                }
+            },
+            "--slow" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if f >= 1.0 => p.slow_factor = f,
+                _ => {
+                    eprintln!("--slow expects a factor >= 1.0");
+                    std::process::exit(2);
+                }
+            },
+            _ => {}
+        }
+    }
+
+    let report = run(&p);
+    let doc = report.to_json();
+    match std::fs::write("BENCH_grayfail.json", doc.to_string_pretty()) {
+        Ok(()) => eprintln!("wrote BENCH_grayfail.json"),
+        Err(e) => eprintln!("could not write BENCH_grayfail.json: {e}"),
+    }
+    if json_out {
+        print!("{}", doc.to_string_pretty());
+    } else {
+        print!("{}", render(&report));
+    }
+}

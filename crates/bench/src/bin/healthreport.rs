@@ -15,6 +15,10 @@
 //! * `--tenants N` — attach N multi-tenant load lanes (classes cycle
 //!   gold/silver/best-effort) behind a tiny bounded inbox at site 0, so
 //!   the report grows per-class admitted/shed/retry-after columns.
+//! * `--gray`    — turn on the gray-failure stack (adaptive suspicion +
+//!   hedged probes), populating the per-site suspicion-level and hedges
+//!   fired/won/wasted columns. Off by default; the columns then read
+//!   zero and the legacy scenario is byte-identical.
 //! * `--smoke`   — small fixed configuration for CI.
 //!
 //! Always writes three artifacts to the working directory:
@@ -58,6 +62,9 @@ fn main() {
     }
     if let Some(n) = flag_value(&args, "--tenants") {
         p.tenants = n as usize;
+    }
+    if args.iter().any(|a| a == "--gray") {
+        p.gray = true;
     }
 
     let r = run(p);

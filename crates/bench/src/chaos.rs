@@ -5,12 +5,13 @@
 //!
 //! 1. **Overlay sweep** — for each message-loss rate in the sweep, a
 //!    discrete-event overlay runs with retries enabled
-//!    ([`glare_core::RetryPolicy::standard`]) under a seeded
-//!    [`FaultPlan`]: random site outages, a scripted partition and a
-//!    flapping link, plus uniform message loss and a per-link loss
-//!    override. All faults heal before the horizon; the network then
-//!    runs clean for two election cycles, after which the invariant
-//!    checker inspects every node through
+//!    ([`glare_core::RetryPolicy::standard`]) and the gray-failure stack
+//!    on (adaptive suspicion + hedged probes) under a seeded
+//!    [`FaultPlan`]: random site outages *and* random gray slowdowns,
+//!    a scripted partition and a flapping link, plus uniform message
+//!    loss and a per-link loss override. All faults heal before the
+//!    horizon; the network then runs clean for two election cycles,
+//!    after which the invariant checker inspects every node through
 //!    [`glare_fabric::Simulation::actor_as`].
 //! 2. **Grid phase** — the synchronous harness under a seeded
 //!    [`FaultInjector`]: a clean provision, a provision attempt under
@@ -25,7 +26,10 @@
 //! * every cached deployment agrees with its origin site's registry;
 //! * lease concurrency caps are never exceeded over the whole ledger;
 //! * every provision either yields a queryable deployment or an
-//!   explicit error.
+//!   explicit error;
+//! * no false-positive takeover: every `failure.confirmed` suspect
+//!   actually crashed during the run — a merely *slow* site is never
+//!   declared dead.
 //!
 //! Everything is deterministic: same params → byte-identical
 //! expositions, event JSONL and `BENCH_chaos.json`.
@@ -37,6 +41,7 @@ use glare_core::lease::LeaseKind;
 use glare_core::model::{example_hierarchy, ActivityDeployment, ActivityType};
 use glare_core::overlay::{ClientStats, OverlayBuilder, QueryClient};
 use glare_core::rdm::{provision, ProvisionRequest};
+use glare_core::suspicion::{HedgeConfig, SuspicionConfig};
 use glare_core::{GlareNode, RetryPolicy, Role};
 use glare_fabric::{
     ActorId, FaultPlan, MetricsRegistry, NetworkConfig, SimDuration, SimRng, SimTime, SiteId,
@@ -66,6 +71,11 @@ pub struct ChaosParams {
     pub losses: Vec<f64>,
     /// Random site outages scripted into each overlay run.
     pub outages: usize,
+    /// Random gray slowdowns (compute-degraded but alive sites)
+    /// scripted into each overlay run alongside the outages.
+    pub slowdowns: usize,
+    /// Compute-cost multiplier each slowdown applies while active.
+    pub slow_factor: f64,
     /// Lease workload rounds in the Grid phase.
     pub lease_rounds: u64,
 }
@@ -81,6 +91,8 @@ impl Default for ChaosParams {
             horizon_secs: 900,
             losses: vec![0.01, 0.03, 0.05],
             outages: 3,
+            slowdowns: 3,
+            slow_factor: 8.0,
             lease_rounds: 12,
         }
     }
@@ -98,6 +110,8 @@ impl ChaosParams {
             horizon_secs: 600,
             losses: vec![0.02],
             outages: 2,
+            slowdowns: 2,
+            slow_factor: 8.0,
             lease_rounds: 8,
         }
     }
@@ -136,10 +150,17 @@ pub struct LossRow {
     pub dropped_site_down: u64,
     /// Super-peer takeovers over the run.
     pub takeovers: u64,
+    /// `failure.confirmed` events whose suspect never crashed — a slow
+    /// or lossy-but-alive peer declared dead (must be 0).
+    pub false_takeovers: u64,
     /// Worst per-site 95th-percentile failure-detection latency (ms).
     pub failure_detect_p95_ms: f64,
     /// Scripted site outages that completed (crash + restart pairs).
     pub site_restarts: u64,
+    /// Gray slowdown windows that started (`site.degraded` events).
+    pub slowdowns: u64,
+    /// Hedged probes fired across all sites (`glare_hedges_fired_total`).
+    pub hedges_fired: u64,
     /// Completed end-to-end recoveries (crash → replay → rejoin),
     /// i.e. samples of `glare_recovery_ms` across all sites.
     pub recoveries: u64,
@@ -416,6 +437,11 @@ fn run_overlay_point(p: &ChaosParams, loss: f64) -> LossRow {
         cfg.use_cache = true;
         cfg.max_group_size = 4;
         cfg.retry = RetryPolicy::standard();
+        // The gray-failure stack rides along: adaptive suspicion must
+        // never declare a slowed (or merely lossy) peer dead, and hedged
+        // probes must not disturb any post-heal invariant.
+        cfg.suspicion = SuspicionConfig::standard();
+        cfg.hedge = HedgeConfig::standard();
     });
     let types = p.types;
     let sites = p.sites;
@@ -454,6 +480,15 @@ fn run_overlay_point(p: &ChaosParams, loss: f64) -> LossRow {
     let victims: Vec<SiteId> = (1..p.sites as u32).map(SiteId).collect();
     let plan = FaultPlan::new()
         .random_outages(&mut frng, p.outages, &victims, t(h / 6), t(h / 2), d(40))
+        .random_slowdowns(
+            &mut frng,
+            p.slowdowns,
+            &victims,
+            t(h / 6),
+            t(h / 2),
+            d(40),
+            p.slow_factor,
+        )
         .partition(t(h / 4), t(h / 2), SiteId(1), SiteId(2))
         .flap(SiteId(2), SiteId(3), t(h / 3), d(20), 4);
     plan.apply(&mut sim);
@@ -482,7 +517,7 @@ fn run_overlay_point(p: &ChaosParams, loss: f64) -> LossRow {
     let end = t(h) + d(300);
     sim.run_until(end);
 
-    let violations = overlay_violations(&sim, &ids, end);
+    let mut violations = overlay_violations(&sim, &ids, end);
 
     let (sent, responses, hits) = {
         let s = stats.lock();
@@ -490,6 +525,38 @@ fn run_overlay_point(p: &ChaosParams, loss: f64) -> LossRow {
     };
     let m = sim.metrics();
     let events = sim.events().expect("events were enabled");
+
+    // Invariant: every confirmed failure names a peer that actually
+    // crashed. Gray-slowed and lossy-but-alive sites keep heartbeating,
+    // so declaring one dead is a false-positive takeover.
+    let crashed: BTreeSet<u32> = events
+        .of_kind("site.crashed")
+        .filter_map(|r| r.site.map(|s| s.0))
+        .collect();
+    let mut false_takeovers = 0u64;
+    for r in events.of_kind("failure.confirmed") {
+        let suspect = r
+            .fields
+            .iter()
+            .find(|(k, _)| k == "suspect")
+            .and_then(|(_, v)| v.strip_prefix("actor"))
+            .and_then(|v| v.parse::<u32>().ok());
+        // Node actors are registered in site order, so the suspect's
+        // actor index is its site index.
+        match suspect {
+            Some(s) if crashed.contains(&s) => {}
+            Some(s) => {
+                false_takeovers += 1;
+                violations.push(format!(
+                    "false-positive takeover: site {s} was declared dead but never crashed"
+                ));
+            }
+            None => {
+                false_takeovers += 1;
+                violations.push(format!("failure.confirmed with unparsable suspect: {r:?}"));
+            }
+        }
+    }
     LossRow {
         loss,
         sent,
@@ -510,8 +577,11 @@ fn run_overlay_point(p: &ChaosParams, loss: f64) -> LossRow {
         dropped_partition: sum_by_reason(m, "glare_net_dropped_total", "partition"),
         dropped_site_down: sum_by_reason(m, "glare_net_dropped_total", "site_down"),
         takeovers: m.counter_value("glare.superpeer_takeovers"),
+        false_takeovers,
         failure_detect_p95_ms: worst_p95_ms(m, "glare_failure_detection_ms"),
         site_restarts: events.of_kind("site.restarted").count() as u64,
+        slowdowns: events.of_kind("site.degraded").count() as u64,
+        hedges_fired: sum_family(m, "glare_hedges_fired_total"),
         recoveries: histogram_count(m, "glare_recovery_ms"),
         replayed_records: sum_family(m, "glare_store_replayed_records_total"),
         recovery_ms: sorted_samples_ms(m, "glare_recovery_ms"),
@@ -715,11 +785,11 @@ pub fn run(p: ChaosParams) -> ChaosReport {
 pub fn render(r: &ChaosReport) -> String {
     let mut s = String::from(
         "Chaos soak report\n\
-         loss  | avail | retries | backoff (n/p95 ms) | breaker (open/short) | degraded | dropped (loss/part/down) | takeovers | restarts | violations\n",
+         loss  | avail | retries | backoff (n/p95 ms) | breaker (open/short) | degraded | dropped (loss/part/down) | takeovers | restarts | slow | hedged | violations\n",
     );
     for row in &r.rows {
         s.push_str(&format!(
-            "{:<6.3}| {:>5.2} | {:>7} | {:>18} | {:>20} | {:>8} | {:>24} | {:>9} | {:>8} | {}\n",
+            "{:<6.3}| {:>5.2} | {:>7} | {:>18} | {:>20} | {:>8} | {:>24} | {:>9} | {:>8} | {:>4} | {:>6} | {}\n",
             row.loss,
             row.availability,
             row.retries,
@@ -732,6 +802,8 @@ pub fn render(r: &ChaosReport) -> String {
             ),
             row.takeovers,
             row.site_restarts,
+            row.slowdowns,
+            row.hedges_fired,
             row.violations.len(),
         ));
     }
@@ -803,6 +875,8 @@ impl ChaosReport {
                         Json::arr(self.params.losses.iter().map(|&l| Json::from(l))),
                     ),
                     ("outages", Json::from(self.params.outages)),
+                    ("slowdowns", Json::from(self.params.slowdowns)),
+                    ("slow_factor", Json::from(self.params.slow_factor)),
                     ("lease_rounds", Json::from(self.params.lease_rounds)),
                 ]),
             ),
@@ -825,11 +899,14 @@ impl ChaosReport {
                         ("dropped_partition", Json::from(r.dropped_partition)),
                         ("dropped_site_down", Json::from(r.dropped_site_down)),
                         ("takeovers", Json::from(r.takeovers)),
+                        ("false_takeovers", Json::from(r.false_takeovers)),
                         (
                             "failure_detect_p95_ms",
                             Json::from(r.failure_detect_p95_ms),
                         ),
                         ("site_restarts", Json::from(r.site_restarts)),
+                        ("slowdowns", Json::from(r.slowdowns)),
+                        ("hedges_fired", Json::from(r.hedges_fired)),
                         ("recoveries", Json::from(r.recoveries)),
                         ("replayed_records", Json::from(r.replayed_records)),
                         ("recovery_p50_ms", Json::from(pct(&r.recovery_ms, 0.5))),
@@ -956,6 +1033,14 @@ mod tests {
             "the partition schedule actually cut links"
         );
         assert!(row.site_restarts > 0, "outages crashed and healed sites");
+        assert!(
+            row.slowdowns > 0,
+            "the gray slowdown schedule actually degraded sites"
+        );
+        assert_eq!(
+            row.false_takeovers, 0,
+            "a merely slow or lossy peer was declared dead"
+        );
         assert!(
             row.recoveries > 0,
             "restarted sites completed store recovery + rejoin"

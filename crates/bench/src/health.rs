@@ -31,6 +31,7 @@ use glare_core::rdm::{
     provision, CacheRefresher, DeploymentStatusMonitor, IndexMonitor, ProvisionRequest,
 };
 use glare_core::retry::RetryPolicy;
+use glare_core::suspicion::{HedgeConfig, SuspicionConfig};
 use glare_fabric::sync::Mutex;
 use glare_fabric::{
     Labels, MetricsRegistry, SimDuration, SimTime, SiteId, StoreConfig, DEFAULT_MAX_EVENTS,
@@ -63,6 +64,11 @@ pub struct HealthParams {
     /// the per-tenant admission columns. 0 (the default) leaves the
     /// legacy scenario byte-identical.
     pub tenants: usize,
+    /// Turn the gray-failure stack on (adaptive suspicion + hedged
+    /// probes), populating the suspicion/hedge columns. `false` (the
+    /// default) leaves the legacy scenario byte-identical and the
+    /// columns zero-valued.
+    pub gray: bool,
 }
 
 impl Default for HealthParams {
@@ -77,6 +83,7 @@ impl Default for HealthParams {
             monitor_ticks: 12,
             loss: 0.0,
             tenants: 0,
+            gray: false,
         }
     }
 }
@@ -94,6 +101,7 @@ impl HealthParams {
             monitor_ticks: 6,
             loss: 0.0,
             tenants: 0,
+            gray: false,
         }
     }
 }
@@ -133,6 +141,16 @@ pub struct SiteHealth {
     pub ae_pulls: u64,
     /// Anti-entropy entries this super-peer absorbed from rejoining members.
     pub ae_pushes: u64,
+    /// Peak adaptive suspicion level this site held against its
+    /// super-peer over the run (0 = never suspected; zero-valued unless
+    /// `--gray`).
+    pub suspicion_level: f64,
+    /// Hedged probes this site fired (zero-valued unless `--gray`).
+    pub hedges_fired: u64,
+    /// Hedged probes whose alternate answered first.
+    pub hedges_won: u64,
+    /// Hedged probes the original beat anyway (wasted duplicates).
+    pub hedges_wasted: u64,
 }
 
 /// One peer group's health row (overlay cache traffic by group).
@@ -289,6 +307,7 @@ pub fn run_overlay_with_tenants(
     assert!(p.sites >= 3, "the scenario needs at least 3 sites");
     let mut builder = OverlayBuilder::new(p.sites, p.seed);
     let tenants = p.tenants;
+    let gray = p.gray;
     builder.configure(move |_, cfg| {
         cfg.use_cache = true;
         cfg.max_group_size = 4;
@@ -296,6 +315,13 @@ pub fn run_overlay_with_tenants(
             // A deliberately tiny inbox so the modest tenant rates still
             // trip class-aware shedding and populate the report columns.
             cfg.admission = AdmissionConfig::bounded(2);
+        }
+        if gray {
+            // Gray-failure stack: adaptive latency-aware suspicion plus
+            // hedged read probes. Observe-only with respect to liveness —
+            // a slow peer is never declared dead by suspicion alone.
+            cfg.suspicion = SuspicionConfig::standard();
+            cfg.hedge = HedgeConfig::standard();
         }
     });
     let types = p.types;
@@ -520,6 +546,13 @@ pub fn run(p: HealthParams) -> HealthReport {
                 .and_then(|h| h.max())),
             ae_pulls: sum_by_site(om, "glare_antientropy_pulls_total", &site),
             ae_pushes: sum_by_site(om, "glare_antientropy_pushes_total", &site),
+            suspicion_level: om
+                .gauge_ref("glare_suspicion_level", &slabels)
+                .map(|g| g.buckets().iter().fold(0.0f64, |a, b| a.max(b.max)))
+                .unwrap_or(0.0),
+            hedges_fired: sum_by_site(om, "glare_hedges_fired_total", &site),
+            hedges_won: sum_by_site(om, "glare_hedges_won_total", &site),
+            hedges_wasted: sum_by_site(om, "glare_hedges_wasted_total", &site),
             site,
         });
     }
@@ -660,6 +693,17 @@ pub fn render(r: &HealthReport) -> String {
             row.site, row.replayed_records, row.replay_ms, row.ae_pulls, row.ae_pushes,
         ));
     }
+    s.push_str(
+        "\nGray-failure resilience\nsite   | suspicion | hedges (fired/won/wasted)\n",
+    );
+    for row in &r.sites {
+        s.push_str(&format!(
+            "{:<7}| {:>9.2} | {:>25}\n",
+            row.site,
+            row.suspicion_level,
+            format!("{}/{}/{}", row.hedges_fired, row.hedges_won, row.hedges_wasted),
+        ));
+    }
     s.push_str("\nPeer-group cache traffic\ngroup      | hits | misses | hit ratio\n");
     for row in &r.groups {
         s.push_str(&format!(
@@ -723,6 +767,7 @@ impl HealthReport {
                     ("monitor_ticks", Json::from(self.params.monitor_ticks)),
                     ("loss", Json::from(self.params.loss)),
                     ("tenants", Json::from(self.params.tenants)),
+                    ("gray", Json::from(self.params.gray)),
                 ]),
             ),
             (
@@ -745,6 +790,10 @@ impl HealthReport {
                         ("replay_ms", Json::from(s.replay_ms)),
                         ("ae_pulls", Json::from(s.ae_pulls)),
                         ("ae_pushes", Json::from(s.ae_pushes)),
+                        ("suspicion_level", Json::from(s.suspicion_level)),
+                        ("hedges_fired", Json::from(s.hedges_fired)),
+                        ("hedges_won", Json::from(s.hedges_won)),
+                        ("hedges_wasted", Json::from(s.hedges_wasted)),
                     ])
                 })),
             ),
@@ -871,6 +920,45 @@ mod tests {
         let r = run(HealthParams::smoke());
         assert!(r.tenant_classes.is_empty());
         assert!(!r.overlay_exposition.contains("glare_admission_"));
+    }
+
+    #[test]
+    fn gray_free_runs_keep_the_gray_columns_zero() {
+        let r = run(HealthParams::smoke());
+        for s in &r.sites {
+            assert_eq!(s.suspicion_level, 0.0, "{}: suspicion without --gray", s.site);
+            assert_eq!(
+                s.hedges_fired + s.hedges_won + s.hedges_wasted,
+                0,
+                "{}: hedge counters without --gray",
+                s.site
+            );
+        }
+        assert!(!r.overlay_exposition.contains("glare_suspicion_level"));
+        assert!(!r.overlay_exposition.contains("glare_hedges_"));
+    }
+
+    #[test]
+    fn gray_stack_populates_the_suspicion_columns() {
+        let mut p = HealthParams::smoke();
+        p.gray = true;
+        let r = run(p);
+        // Members export their adaptive suspicion gauge on every
+        // heartbeat check once the stack is on.
+        assert!(
+            r.overlay_exposition.contains("glare_suspicion_level"),
+            "suspicion gauge exported with --gray"
+        );
+        // The scripted super-peer crash drives suspicion up at the
+        // surviving members before failure confirmation.
+        assert!(
+            r.sites.iter().any(|s| s.suspicion_level > 0.0),
+            "some member suspected the crashed super-peer"
+        );
+        assert!(r.lint.is_empty(), "metric-name lint: {:?}", r.lint);
+        let json = r.to_json().to_string_pretty();
+        assert!(json.contains("\"suspicion_level\""));
+        assert!(json.contains("\"hedges_fired\""));
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod grayfail;
 pub mod health;
 pub mod json;
 pub mod load;

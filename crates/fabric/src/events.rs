@@ -10,7 +10,14 @@
 //! (`inbox.ttl_release`, carrying the reclaimed-slot count), and the
 //! autonomic placement controller's actions
 //! (`autonomic.provision` / `autonomic.retire` / `autonomic.reprovision`,
-//! carrying the controller identity, activity, target site and outcome).
+//! carrying the controller identity, activity, target site and outcome),
+//! gray failures injected and lifted by the fault layer
+//! (`site.degraded` / `site.recovered`, carrying the site and the
+//! compute slowdown in `factor_permille`; `link.degraded` /
+//! `link.recovered`, carrying the directed endpoints and the latency
+//! multiplier), and hedged read probes
+//! (`query.hedged`, carrying the activity and the alternate target a
+//! slow stage was raced against).
 //! The log is strictly observe-only: emitting an
 //! event never consults the RNG, never schedules simulation work, and
 //! sequence numbers are allocated in emission order, so an instrumented

@@ -214,6 +214,11 @@ pub struct Kernel {
     metrics: MetricsRegistry,
     net: NetworkConfig,
     link_drop: HashMap<(SiteId, SiteId), f64>,
+    /// Gray-failure latency multipliers per *directed* site pair. Consulted
+    /// after the base+jitter delay is computed and consuming no randomness,
+    /// so runs without any degradation are event-identical to a kernel
+    /// without the feature.
+    link_degrade: HashMap<(SiteId, SiteId), f64>,
     partitions: HashSet<(SiteId, SiteId)>,
     stopped: bool,
     trace: Option<Box<TraceState>>,
@@ -305,12 +310,18 @@ impl Kernel {
         }
         let link = self.topology.link(from_site, to_site);
         let base = link.transfer_time(bytes);
-        let delay = if link.jitter > 0.0 {
+        let mut delay = if link.jitter > 0.0 {
             let j = self.rng.jitter(link.jitter);
             base.mul_f64((1.0 + j).max(0.01))
         } else {
             base
         };
+        // Gray-failure inflation last, after base+jitter, drawing no
+        // randomness: a degraded trunk stretches every traversal by the
+        // same factor while untouched pairs keep the exact RNG pattern.
+        if let Some(&f) = self.link_degrade.get(&(from_site, to_site)) {
+            delay = delay.mul_f64(f);
+        }
         let at = self.now + delay;
         // Record the wire time as a Network span; its context rides on the
         // delivery so the receiver's spans chain under it.
@@ -727,6 +738,7 @@ impl Simulation {
                 metrics: MetricsRegistry::new(),
                 net: NetworkConfig::default(),
                 link_drop: HashMap::new(),
+                link_degrade: HashMap::new(),
                 partitions: HashSet::new(),
                 stopped: false,
                 trace: None,
@@ -762,6 +774,84 @@ impl Simulation {
             None => {
                 self.kernel.link_drop.remove(&key);
             }
+        }
+    }
+
+    /// Install (or clear, with `None`) a gray-failure compute slowdown on a
+    /// site: subsequent CPU work costs `factor ×` its healthy price. Emits
+    /// `site.degraded` / `site.recovered` and keeps the
+    /// `glare_degraded_sites` gauge current. Draws no randomness.
+    pub fn set_site_degraded(&mut self, site: SiteId, factor: Option<f64>) {
+        let f = factor.unwrap_or(1.0);
+        let was = self.kernel.sites[site.index()].is_degraded();
+        self.kernel.sites[site.index()].set_degrade_factor(f);
+        let is = self.kernel.sites[site.index()].is_degraded();
+        let now = self.kernel.now;
+        if let Some(log) = &mut self.kernel.events {
+            let kind = if is { "site.degraded" } else { "site.recovered" };
+            if was != is || is {
+                log.emit(
+                    now,
+                    kind,
+                    Some(site),
+                    "fault",
+                    &[
+                        ("site", &format!("site{}", site.index())),
+                        ("factor_permille", &((f * 1000.0).round() as u64).to_string()),
+                    ],
+                );
+            }
+        }
+        self.publish_degraded_gauges();
+    }
+
+    /// Install (or clear, with `None`) a gray-failure latency multiplier on
+    /// the *directed* link `from → to`: every message traversing it takes
+    /// `factor ×` its base+jitter delay. Call once per direction for a
+    /// symmetric degradation (see [`Fault::DegradeLink`](crate::fault::Fault)).
+    /// Emits `link.degraded` / `link.recovered`. Draws no randomness.
+    pub fn set_link_degraded(&mut self, from: SiteId, to: SiteId, factor: Option<f64>) {
+        let now = self.kernel.now;
+        let (kind, f) = match factor {
+            Some(f) => {
+                assert!(f >= 1.0, "link degrade factor must be ≥ 1.0");
+                self.kernel.link_degrade.insert((from, to), f);
+                ("link.degraded", f)
+            }
+            None => {
+                self.kernel.link_degrade.remove(&(from, to));
+                ("link.recovered", 1.0)
+            }
+        };
+        if let Some(log) = &mut self.kernel.events {
+            log.emit(
+                now,
+                kind,
+                Some(from),
+                "fault",
+                &[
+                    ("from", &format!("site{}", from.index())),
+                    ("to", &format!("site{}", to.index())),
+                    ("factor_permille", &((f * 1000.0).round() as u64).to_string()),
+                ],
+            );
+        }
+        self.publish_degraded_gauges();
+    }
+
+    /// Refresh the `glare_degraded_sites` gauge family: currently degraded
+    /// site count (`scope="sites"`) and degraded directed-link count
+    /// (`scope="links"`).
+    fn publish_degraded_gauges(&mut self) {
+        let now = self.kernel.now;
+        let sites = self.kernel.sites.iter().filter(|s| s.is_degraded()).count();
+        let links = self.kernel.link_degrade.len();
+        for (scope, value) in [("sites", sites), ("links", links)] {
+            let labels = Labels::of(&[("scope", scope)]);
+            self.kernel
+                .metrics
+                .gauge("glare_degraded_sites", &labels, DEFAULT_GAUGE_WINDOW)
+                .set(now, value as f64);
         }
     }
 

@@ -38,6 +38,9 @@ pub struct SiteRuntime {
     up: bool,
     epoch: u64,
     speed_factor: f64,
+    /// Gray-failure multiplier on compute cost (1.0 = healthy). Set by
+    /// [`Fault::SlowSite`](crate::fault::Fault) windows via the kernel.
+    degrade_factor: f64,
     /// Instant each core becomes free.
     core_free_at: Vec<SimTime>,
     /// Number of submitted-but-unfinished work items.
@@ -62,6 +65,7 @@ impl SiteRuntime {
             up: true,
             epoch: 0,
             speed_factor: spec.speed_factor,
+            degrade_factor: 1.0,
             core_free_at: vec![SimTime::ZERO; spec.cores as usize],
             run_queue: 0,
             load_1m: 0.0,
@@ -100,6 +104,24 @@ impl SiteRuntime {
         self.busy_time
     }
 
+    /// Current gray-failure compute multiplier (1.0 when healthy).
+    pub fn degrade_factor(&self) -> f64 {
+        self.degrade_factor
+    }
+
+    /// Whether the site is currently degraded (slowed but not down).
+    pub fn is_degraded(&self) -> bool {
+        self.degrade_factor > 1.0
+    }
+
+    /// Install (or clear, with `1.0`) a gray-failure compute multiplier.
+    /// Work submitted while degraded costs `factor ×` its healthy price;
+    /// already-queued work keeps its original completion time.
+    pub fn set_degrade_factor(&mut self, factor: f64) {
+        assert!(factor >= 1.0, "degrade factor must be ≥ 1.0");
+        self.degrade_factor = factor;
+    }
+
     /// Submit a CPU-bound work item costing `cost` of reference-CPU time.
     ///
     /// Returns when it will complete, or `None` when the site is down.
@@ -109,7 +131,7 @@ impl SiteRuntime {
         if !self.up {
             return None;
         }
-        let scaled = cost.mul_f64(1.0 / self.speed_factor);
+        let scaled = cost.mul_f64(self.degrade_factor / self.speed_factor);
         // Earliest-free core runs the item (FCFS per site).
         let (idx, &free_at) = self
             .core_free_at
@@ -212,6 +234,31 @@ mod tests {
         let mut slow = rt(1, 0.5);
         let t = slow.submit(SimTime::ZERO, SimDuration::from_millis(10)).unwrap();
         assert_eq!(t.completes_at, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn degrade_factor_inflates_new_work_only() {
+        let mut s = rt(1, 1.0);
+        let before = s.submit(SimTime::ZERO, SimDuration::from_millis(10)).unwrap();
+        assert_eq!(before.completes_at, SimTime::from_millis(10));
+        s.set_degrade_factor(4.0);
+        assert!(s.is_degraded());
+        let during = s.submit(SimTime::ZERO, SimDuration::from_millis(10)).unwrap();
+        assert_eq!(
+            during.completes_at,
+            SimTime::from_millis(50),
+            "queued behind 10ms, then 40ms degraded execution"
+        );
+        s.set_degrade_factor(1.0);
+        assert!(!s.is_degraded());
+        let after = s.submit(SimTime::ZERO, SimDuration::from_millis(10)).unwrap();
+        assert_eq!(after.completes_at, SimTime::from_millis(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor")]
+    fn degrade_factor_below_one_rejected() {
+        rt(1, 1.0).set_degrade_factor(0.5);
     }
 
     #[test]

@@ -187,6 +187,11 @@ pub struct Grid {
     pub retry: RetryPolicy,
     /// Per-remote-site circuit breakers, keyed by site index.
     pub breakers: BreakerBank<usize>,
+    /// Per-remote-site round-trip estimator: when enabled (default off),
+    /// probe attempt timeouts tighten to the learned per-site budget
+    /// instead of charging the full configured `attempt_timeout` per
+    /// silent probe.
+    pub suspicion: crate::suspicion::SuspicionTracker<usize>,
     /// Per-site durable stores (`None` = durability off). With durability
     /// on, [`Grid::crash_site`] becomes amnesia-faithful — it wipes the
     /// site's volatile registries, lease table and cache — and
@@ -222,6 +227,7 @@ impl Grid {
             faults: FaultInjector::inert(),
             retry: RetryPolicy::standard(),
             breakers: BreakerBank::default(),
+            suspicion: crate::suspicion::SuspicionTracker::default(),
             stores: None,
             store_cfg: StoreConfig::disabled(),
         }

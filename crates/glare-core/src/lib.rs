@@ -22,6 +22,7 @@ pub mod overlay;
 pub mod rdm;
 pub mod retry;
 pub mod superpeer;
+pub mod suspicion;
 
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats, TenantClass,
@@ -38,6 +39,7 @@ pub use hierarchy::TypeHierarchy;
 pub use node::{GlareNode, NodeConfig, NodeMsg, QueryScope};
 pub use overlay::{ClientStats, NotificationSink, OverlayBuilder, QueryClient};
 pub use retry::{BreakerBank, BreakerState, CircuitBreaker, RetryPolicy};
+pub use suspicion::{HedgeConfig, PeerEstimator, SuspicionConfig, SuspicionTracker};
 pub use superpeer::{plan_tree, Group, MajorityTally, Role, TreeParent, TreePlan};
 pub use lease::{LeaseKind, LeaseManager, LeaseTicket};
 pub use model::{

@@ -45,6 +45,7 @@ use crate::durable::{self, RegistryMutation};
 use crate::model::{ActivityDeployment, ActivityType};
 use crate::retry::{BreakerBank, RetryPolicy};
 use crate::superpeer::{highest_ranked, plan_tree, MajorityTally, Role, TreeParent};
+use crate::suspicion::{HedgeConfig, SuspicionConfig, SuspicionTracker};
 
 /// How far a query may travel from the handling node.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -288,17 +289,39 @@ pub struct NodeConfig {
     /// the durable store is enabled, runs a periodic anti-entropy round
     /// with the super-peer. `None` (default) disables the loop.
     pub cache_refresh_interval: Option<SimDuration>,
+    /// Adaptive, phi-accrual-style failure suspicion: per-peer EWMA +
+    /// variance over heartbeat inter-arrivals and probe round-trips,
+    /// driving the takeover threshold and hedge delays. Defaults to
+    /// [`SuspicionConfig::disabled`], under which detection is
+    /// byte-for-byte the fixed-threshold legacy behaviour.
+    pub suspicion: SuspicionConfig,
+    /// Hedged probes: single-target read stages fire one extra probe to
+    /// the next-best replica after a deterministic quantile-derived
+    /// delay; the first useful response wins. Defaults to
+    /// [`HedgeConfig::disabled`], under which no hedge timers or probes
+    /// exist — byte-for-byte the legacy behaviour.
+    pub hedge: HedgeConfig,
 }
 
 impl NodeConfig {
+    /// Default silence threshold for a given heartbeat period: three
+    /// missed beats plus a second of slack (16 s at the default 5 s
+    /// period). Overlays that tune `heartbeat_interval` should derive
+    /// their timeout through this instead of inheriting a threshold
+    /// sized for a different cadence.
+    pub fn derived_heartbeat_timeout(interval: SimDuration) -> SimDuration {
+        interval * 3 + SimDuration::from_secs(1)
+    }
+
     /// Sensible defaults for a named site.
     pub fn new(site_name: &str, rank: u64) -> NodeConfig {
+        let heartbeat_interval = SimDuration::from_secs(5);
         NodeConfig {
             site_name: site_name.to_owned(),
             rank,
             has_community_index: false,
-            heartbeat_interval: SimDuration::from_secs(5),
-            heartbeat_timeout: SimDuration::from_secs(16),
+            heartbeat_interval,
+            heartbeat_timeout: NodeConfig::derived_heartbeat_timeout(heartbeat_interval),
             max_group_size: 4,
             tree_depth: 2,
             tree_branching: None,
@@ -315,6 +338,8 @@ impl NodeConfig {
             notify_cost: SimDuration::from_millis(25),
             monitor_interval: None,
             cache_refresh_interval: None,
+            suspicion: SuspicionConfig::disabled(),
+            hedge: HedgeConfig::disabled(),
         }
     }
 }
@@ -334,6 +359,24 @@ enum Stage {
     /// A top-tier super-peer waiting on the other top-tier super-peers
     /// (terminal, like [`Stage::SpForward`]).
     TreeForward,
+}
+
+/// Hedge bookkeeping of one probe stage. `Default` is the no-hedge state
+/// every stage starts in; single-target read stages with hedging enabled
+/// get a `plan` and an armed `timer`.
+#[derive(Default)]
+struct HedgeState {
+    /// The next-best replica and the scope its probe would carry.
+    plan: Option<(ActorId, QueryScope)>,
+    /// Armed hedge timer; `None` once fired or never armed. Cancelled via
+    /// tombstone when the stage concludes first.
+    timer: Option<TimerToken>,
+    /// The replica actually hedged to (set when the timer fires).
+    target: Option<ActorId>,
+    /// When the hedge probe went out (its own RTT baseline).
+    sent: Option<SimTime>,
+    /// The hedge's useful answer concluded the stage.
+    won: bool,
 }
 
 struct PendingQuery {
@@ -367,6 +410,8 @@ struct PendingQuery {
     /// The `node.query` span covering the whole ladder (inert when
     /// tracing is off).
     span: SpanHandle,
+    /// Hedged-probe state (inert default unless this stage armed one).
+    hedge: HedgeState,
 }
 
 enum Deferred {
@@ -433,9 +478,18 @@ pub struct GlareNode {
     deferred: HashMap<TimerToken, Deferred>,
     deadline_to_req: HashMap<TimerToken, u64>,
     backoff_to_req: HashMap<TimerToken, u64>,
+    /// Armed hedge timers → pending query (same shape as
+    /// `deadline_to_req`; empty unless `cfg.hedge` is enabled).
+    hedge_to_req: HashMap<TimerToken, u64>,
     /// Per-remote-peer circuit breakers fed by probe deadline misses
     /// (only consulted when `cfg.retry` enables retries).
     breakers: BreakerBank<ActorId>,
+    /// Per-peer round-trip estimator over probe responses (inert unless
+    /// `cfg.suspicion` is enabled); derives hedge delays.
+    rtt: SuspicionTracker<ActorId>,
+    /// Per-peer heartbeat inter-arrival estimator (inert unless
+    /// `cfg.suspicion` is enabled); derives the takeover threshold.
+    hb: SuspicionTracker<ActorId>,
     // --- admission state ---
     /// Bounded-inbox admission controller (inert unless `cfg.admission`
     /// is enabled).
@@ -497,7 +551,10 @@ impl GlareNode {
             deferred: HashMap::new(),
             deadline_to_req: HashMap::new(),
             backoff_to_req: HashMap::new(),
+            hedge_to_req: HashMap::new(),
             breakers: BreakerBank::default(),
+            rtt: SuspicionTracker::new(cfg.suspicion),
+            hb: SuspicionTracker::new(cfg.suspicion),
             admission: AdmissionController::new(cfg.admission),
             tenant_labels: TenantLabels::for_site(&cfg.site_name),
             admitted: HashMap::new(),
@@ -546,6 +603,51 @@ impl GlareNode {
     /// occupancy. All-zero when backpressure is disabled.
     pub fn admission_stats(&self) -> crate::admission::AdmissionStats {
         self.admission.stats()
+    }
+
+    /// Current suspicion level of the node's super-peer given its
+    /// heartbeat silence at `now` — zero when suspicion is disabled, the
+    /// estimator is cold, or the node has no (remote) super-peer.
+    pub fn super_peer_suspicion(&self, now: SimTime) -> f64 {
+        match self.super_peer.filter(|&sp| sp != self.me) {
+            Some(sp) => self
+                .hb
+                .suspicion(sp, now.saturating_since(self.last_heartbeat)),
+            None => 0.0,
+        }
+    }
+
+    /// The node's per-peer probe round-trip estimator (read-only; empty
+    /// unless suspicion is enabled).
+    pub fn rtt_tracker(&self) -> &SuspicionTracker<ActorId> {
+        &self.rtt
+    }
+
+    /// How often the super-peer liveness check runs: with adaptive
+    /// suspicion on, every heartbeat period (fine-grained silence
+    /// tracking); otherwise the legacy cadence of one full timeout.
+    fn hb_check_period(&self) -> SimDuration {
+        if self.cfg.suspicion.enabled {
+            self.cfg.heartbeat_interval
+        } else {
+            self.cfg.heartbeat_timeout
+        }
+    }
+
+    /// Heartbeat-silence threshold before `peer` is considered missing:
+    /// the learned adaptive threshold when suspicion is enabled and warm
+    /// (never below two heartbeat periods, never above the configured
+    /// timeout — adaptation only accelerates detection), else the
+    /// configured fixed timeout.
+    fn takeover_threshold(&self, peer: ActorId) -> SimDuration {
+        if !self.cfg.suspicion.enabled {
+            return self.cfg.heartbeat_timeout;
+        }
+        self.hb.silence_threshold(
+            peer,
+            self.cfg.heartbeat_interval * 2,
+            self.cfg.heartbeat_timeout,
+        )
     }
 
     /// Whether this node is the unique root of a converged multi-level
@@ -698,6 +800,125 @@ impl GlareNode {
         }
     }
 
+    /// The next-best replica for hedging a single-target read stage, with
+    /// the scope its probe must carry. Deterministic — the lowest actor id
+    /// among the eligible alternates — so same-seed runs hedge
+    /// identically. `None` for stages with no equivalent alternate. Only
+    /// query probes are ever hedged: they are idempotent reads, while
+    /// deploy/register traffic mutates remote state and a duplicated
+    /// write is a correctness bug, not a latency win.
+    fn hedge_candidate(&self, stage: Stage, original: ActorId) -> Option<(ActorId, QueryScope)> {
+        match stage {
+            // Escalation to the own (possibly gray-slow) super-peer: any
+            // other leaf super-peer serves the same read terminally.
+            Stage::SpEscalate => self
+                .other_super_peers
+                .iter()
+                .copied()
+                .filter(|&id| id != original)
+                .min()
+                .map(|id| (id, QueryScope::SpForwarded)),
+            // Tree ascent: a sibling of the slow parent covers its own
+            // subtree — a second, disjoint replica of the read.
+            Stage::TreeEscalate(lvl) => self
+                .tree_parents
+                .iter()
+                .find(|t| t.level == lvl)
+                .and_then(|tp| {
+                    tp.group
+                        .iter()
+                        .copied()
+                        .filter(|&id| id != self.me && id != original)
+                        .min()
+                })
+                .map(|id| (id, QueryScope::Subtree { level: lvl - 1 })),
+            _ => None,
+        }
+    }
+
+    /// Deterministic hedge delay for a probe of `target`: the learned
+    /// high quantile of the peer's response distribution when the RTT
+    /// estimator is warm, else a fixed fraction of the probe deadline.
+    /// No randomness — same-seed runs hedge at identical instants.
+    fn hedge_delay(&self, target: ActorId) -> SimDuration {
+        let cap = self.cfg.probe_timeout;
+        let delay = self
+            .rtt
+            .latency_quantile(target, self.cfg.hedge.sigmas)
+            .unwrap_or_else(|| cap.mul_f64(self.cfg.hedge.cold_fraction));
+        delay.max(self.cfg.hedge.min_delay).min(cap)
+    }
+
+    /// Arm the hedge for a freshly started single-target read stage, when
+    /// hedging is on and an equivalent alternate replica exists. With
+    /// hedging disabled (the default) this allocates nothing and arms no
+    /// timer — the stage is byte-identical to the legacy path.
+    fn arm_hedge(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        local_id: u64,
+        stage: Stage,
+        original: ActorId,
+    ) -> HedgeState {
+        if !self.cfg.hedge.enabled {
+            return HedgeState::default();
+        }
+        let Some(plan) = self.hedge_candidate(stage, original) else {
+            return HedgeState::default();
+        };
+        let delay = self.hedge_delay(original);
+        let timer = ctx.timer_after(delay, &format!("qhedge:{local_id}"));
+        self.hedge_to_req.insert(timer, local_id);
+        HedgeState {
+            plan: Some(plan),
+            timer: Some(timer),
+            target: None,
+            sent: None,
+            won: false,
+        }
+    }
+
+    /// A hedge timer fired: the original target is past its learned
+    /// quantile, so fire one extra probe to the planned alternate. The
+    /// original stays authoritative — the stage still concludes the
+    /// moment it answers; the hedge can only accelerate conclusion with a
+    /// useful (non-empty) answer of its own.
+    fn fire_hedge(&mut self, ctx: &mut Ctx<'_>, local_id: u64) {
+        let Some(p) = self.pending.get_mut(&local_id) else {
+            return; // stage concluded; the tombstoned timer raced us
+        };
+        p.hedge.timer = None;
+        let Some((target, scope)) = p.hedge.plan else {
+            return;
+        };
+        let activity = p.activity.clone();
+        let class = p.class;
+        p.hedge.target = Some(target);
+        p.hedge.sent = Some(ctx.now());
+        ctx.send(
+            target,
+            NodeMsg::QueryDeployments {
+                activity: activity.clone(),
+                req_id: local_id,
+                reply_to: ctx.self_id,
+                scope,
+                class,
+            },
+        );
+        let site_label = format!("site{}", ctx.self_site.0);
+        ctx.metrics()
+            .counter_labeled(
+                "glare_hedges_fired_total",
+                &Labels::of(&[("site", &site_label)]),
+            )
+            .inc();
+        ctx.emit_event(
+            "query.hedged",
+            "node",
+            &[("activity", &activity), ("target", &target.to_string())],
+        );
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn start_probe(
         &mut self,
@@ -717,6 +938,11 @@ impl GlareNode {
         self.next_req += 1;
         let deadline = ctx.timer_after(self.cfg.probe_timeout, &format!("qdl:{local_id}"));
         self.deadline_to_req.insert(deadline, local_id);
+        let hedge = if targets.len() == 1 {
+            self.arm_hedge(ctx, local_id, stage, targets[0])
+        } else {
+            HedgeState::default()
+        };
         let mut awaiting = HashSet::new();
         for t in &targets {
             awaiting.insert(*t);
@@ -750,6 +976,7 @@ impl GlareNode {
                 started: ctx.now(),
                 probes_failed,
                 span,
+                hedge,
             },
         );
     }
@@ -775,6 +1002,11 @@ impl GlareNode {
         self.next_req += 1;
         let deadline = ctx.timer_after(self.cfg.probe_timeout, &format!("qdl:{local_id}"));
         self.deadline_to_req.insert(deadline, local_id);
+        let hedge = if targets.len() == 1 {
+            self.arm_hedge(ctx, local_id, stage, targets[0].0)
+        } else {
+            HedgeState::default()
+        };
         let mut awaiting = HashSet::new();
         for &(t, target_scope) in &targets {
             awaiting.insert(t);
@@ -808,6 +1040,7 @@ impl GlareNode {
                 started: ctx.now(),
                 probes_failed,
                 span,
+                hedge,
             },
         );
     }
@@ -1114,6 +1347,25 @@ impl GlareNode {
         };
         ctx.cancel_timer(p.deadline);
         self.deadline_to_req.retain(|_, v| *v != local_id);
+        if let Some(t) = p.hedge.timer {
+            // Unfired hedge: tombstone the timer so it never fires.
+            ctx.cancel_timer(t);
+            self.hedge_to_req.remove(&t);
+        }
+        if p.hedge.target.is_some() {
+            // The hedge went out: it either won the stage with a useful
+            // answer or duplicated work the original (or the deadline)
+            // settled anyway.
+            let family = if p.hedge.won {
+                "glare_hedges_won_total"
+            } else {
+                "glare_hedges_wasted_total"
+            };
+            let site_label = format!("site{}", ctx.self_site.0);
+            ctx.metrics()
+                .counter_labeled(family, &Labels::of(&[("site", &site_label)]))
+                .inc();
+        }
         if !p.collected.is_empty() {
             // Cache what the probe learned (§3.3: the super-peer "caches
             // the results"; §3.1: remote resources optionally cached).
@@ -1304,6 +1556,7 @@ impl GlareNode {
                             started: now,
                             probes_failed: false,
                             span,
+                            hedge: HedgeState::default(),
                         },
                     );
                     self.conclude_stage(ctx, local_id);
@@ -1353,6 +1606,7 @@ impl GlareNode {
                             started: now,
                             probes_failed: false,
                             span,
+                            hedge: HedgeState::default(),
                         },
                     );
                     self.conclude_stage(ctx, local_id);
@@ -1471,8 +1725,9 @@ impl GlareNode {
         if self.verification_sent {
             return;
         }
-        // (a) verify the super-peer is missing from our own vantage.
-        if ctx.now().saturating_since(self.last_heartbeat) < self.cfg.heartbeat_timeout {
+        // (a) verify the super-peer is missing from our own vantage
+        // (adaptive threshold when suspicion is enabled and warm).
+        if ctx.now().saturating_since(self.last_heartbeat) < self.takeover_threshold(suspect) {
             return;
         }
         // (b) verify own rank.
@@ -1533,6 +1788,10 @@ impl GlareNode {
         self.tally = None;
         self.verification_sent = false;
         self.record_failure_confirmed(ctx, suspect, "majority");
+        // The dead peer's latency history is moot; a later incarnation
+        // starts cold.
+        self.hb.forget(suspect);
+        self.rtt.forget(suspect);
         // Remove the dead super-peer from the group and take over.
         self.group.retain(|&id| id != suspect);
         self.become_super_peer(ctx);
@@ -1772,7 +2031,7 @@ impl Actor for GlareNode {
             self.start_election(ctx);
         }
         // Everyone monitors super-peer liveness.
-        ctx.timer_after(self.cfg.heartbeat_timeout, "hb-check");
+        ctx.timer_after(self.hb_check_period(), "hb-check");
         if let Some(interval) = self.cfg.notify_interval {
             ctx.timer_after(interval, "notify");
         }
@@ -1891,7 +2150,14 @@ impl Actor for GlareNode {
             }
             NodeMsg::Heartbeat => {
                 if Some(from) == self.super_peer {
-                    self.last_heartbeat = ctx.now();
+                    let now = ctx.now();
+                    // Feed the inter-arrival estimator (no-op when
+                    // suspicion is disabled): heartbeats from a slow but
+                    // alive super-peer keep arriving, so gray slowness
+                    // raises probe suspicion without any takeover.
+                    self.hb
+                        .observe(from, now.saturating_since(self.last_heartbeat));
+                    self.last_heartbeat = now;
                 }
             }
             NodeMsg::SuspectNotice { suspect } => {
@@ -1902,7 +2168,7 @@ impl Actor for GlareNode {
             NodeMsg::VerifyRequest { suspect } => {
                 let missing = Some(suspect) == self.super_peer
                     && ctx.now().saturating_since(self.last_heartbeat)
-                        >= self.cfg.heartbeat_timeout;
+                        >= self.takeover_threshold(suspect);
                 ctx.send(from, NodeMsg::VerifyAck { suspect, missing });
             }
             NodeMsg::VerifyAck { suspect, missing } => {
@@ -2215,12 +2481,37 @@ impl Actor for GlareNode {
                 req_id,
                 deployments,
             } => {
+                let now = ctx.now();
                 let mut conclude = None;
                 if let Some(p) = self.pending.get_mut(&req_id) {
-                    p.awaiting.remove(&from);
-                    p.collected.extend(deployments);
-                    if p.awaiting.is_empty() {
-                        conclude = Some(req_id);
+                    if p.hedge.target == Some(from) {
+                        // The hedge answered. The original stays
+                        // authoritative for misses (replicas are not
+                        // guaranteed equivalent for an empty answer), so
+                        // only a useful response wins the race; the
+                        // loser's eventual reply finds no pending entry
+                        // and is dropped — exactly-once toward the
+                        // client.
+                        if let Some(sent) = p.hedge.sent {
+                            self.rtt.observe(from, now.saturating_since(sent));
+                        }
+                        if !deployments.is_empty() {
+                            p.collected.extend(deployments);
+                            p.hedge.won = true;
+                            // Hedge win counts as a successful call for
+                            // the alternate's breaker.
+                            self.breakers.breaker(from).record_success();
+                            conclude = Some(req_id);
+                        }
+                    } else {
+                        if p.awaiting.contains(&from) {
+                            self.rtt.observe(from, now.saturating_since(p.started));
+                        }
+                        p.awaiting.remove(&from);
+                        p.collected.extend(deployments);
+                        if p.awaiting.is_empty() {
+                            conclude = Some(req_id);
+                        }
                     }
                 }
                 if let Some(id) = conclude {
@@ -2260,6 +2551,10 @@ impl Actor for GlareNode {
         }
         if let Some(req) = self.backoff_to_req.remove(&token) {
             self.retry_probe(ctx, req);
+            return;
+        }
+        if let Some(req) = self.hedge_to_req.remove(&token) {
+            self.fire_hedge(ctx, req);
             return;
         }
         if tag == "notify-stagger" {
@@ -2379,14 +2674,29 @@ impl Actor for GlareNode {
                     ctx.timer_after(self.cfg.heartbeat_interval, "heartbeat");
                 }
             "hb-check" => {
-                if self.role == Role::Member
-                    && self.super_peer.is_some()
-                    && ctx.now().saturating_since(self.last_heartbeat)
-                        >= self.cfg.heartbeat_timeout
-                {
-                    self.suspect_super_peer(ctx);
+                if self.role == Role::Member {
+                    if let Some(sp) = self.super_peer.filter(|&sp| sp != self.me) {
+                        let silence = ctx.now().saturating_since(self.last_heartbeat);
+                        if self.cfg.suspicion.enabled {
+                            // Export the current suspicion level (0 while
+                            // healthy or cold) as a windowed gauge.
+                            let level = self.hb.suspicion(sp, silence);
+                            let site_label = format!("site{}", ctx.self_site.0);
+                            let now = ctx.now();
+                            ctx.metrics()
+                                .gauge(
+                                    "glare_suspicion_level",
+                                    &Labels::of(&[("site", &site_label)]),
+                                    DEFAULT_GAUGE_WINDOW,
+                                )
+                                .set(now, level);
+                        }
+                        if silence >= self.takeover_threshold(sp) {
+                            self.suspect_super_peer(ctx);
+                        }
+                    }
                 }
-                ctx.timer_after(self.cfg.heartbeat_timeout, "hb-check");
+                ctx.timer_after(self.hb_check_period(), "hb-check");
             }
             "notify" => {
                 // Fan one notification round out to every sink. Each
@@ -2527,7 +2837,10 @@ impl Actor for GlareNode {
         self.deferred.clear();
         self.deadline_to_req.clear();
         self.backoff_to_req.clear();
+        self.hedge_to_req.clear();
         self.breakers = BreakerBank::default();
+        self.rtt.clear();
+        self.hb.clear();
         self.admission = AdmissionController::new(self.cfg.admission);
         self.admitted.clear();
         self.sinks.clear();
@@ -2540,7 +2853,7 @@ impl Actor for GlareNode {
     fn on_site_restart(&mut self, ctx: &mut Ctx<'_>) {
         // Re-arm the liveness/notification loops lost in the crash.
         self.last_heartbeat = ctx.now();
-        ctx.timer_after(self.cfg.heartbeat_timeout, "hb-check");
+        ctx.timer_after(self.hb_check_period(), "hb-check");
         if self.cfg.has_community_index {
             self.start_election(ctx);
         }
@@ -3260,5 +3573,251 @@ mod tests {
             }
         }
         assert_eq!(roots.len(), 1, "tree healed to exactly one new root: {roots:?}");
+    }
+
+    /// Two-group gray-failure fixture: 7 nodes, groups of 4, election
+    /// outcome computed statically (same flat plan the coordinator will
+    /// build). Returns `(client_site, own_sp_site, other_sp_site,
+    /// other_member_site)` — the client is a plain member of one group;
+    /// the alternate sites live in the other group.
+    fn two_group_sites(n: usize) -> (usize, usize, usize, usize) {
+        let topo = glare_fabric::Topology::uniform(n);
+        let responders: Vec<(ActorId, u64)> = (0..n as u32)
+            .map(|i| (ActorId(i), topo.site(glare_fabric::SiteId(i)).rank_hashcode()))
+            .collect();
+        let plan = plan_tree(&responders, 4, 4, 2);
+        assert!(plan.levels[0].len() >= 2, "need two leaf groups");
+        let g0 = &plan.levels[0][0];
+        let g1 = &plan.levels[0][1];
+        let client = g0.members.first().expect("group 0 has a plain member");
+        let other_member = g1.members.first().expect("group 1 has a plain member");
+        (
+            client.0 as usize,
+            g0.super_peer.0 as usize,
+            g1.super_peer.0 as usize,
+            other_member.0 as usize,
+        )
+    }
+
+    /// Build the fixture overlay: deployment seeded on `deploy_site`,
+    /// cache off (every query walks the full ladder), retries off, one
+    /// election.
+    fn grayfail_overlay(
+        deploy_site: usize,
+        hedge: crate::suspicion::HedgeConfig,
+    ) -> (Simulation, Vec<ActorId>) {
+        let mut b = OverlayBuilder::new(7, 42);
+        b.configure(move |_, cfg| {
+            cfg.max_group_size = 4;
+            cfg.use_cache = false;
+            cfg.election_interval = None;
+            cfg.hedge = hedge;
+        });
+        b.seed(move |i, node| {
+            for t in example_hierarchy(SimTime::ZERO) {
+                node.atr.register(t, SimTime::ZERO).unwrap();
+            }
+            if i == deploy_site {
+                let d = ActivityDeployment::executable(
+                    "JPOVray",
+                    &format!("site{i}"),
+                    "/opt/deployments/jpovray/bin/jpovray",
+                    "/opt/deployments/jpovray",
+                );
+                node.adr.register(d, &node.atr, SimTime::ZERO).unwrap();
+            }
+        });
+        b.build()
+    }
+
+    #[test]
+    fn hedged_probe_routes_around_gray_slow_super_peer() {
+        // The client's super-peer is alive (heartbeats keep flowing — site
+        // degradation scales compute, not sends) but 200x slow: its 4ms
+        // request stage takes 800ms, past the 500ms probe deadline. With
+        // hedging on, the cold hedge fires at 250ms into the *other*
+        // group's super-peer, whose subtree holds the deployment — the
+        // query still hits. The gray super-peer's late answer finds the
+        // stage concluded and is dropped: exactly-once accounting.
+        let (client_site, sp_site, _other_sp, other_member) = two_group_sites(7);
+        let (mut sim, ids) =
+            grayfail_overlay(other_member, crate::suspicion::HedgeConfig::standard());
+        sim.enable_events(100_000);
+        let stats = ClientStats::shared();
+        let client = QueryClient::new(
+            ids[client_site],
+            "Imaging",
+            SimDuration::from_secs(20),
+            1,
+            stats.clone(),
+        );
+        sim.add_actor(glare_fabric::SiteId(client_site as u32), Box::new(client));
+        sim.start();
+        sim.run_until(SimTime::from_secs(12));
+        sim.set_site_degraded(glare_fabric::SiteId(sp_site as u32), Some(200.0));
+        sim.run_until(SimTime::from_secs(60));
+        let s = stats.lock();
+        assert_eq!(s.responses, 1, "exactly one answer despite two probes");
+        assert_eq!(s.hits, 1, "hedge converted the deadline miss into a hit");
+        let client_label = format!("site{client_site}");
+        let labels = glare_fabric::Labels::of(&[("site", &client_label)]);
+        let m = sim.metrics();
+        assert_eq!(m.counter_labeled_value("glare_hedges_fired_total", &labels), 1);
+        assert_eq!(m.counter_labeled_value("glare_hedges_won_total", &labels), 1);
+        assert_eq!(m.counter_labeled_value("glare_hedges_wasted_total", &labels), 0);
+        let ev = sim.events().expect("events enabled");
+        assert_eq!(ev.of_kind("query.hedged").count(), 1);
+        assert_eq!(ev.of_kind("site.degraded").count(), 1);
+        // The gray peer was never *declared* failed — no takeover churn.
+        assert_eq!(ev.of_kind("failure.suspected").count(), 0);
+        assert_eq!(m.lint_metric_names(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn without_hedging_gray_slow_super_peer_turns_hits_into_misses() {
+        // Same scenario, hedging disabled (the default): the escalation
+        // times out against the slow super-peer and the query misses —
+        // and the recovery layer leaves no trace.
+        let (client_site, sp_site, _other_sp, other_member) = two_group_sites(7);
+        let (mut sim, ids) =
+            grayfail_overlay(other_member, crate::suspicion::HedgeConfig::disabled());
+        sim.enable_events(100_000);
+        let stats = ClientStats::shared();
+        let client = QueryClient::new(
+            ids[client_site],
+            "Imaging",
+            SimDuration::from_secs(20),
+            1,
+            stats.clone(),
+        );
+        sim.add_actor(glare_fabric::SiteId(client_site as u32), Box::new(client));
+        sim.start();
+        sim.run_until(SimTime::from_secs(12));
+        sim.set_site_degraded(glare_fabric::SiteId(sp_site as u32), Some(200.0));
+        sim.run_until(SimTime::from_secs(60));
+        let s = stats.lock();
+        assert_eq!(s.responses, 1, "the deadline miss still answers");
+        assert_eq!(s.hits, 0, "no hedge, no route around the slow peer");
+        let client_label = format!("site{client_site}");
+        let labels = glare_fabric::Labels::of(&[("site", &client_label)]);
+        let m = sim.metrics();
+        assert_eq!(m.counter_labeled_value("glare_hedges_fired_total", &labels), 0);
+        assert_eq!(m.counter_labeled_value("glare_hedges_won_total", &labels), 0);
+        assert_eq!(m.counter_labeled_value("glare_hedges_wasted_total", &labels), 0);
+        let ev = sim.events().expect("events enabled");
+        assert_eq!(ev.of_kind("query.hedged").count(), 0);
+        assert!(
+            sim.metrics().gauge_ref(
+                "glare_suspicion_level",
+                &glare_fabric::Labels::of(&[("site", &client_label)]),
+            ).is_none(),
+            "suspicion disabled exports no gauge"
+        );
+    }
+
+    #[test]
+    fn hedge_into_dead_replica_original_still_wins() {
+        // The alternate super-peer is crashed; the original is mildly
+        // degraded (8x: ~32ms request stage), slow enough that a 10ms
+        // hedge fires first. The hedge probe vanishes into the dead site;
+        // the original's non-empty answer concludes the stage — wasted,
+        // not won — and the client still sees exactly one response.
+        let (client_site, sp_site, other_sp, _other_member) = two_group_sites(7);
+        // Deployment on the client's own super-peer: the original answers
+        // non-empty from its registry after the group probe misses.
+        let mut hedge = crate::suspicion::HedgeConfig::standard();
+        hedge.cold_fraction = 0.01; // cold delay 5ms -> floored to min 10ms
+        let (mut sim, ids) = grayfail_overlay(sp_site, hedge);
+        sim.enable_events(100_000);
+        let stats = ClientStats::shared();
+        let client = QueryClient::new(
+            ids[client_site],
+            "Imaging",
+            SimDuration::from_secs(20),
+            1,
+            stats.clone(),
+        );
+        sim.add_actor(glare_fabric::SiteId(client_site as u32), Box::new(client));
+        // Crash the alternate before the query; detection (16s legacy
+        // threshold, 16s check cadence) lands after the 30s horizon, so
+        // the client still believes in the dead super-peer when it hedges.
+        sim.schedule_crash(SimTime::from_secs(15), glare_fabric::SiteId(other_sp as u32));
+        sim.start();
+        sim.run_until(SimTime::from_secs(12));
+        sim.set_site_degraded(glare_fabric::SiteId(sp_site as u32), Some(8.0));
+        sim.run_until(SimTime::from_secs(30));
+        let s = stats.lock();
+        assert_eq!(s.responses, 1, "dead hedge target cannot double-answer");
+        assert_eq!(s.hits, 1, "the original authoritative answer wins");
+        let client_label = format!("site{client_site}");
+        let labels = glare_fabric::Labels::of(&[("site", &client_label)]);
+        let m = sim.metrics();
+        assert_eq!(m.counter_labeled_value("glare_hedges_fired_total", &labels), 1);
+        assert_eq!(m.counter_labeled_value("glare_hedges_won_total", &labels), 0);
+        assert_eq!(m.counter_labeled_value("glare_hedges_wasted_total", &labels), 1);
+    }
+
+    #[test]
+    fn adaptive_suspicion_detects_crash_faster_with_no_false_positives() {
+        // One group of 4 under the adaptive detector: 120s of healthy
+        // heartbeats warm the estimator (zero suspicions — no false
+        // positives), then the super-peer crashes and the learned
+        // threshold (2x mean + 4 sigma ~ 12s, checked every heartbeat
+        // period) confirms the failure sooner than the legacy fixed
+        // 16s-threshold/16s-cadence detector of a same-seed run.
+        let confirm_time = |suspicion: crate::suspicion::SuspicionConfig| {
+            let mut b = OverlayBuilder::new(4, 42);
+            b.configure(move |_, cfg| {
+                cfg.max_group_size = 4;
+                cfg.election_interval = None;
+                cfg.suspicion = suspicion;
+            });
+            let (mut sim, _ids) = b.build();
+            sim.enable_events(100_000);
+            let topo = sim.topology().clone();
+            let mut ranked: Vec<(u32, u64)> = (0..4u32)
+                .map(|i| (i, topo.site(glare_fabric::SiteId(i)).rank_hashcode()))
+                .collect();
+            ranked.sort_by_key(|r| std::cmp::Reverse(r.1));
+            let sp_site = glare_fabric::SiteId(ranked[0].0);
+            sim.schedule_crash(SimTime::from_secs(121), sp_site);
+            sim.start();
+            sim.run_until(SimTime::from_secs(200));
+            let ev = sim.events().expect("events enabled");
+            let pre_crash_suspected = ev
+                .of_kind("failure.suspected")
+                .filter(|r| r.time < SimTime::from_secs(121))
+                .count();
+            assert_eq!(pre_crash_suspected, 0, "healthy peers are never suspected");
+            let confirmed = ev
+                .of_kind("failure.confirmed")
+                .map(|r| r.time)
+                .min()
+                .expect("the crash is eventually confirmed");
+            assert_eq!(
+                sim.metrics().counter_value("glare.superpeer_takeovers"),
+                2,
+                "exactly the initial election plus the one real takeover"
+            );
+            (confirmed, sim)
+        };
+        let (adaptive_at, adaptive_sim) =
+            confirm_time(crate::suspicion::SuspicionConfig::standard());
+        let (legacy_at, _) = confirm_time(crate::suspicion::SuspicionConfig::disabled());
+        assert!(
+            adaptive_at < legacy_at,
+            "adaptive {adaptive_at:?} must beat legacy {legacy_at:?}"
+        );
+        // The adaptive run exported the suspicion gauge for some member.
+        let m = adaptive_sim.metrics();
+        let exported = (0..4).any(|i| {
+            m.gauge_ref(
+                "glare_suspicion_level",
+                &glare_fabric::Labels::of(&[("site", &format!("site{i}"))]),
+            )
+            .is_some()
+        });
+        assert!(exported, "suspicion level gauge is published when enabled");
+        assert_eq!(m.lint_metric_names(), Vec::<String>::new());
     }
 }

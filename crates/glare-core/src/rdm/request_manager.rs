@@ -279,10 +279,18 @@ impl RequestManager {
                 let lost = !grid.faults.site_up(i) || grid.faults.attempt_lost();
                 if !lost {
                     grid.breakers.breaker(i).record_success();
+                    // Feed the per-site round-trip estimator (no-op when
+                    // suspicion is disabled, the default).
+                    grid.suspicion.observe(i, rtt);
                     reached = true;
                     break;
                 }
-                probe_elapsed += policy.attempt_timeout;
+                // A silent probe charges the per-remote budget: the
+                // configured attempt timeout, tightened to the learned
+                // `margin×mean + k×σ` once the site's estimator is warm —
+                // waiting 500 ms on a site that always answers in 40 ms
+                // only stretches the ladder's tail.
+                probe_elapsed += grid.suspicion.attempt_budget(i, policy.attempt_timeout);
                 grid.metrics
                     .counter_labeled(
                         "glare_retries_total",
@@ -535,6 +543,52 @@ mod tests {
             1
         );
         assert_eq!(g.metrics.lint_metric_names(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn warm_suspicion_tightens_probe_budgets_without_changing_answers() {
+        // Two grids with identical history; one runs the adaptive per-site
+        // RTT estimator. Eight healthy cache-off queries warm it, then the
+        // deployment holder crashes: the warm grid charges the learned
+        // `margin×mean + k×σ` per silent probe instead of the full
+        // configured attempt timeout, so the degraded read's ladder is
+        // strictly cheaper — while source and answer stay identical.
+        let run = |adaptive: bool| {
+            // Deployment on the last site: the ladder walks through the
+            // (soon-dead) site 1 before reaching it.
+            let mut g = grid_with_deployment(4, 3);
+            if adaptive {
+                g.suspicion = crate::suspicion::SuspicionTracker::new(
+                    crate::suspicion::SuspicionConfig::standard(),
+                );
+            }
+            let rm = RequestManager::new(false);
+            for k in 1..=8 {
+                rm.list_deployments(&mut g, 0, "Imaging", t(k)).unwrap();
+            }
+            g.crash_site(1, t(400));
+            let out = rm.list_deployments(&mut g, 0, "Imaging", t(400)).unwrap();
+            (out, g)
+        };
+        let (warm_out, warm_g) = run(true);
+        let (cold_out, _) = run(false);
+        assert_eq!(warm_out.source, cold_out.source, "same replica answers");
+        assert_eq!(warm_out.deployments.len(), cold_out.deployments.len());
+        assert!(
+            warm_out.cost < cold_out.cost,
+            "warm ladder {} must undercut the fixed-timeout ladder {}",
+            warm_out.cost,
+            cold_out.cost
+        );
+        assert!(warm_g.suspicion.is_warm(1), "healthy probes warmed site1");
+        // The learned budget for the crashed site is far below the
+        // configured attempt timeout.
+        let budget = warm_g.suspicion.attempt_budget(1, warm_g.retry.attempt_timeout);
+        assert!(
+            budget < warm_g.retry.attempt_timeout,
+            "warm budget {budget} vs configured {}",
+            warm_g.retry.attempt_timeout
+        );
     }
 
     #[test]

@@ -30,6 +30,13 @@
 #      with it disabled, stay byte-identical across two same-seed runs
 #      (deterministic half), and a disabled-controller run must be
 #      event-identical to a controller-never-constructed run
+#  12. grayfail smoke: BENCH_grayfail.json must parse, be lint-clean,
+#      stay byte-identical across two same-seed runs (deterministic
+#      half), report zero false-positive takeovers in every mode, show
+#      the gray-phase gold p99 with suspicion+hedging enabled within 2x
+#      the healthy baseline while the disabled run exceeds 5x (and the
+#      hedged run beating the unhedged one outright), and a disabled
+#      gray stack must be event-identical to one never constructed
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -231,6 +238,45 @@ assert disabled["deterministic"]["events"] == absent["deterministic"]["events"],
     "event counts diverged between disabled and absent"
 EOF
 rm -rf "$auto_dir" "$auto_dir2"
+
+echo "==> smoke: grayfail --smoke (writes BENCH_grayfail.json)"
+gray_dir=$(mktemp -d)
+gray_dir2=$(mktemp -d)
+(cd "$gray_dir" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin grayfail -- --smoke >/dev/null)
+(cd "$gray_dir2" && cargo run --release -q -p glare-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin grayfail -- --smoke >/dev/null)
+test -s "$gray_dir/BENCH_grayfail.json" || { echo "missing BENCH_grayfail.json"; exit 1; }
+python3 - "$gray_dir/BENCH_grayfail.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "glare.grayfail.v1", "unexpected schema tag"
+det = report["deterministic"]
+runs = {r["mode"]: r for r in det["runs"]}
+assert set(runs) == {"enabled", "disabled", "absent"}, f"unexpected modes: {set(runs)}"
+for mode, r in runs.items():
+    assert r["lint_errors"] == 0, f"{mode}: gray metrics failed the metric-name lint"
+    assert r["violations"] == [], f"{mode}: scenario violations: {r['violations']}"
+    assert r["false_takeovers"] == 0, \
+        f"{mode}: a merely slow super-peer was declared dead"
+assert runs["enabled"]["hedges"]["fired"] > 0, "the gray window never triggered a hedge"
+assert runs["enabled"]["hedges"]["won"] > 0, "no hedged probe ever won its race"
+assert runs["disabled"]["hedges"]["fired"] == 0, "hedges fired with the stack disabled"
+assert det["enabled_within_2x"], \
+    "gray-phase p99 with suspicion+hedging exceeded 2x the healthy baseline"
+assert det["disabled_exceeds_5x"], \
+    "the gray window did not hurt the unprotected run (disabled p99 <= 5x healthy)"
+assert det["hedged_beats_unhedged"], "hedging-on gray p99 did not beat hedging-off"
+assert det["disabled_matches_absent"], \
+    "a disabled gray stack perturbed the event stream vs never-constructed"
+EOF
+python3 - "$gray_dir/BENCH_grayfail.json" "$gray_dir2/BENCH_grayfail.json" <<'EOF'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+assert a["deterministic"] == b["deterministic"], \
+    "deterministic half of BENCH_grayfail.json diverged across same-seed runs"
+EOF
+rm -rf "$gray_dir" "$gray_dir2"
 
 echo "==> crash-replay smoke: recovered registries match a never-crashed same-seed run"
 cargo test --release -q -p glare-core --lib \
